@@ -1,0 +1,161 @@
+(** The RefinedC command-line toolchain (Figure 2, end to end):
+
+    - [refinedc check FILE]   — verify every specified function
+    - [refinedc run FILE FN]  — execute a function in the Caesium
+                                interpreter (integer arguments)
+    - [refinedc cfg FILE]     — dump the elaborated control-flow graphs *)
+
+open Cmdliner
+module Driver = Rc_frontend.Driver
+
+let setup () = Rc_studies.Studies.register_all ()
+
+let check_cmd =
+  let file = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
+  let deriv =
+    Arg.(value & flag & info [ "deriv" ] ~doc:"Print the derivation trees.")
+  in
+  let stats =
+    Arg.(value & flag & info [ "stats" ] ~doc:"Print per-function statistics.")
+  in
+  let cert =
+    Arg.(
+      value & flag
+      & info [ "cert" ]
+          ~doc:"Re-check the emitted certificates with the independent checker.")
+  in
+  let semtest =
+    Arg.(
+      value & flag
+      & info [ "semtest" ]
+          ~doc:
+            "Run the semantic-soundness harness: execute each verified \
+             function on sampled well-typed inputs and require UB-freedom.")
+  in
+  let run file deriv stats cert semtest =
+    setup ();
+    match Driver.check_file file with
+    | exception Driver.Frontend_error msg ->
+        Fmt.epr "%s@." msg;
+        1
+    | t ->
+        let failed = ref 0 in
+        List.iter
+          (fun (r : Driver.check_result) ->
+            match r.outcome with
+            | Ok res ->
+                Fmt.pr "%s: verified (%a)@." r.name Rc_lithium.Stats.pp
+                  res.Rc_refinedc.Lang.E.stats;
+                if deriv then
+                  Fmt.pr "%a@." (Rc_lithium.Deriv.pp ~depth:0)
+                    res.Rc_refinedc.Lang.E.deriv;
+                if stats then begin
+                  let s = res.Rc_refinedc.Lang.E.stats in
+                  Fmt.pr "  distinct rules: %d, applications: %d@."
+                    (Rc_lithium.Stats.distinct_rules s)
+                    s.Rc_lithium.Stats.rule_apps;
+                  Fmt.pr "  evars auto-instantiated: %d@."
+                    s.Rc_lithium.Stats.evar_insts;
+                  Fmt.pr "  side conditions auto/manual: %d/%d@."
+                    s.Rc_lithium.Stats.side_auto s.Rc_lithium.Stats.side_manual
+                end;
+                if cert then begin
+                  let rep =
+                    Rc_cert.Checker.check res.Rc_refinedc.Lang.E.deriv
+                  in
+                  Fmt.pr "  %a@." Rc_cert.Checker.pp_report rep;
+                  if not (Rc_cert.Checker.ok rep) then incr failed
+                end;
+                if semtest then begin
+                  let spec =
+                    List.find
+                      (fun (f : Rc_refinedc.Typecheck.fn_to_check) ->
+                        f.spec.Rc_refinedc.Rtype.fs_name = r.name)
+                      t.elaborated.Rc_frontend.Elab.to_check
+                  in
+                  let impls =
+                    List.map
+                      (fun (f : Rc_refinedc.Typecheck.fn_to_check) ->
+                        (f.spec.Rc_refinedc.Rtype.fs_name, f.spec))
+                      t.elaborated.Rc_frontend.Elab.to_check
+                  in
+                  match
+                    Rc_sem.Semtest.check_fn ~impls
+                      t.elaborated.Rc_frontend.Elab.program spec.spec
+                  with
+                  | Rc_sem.Semtest.Passed n ->
+                      Fmt.pr "  semtest: %d executions, no UB@." n
+                  | Rc_sem.Semtest.Skipped why ->
+                      Fmt.pr "  semtest: skipped (%s)@." why
+                  | Rc_sem.Semtest.Ub_found msg ->
+                      Fmt.pr "  semtest: UNDEFINED BEHAVIOUR: %s@." msg;
+                      incr failed
+                end
+            | Error e ->
+                Fmt.pr "%s: FAILED@.%s@." r.name (Rc_lithium.Report.to_string e);
+                incr failed)
+          t.results;
+        List.iter (fun w -> Fmt.epr "warning: %s@." w)
+          t.elaborated.Rc_frontend.Elab.warnings;
+        if !failed = 0 then 0 else 1
+  in
+  Cmd.v (Cmd.info "check" ~doc:"Verify the specified functions of FILE.")
+    Term.(const run $ file $ deriv $ stats $ cert $ semtest)
+
+let run_cmd =
+  let file = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
+  let fn = Arg.(required & pos 1 (some string) None & info [] ~docv:"FN") in
+  let args = Arg.(value & pos_right 1 int [] & info [] ~docv:"ARGS") in
+  let run file fn args =
+    setup ();
+    match Driver.check_file file with
+    | exception Driver.Frontend_error msg ->
+        Fmt.epr "%s@." msg;
+        1
+    | t -> (
+        let vargs =
+          List.map (Rc_caesium.Value.of_int Rc_caesium.Int_type.i32) args
+        in
+        match Driver.run t fn vargs with
+        | Rc_caesium.Eval.Finished None ->
+            Fmt.pr "%s returned@." fn;
+            0
+        | Rc_caesium.Eval.Finished (Some v) ->
+            Fmt.pr "%s returned %a@." fn Rc_caesium.Value.pp v;
+            0
+        | Rc_caesium.Eval.Undefined u ->
+            Fmt.pr "UNDEFINED BEHAVIOUR: %a@." Rc_caesium.Ub.pp u;
+            1
+        | Rc_caesium.Eval.Out_of_fuel ->
+            Fmt.pr "out of fuel@.";
+            1)
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Run FN of FILE in the Caesium interpreter (int arguments).")
+    Term.(const run $ file $ fn $ args)
+
+let cfg_cmd =
+  let file = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
+  let run file =
+    setup ();
+    match Driver.parse_and_elab ~file (In_channel.with_open_bin file In_channel.input_all) with
+    | exception Driver.Frontend_error msg ->
+        Fmt.epr "%s@." msg;
+        1
+    | e ->
+        List.iter
+          (fun (name, f) ->
+            Fmt.pr "== %s ==@.%s@." name (Rc_caesium.Syntax.show_func f))
+          e.Rc_frontend.Elab.program.Rc_caesium.Syntax.funcs;
+        0
+  in
+  Cmd.v (Cmd.info "cfg" ~doc:"Dump the elaborated Caesium CFGs.")
+    Term.(const run $ file)
+
+let () =
+  let doc = "RefinedC: automated, certificate-producing verification of C" in
+  exit
+    (Cmd.eval'
+       (Cmd.group (Cmd.info "refinedc" ~version:"1.0" ~doc)
+          [ check_cmd; run_cmd; cfg_cmd ]))

@@ -1,0 +1,22 @@
+// One-time barrier (paper §7 class #6b): the signaller transfers the
+// integer cell at c to the (single) waiter through an atomic Boolean.
+// barrier_t is registered by the expert companion.
+
+struct barrier { int released; };
+
+[[rc::parameters("b: loc", "c: loc")]]
+[[rc::args("b @ &own<c @ barrier_t>")]]
+[[rc::requires("own c : int<int>")]]
+[[rc::ensures("own b : c @ barrier_t")]]
+void barrier_signal(struct barrier* bar) {
+  atomic_store(&bar->released, 1);
+}
+
+[[rc::parameters("b: loc", "c: loc")]]
+[[rc::args("b @ &own<c @ barrier_t>")]]
+[[rc::ensures("own c : int<int>")]]
+void barrier_wait(struct barrier* bar) {
+  [[rc::inv_vars("bar: b @ &own<c @ barrier_t>")]]
+  while (!atomic_load(&bar->released)) {
+  }
+}

@@ -1,0 +1,67 @@
+// Binary search through a first-class comparator function pointer
+// (paper §7 class #1c).  The comparator contract is given by the
+// prototype cmp_spec; int_lt implements it, and the client passes it
+// through a function pointer — RefinedC function types are first class.
+
+typedef unsigned long size_t;
+typedef int cmp_t(int a, int b);
+
+// the comparator contract: decides x < y
+[[rc::parameters("x: int", "y: int")]]
+[[rc::args("x @ int<int>", "y @ int<int>")]]
+[[rc::returns("{x < y} @ bool<int>")]]
+int cmp_spec(int a, int b);
+
+[[rc::parameters("x: int", "y: int")]]
+[[rc::args("x @ int<int>", "y @ int<int>")]]
+[[rc::returns("{x < y} @ bool<int>")]]
+int int_lt(int a, int b) {
+  return a < b;
+}
+
+// Binary search for key in arr[0..n): returns a slot index r with
+// 0 <= r <= n where the key would belong.
+[[rc::parameters("q: loc", "n: nat", "xs: {list int}", "k: int")]]
+[[rc::args("q @ &own<array<int<int>, n, xs>>", "n @ int<size_t>",
+           "k @ int<int>", "fnptr<cmp_spec>")]]
+[[rc::requires("{n <= 100000}")]]
+[[rc::exists("r: int")]]
+[[rc::returns("r @ int<size_t>")]]
+[[rc::ensures("{0 <= r}", "{r <= n}", "own q : array<int<int>, n, xs>")]]
+size_t bsearch_idx(int* arr, size_t n, int key, cmp_t* lt) {
+  size_t lo = 0;
+  size_t hi = n;
+  [[rc::exists("a: nat", "b: nat")]]
+  [[rc::inv_vars("lo: a @ int<size_t>")]]
+  [[rc::inv_vars("hi: b @ int<size_t>")]]
+  [[rc::constraints("{0 <= a}", "{a <= b}", "{b <= n}")]]
+  while (lo < hi) {
+    size_t mid = lo + (hi - lo) / 2;
+    int c = lt(arr[mid], key);
+    if (c) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+// A client of the search (the paper verified "a client of it"): look up
+// the slot and bounds-check before reading it.
+[[rc::parameters("q: loc", "n: nat", "xs: {list int}", "k: int")]]
+[[rc::args("q @ &own<array<int<int>, n, xs>>", "n @ int<size_t>",
+           "k @ int<int>")]]
+[[rc::requires("{n <= 100000}")]]
+[[rc::exists("r: int")]]
+[[rc::returns("r @ int<int>")]]
+[[rc::ensures("own q : array<int<int>, n, xs>")]]
+int bsearch_client(int* arr, size_t n, int key) {
+  size_t i = bsearch_idx(arr, n, key, int_lt);
+  if (i < n) {
+    int found = arr[i];
+    if (found == key)
+      return 1;
+  }
+  return 0;
+}

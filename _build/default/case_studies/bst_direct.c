@@ -1,0 +1,55 @@
+// Binary search tree, direct verification against a functional set
+// (paper §7 class #3b): the refinement is a gset, side conditions are
+// discharged by variants of set_solver.
+
+typedef struct
+[[rc::refined_by("s: set")]]
+[[rc::ptr_type("bst_t: {s != ∅} @ optional<&own<...>, null>")]]
+[[rc::exists("v: int", "l: set", "r: set")]]
+[[rc::constraints("{s = {[v]} ∪ l ∪ r}",
+                  "{∀ j, j ∈ l → j < v}",
+                  "{∀ j, j ∈ r → v < j}")]]
+tnode {
+  [[rc::field("v @ int<int>")]] int val;
+  [[rc::field("l @ bst_t")]] struct tnode* left;
+  [[rc::field("r @ bst_t")]] struct tnode* right;
+}* bst_t;
+
+[[rc::parameters("s: set", "k: int")]]
+[[rc::args("s @ bst_t", "k @ int<int>")]]
+[[rc::returns("{k ∈ s} @ bool<int>")]]
+[[rc::tactics("all: set_solver.")]]
+int bst_member(struct tnode* t, int k) {
+  if (t == NULL)
+    return 0;
+  if (k == t->val)
+    return 1;
+  if (k < t->val)
+    return bst_member(t->left, k);
+  return bst_member(t->right, k);
+}
+
+// Insert k, using caller-provided node memory (leaked if k is present).
+[[rc::parameters("s: set", "p: loc", "k: int")]]
+[[rc::args("p @ &own<s @ bst_t>", "k @ int<int>", "&own<uninit<24>>")]]
+[[rc::ensures("own p : ({[k]} ∪ s) @ bst_t")]]
+[[rc::tactics("all: set_solver.")]]
+void bst_insert(struct tnode** t, int k, void* mem) {
+  struct tnode* cur = *t;
+  if (cur == NULL) {
+    struct tnode* n = mem;
+    n->val = k;
+    n->left = NULL;
+    n->right = NULL;
+    *t = n;
+    return;
+  }
+  if (k == cur->val)
+    return;
+  if (k < cur->val) {
+    bst_insert(&cur->left, k, mem);
+    return;
+  }
+  bst_insert(&cur->right, k, mem);
+}
+

@@ -1,0 +1,32 @@
+// Binary search tree, layered verification (paper §7 class #3a): the C
+// code is first related to an intermediate *functional layer* — the
+// sorted in-order list of elements — and the set-level facts are then
+// derived by manual pure lemmas (the companion registers them; they are
+// counted in the Pure column, which is why the paper found the layered
+// approach significantly more expensive than the direct one).
+
+typedef struct
+[[rc::refined_by("xs: {list int}")]]
+[[rc::ptr_type("bstl_t: {xs != []} @ optional<&own<...>, null>")]]
+[[rc::exists("v: int", "lxs: {list int}", "rxs: {list int}")]]
+[[rc::constraints("{xs = lxs ++ (v :: rxs)}",
+                  "{∀ j, j ∈ lxs → j < v}",
+                  "{∀ j, j ∈ rxs → v < j}")]]
+tnodel {
+  [[rc::field("v @ int<int>")]] int val;
+  [[rc::field("lxs @ bstl_t")]] struct tnodel* left;
+  [[rc::field("rxs @ bstl_t")]] struct tnodel* right;
+}* bstl_t;
+
+[[rc::parameters("xs: {list int}", "k: int")]]
+[[rc::args("xs @ bstl_t", "k @ int<int>")]]
+[[rc::returns("{k ∈ xs} @ bool<int>")]]
+int bstl_member(struct tnodel* t, int k) {
+  if (t == NULL)
+    return 0;
+  if (k == t->val)
+    return 1;
+  if (k < t->val)
+    return bstl_member(t->left, k);
+  return bstl_member(t->right, k);
+}

@@ -1,0 +1,35 @@
+// Deallocation using a sorted list of free chunks (paper Figure 3, §2.2).
+
+typedef unsigned long size_t;
+
+typedef struct
+[[rc::refined_by("s: multiset")]]
+[[rc::ptr_type("chunks_t: {s != ∅} @ optional<&own<...>, null>")]]
+[[rc::exists("n: nat", "tail: multiset")]]
+[[rc::size("n")]]
+[[rc::constraints("{s = {[n]} ⊎ tail}", "{∀ k, k ∈ tail → n ≤ k}")]]
+chunk {
+  [[rc::field("n @ int<size_t>")]] size_t size;
+  [[rc::field("tail @ chunks_t")]] struct chunk* next;
+}* chunks_t;
+
+[[rc::parameters("s: multiset", "p: loc", "n: nat")]]
+[[rc::args("p @ &own<s @ chunks_t>", "&own<uninit<n>>", "n @ int<size_t>")]]
+[[rc::requires("{sizeof(struct chunk) ≤ n}")]]
+[[rc::ensures("own p : ({[n]} ⊎ s) @ chunks_t")]]
+[[rc::tactics("all: multiset_solver.")]]
+void free_chunk(chunks_t* list, void* data, size_t sz) {
+  chunks_t* cur = list;
+  [[rc::exists("cp: loc", "cs: multiset")]]
+  [[rc::inv_vars("cur: cp @ &own<cs @ chunks_t>")]]
+  [[rc::inv_vars("list: p @ &own<wand<{cp : ({[n]} ⊎ cs) @ chunks_t}, ({[n]} ⊎ s) @ chunks_t>>")]]
+  while (*cur != NULL) {
+    if (sz <= (*cur)->size)
+      break;
+    cur = &(*cur)->next;
+  }
+  chunks_t entry = data;
+  entry->size = sz;
+  entry->next = *cur;
+  *cur = entry;
+}

@@ -1,0 +1,84 @@
+// Linear-probing hash table (paper §7 class #4): positive int keys in a
+// cap-sized array, 0 marking empty slots.  "Verifying linear probing is
+// non-trivial since all keys share the same array": the functional
+// invariant lives in the array's list refinement; the probing
+// arithmetic needs the manual mod-lemmas registered by the companion
+// (the paper's 265 lines of manual Coq reasoning).
+
+typedef unsigned long size_t;
+
+// Insert key k, probing from k % cap; returns the slot used.  The slot
+// was free or already held k, and the array is updated exactly there.
+[[rc::parameters("q: loc", "cap: nat", "xs: {list int}", "k: int")]]
+[[rc::args("q @ &own<array<int<int>, cap, xs>>", "cap @ int<int>",
+           "k @ int<int>")]]
+[[rc::requires("{0 < cap}", "{0 < k}", "{cap <= 1000000}")]]
+[[rc::exists("i: int")]]
+[[rc::returns("i @ int<int>")]]
+[[rc::ensures("{0 <= i}", "{i < cap}",
+              "{nth 0 i xs = 0 || nth 0 i xs = k}",
+              "own q : array<int<int>, cap, (insert i k xs)>")]]
+int hm_insert(int* keys, int cap, int k) {
+  int j = k % cap;
+  [[rc::exists("jj: int")]]
+  [[rc::inv_vars("j: jj @ int<int>")]]
+  [[rc::constraints("{0 <= jj}", "{jj < cap}")]]
+  while (1) {
+    int cur = keys[j];
+    if (cur == 0 || cur == k) {
+      keys[j] = k;
+      return j;
+    }
+    j = (j + 1) % cap;
+  }
+}
+
+// Find: probe until k or an empty slot is hit; returns that slot.
+[[rc::parameters("q: loc", "cap: nat", "xs: {list int}", "k: int")]]
+[[rc::args("q @ &own<array<int<int>, cap, xs>>", "cap @ int<int>",
+           "k @ int<int>")]]
+[[rc::requires("{0 < cap}", "{0 < k}", "{cap <= 1000000}")]]
+[[rc::exists("i: int")]]
+[[rc::returns("i @ int<int>")]]
+[[rc::ensures("{0 <= i}", "{i < cap}",
+              "{nth 0 i xs = 0 || nth 0 i xs = k}",
+              "own q : array<int<int>, cap, xs>")]]
+int hm_find(int* keys, int cap, int k) {
+  int j = k % cap;
+  [[rc::exists("jj: int")]]
+  [[rc::inv_vars("j: jj @ int<int>")]]
+  [[rc::constraints("{0 <= jj}", "{jj < cap}")]]
+  while (1) {
+    int cur = keys[j];
+    if (cur == 0 || cur == k) {
+      return j;
+    }
+    j = (j + 1) % cap;
+  }
+}
+
+// Delete: probe for k; clear the slot where the probe ends (it held k
+// or was already empty).
+[[rc::parameters("q: loc", "cap: nat", "xs: {list int}", "k: int")]]
+[[rc::args("q @ &own<array<int<int>, cap, xs>>", "cap @ int<int>",
+           "k @ int<int>")]]
+[[rc::requires("{0 < cap}", "{0 < k}", "{cap <= 1000000}")]]
+[[rc::exists("i: int")]]
+[[rc::returns("i @ int<int>")]]
+[[rc::ensures("{0 <= i}", "{i < cap}",
+              "{nth 0 i xs = 0 || nth 0 i xs = k}",
+              "own q : array<int<int>, cap, (insert i 0 xs)>")]]
+int hm_delete(int* keys, int cap, int k) {
+  int j = k % cap;
+  [[rc::exists("jj: int")]]
+  [[rc::inv_vars("j: jj @ int<int>")]]
+  [[rc::constraints("{0 <= jj}", "{jj < cap}")]]
+  while (1) {
+    int cur = keys[j];
+    if (cur == 0 || cur == k) {
+      keys[j] = 0;
+      return j;
+    }
+    j = (j + 1) % cap;
+  }
+}

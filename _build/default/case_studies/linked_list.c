@@ -1,0 +1,107 @@
+// Singly linked list (paper §7, class #1), with nodes allocated from the
+// Figure-1 allocator (the paper: "use the first allocator of #2 for the
+// allocation of new nodes").
+
+typedef unsigned long size_t;
+
+struct [[rc::refined_by("a: nat")]] mem_t {
+  [[rc::field("a @ int<size_t>")]] size_t len;
+  [[rc::field("&own<uninit<a>>")]] unsigned char* buffer;
+};
+
+[[rc::parameters("a: nat", "n: nat", "p: loc")]]
+[[rc::args("p @ &own<a @ mem_t>", "n @ int<size_t>")]]
+[[rc::returns("{n <= a} @ optional<&own<uninit<n>>, null>")]]
+[[rc::ensures("own p : (n <= a ? a - n : a) @ mem_t")]]
+void* alloc(struct mem_t* d, size_t sz) {
+  if (sz > d->len)
+    return NULL;
+  d->len -= sz;
+  return d->buffer + d->len;
+}
+
+typedef struct
+[[rc::refined_by("xs: {list int}")]]
+[[rc::ptr_type("list_t: {xs != []} @ optional<&own<...>, null>")]]
+[[rc::exists("x: int", "tl: {list int}")]]
+[[rc::constraints("{xs = x :: tl}")]]
+node {
+  [[rc::field("x @ int<int>")]] int val;
+  [[rc::field("tl @ list_t")]] struct node* next;
+} node_t;
+
+// Push x at the head; returns 1 on success, 0 if the allocator is out of
+// memory.  The node needs sizeof(struct node) = 16 bytes.
+[[rc::parameters("xs: {list int}", "p: loc", "x: int", "a: nat", "q: loc")]]
+[[rc::args("p @ &own<xs @ list_t>", "x @ int<int>", "q @ &own<a @ mem_t>")]]
+[[rc::returns("{16 <= a} @ bool<int>")]]
+[[rc::ensures("own p : ((16 <= a) ? x :: xs : xs) @ list_t",
+              "own q : (16 <= a ? a - 16 : a) @ mem_t")]]
+int push(struct node** l, int x, struct mem_t* al) {
+  struct node* n = alloc(al, sizeof(struct node));
+  if (n == NULL)
+    return 0;
+  n->val = x;
+  n->next = *l;
+  *l = n;
+  return 1;
+}
+
+// Pop the head value of a non-empty list (the popped node's memory is
+// released back to nobody — leaked — which is sound in an affine logic).
+[[rc::parameters("x: int", "tl: {list int}", "p: loc")]]
+[[rc::args("p @ &own<(x :: tl) @ list_t>")]]
+[[rc::returns("x @ int<int>")]]
+[[rc::ensures("own p : tl @ list_t")]]
+int pop(struct node** l) {
+  struct node* n = *l;
+  int v = n->val;
+  *l = n->next;
+  return v;
+}
+
+// Length, traversing with a magic-wand invariant that reassembles the
+// list (as in §2.2).
+[[rc::parameters("xs: {list int}", "p: loc")]]
+[[rc::args("p @ &own<xs @ list_t>")]]
+[[rc::requires("{length xs <= 1000}")]]
+[[rc::returns("(length xs) @ int<int>")]]
+[[rc::ensures("own p : xs @ list_t")]]
+int list_length(struct node** l) {
+  int k = 0;
+  struct node** cur = l;
+  [[rc::exists("cs: {list int}", "cp: loc")]]
+  [[rc::inv_vars("cur: cp @ &own<cs @ list_t>")]]
+  [[rc::inv_vars("k: (length xs - length cs) @ int<int>")]]
+  [[rc::inv_vars("l: p @ &own<wand<{cp : cs @ list_t}, xs @ list_t>>")]]
+  [[rc::constraints("{length cs <= length xs}")]]
+  while (*cur != NULL) {
+    k += 1;
+    cur = &(*cur)->next;
+  }
+  return k;
+}
+
+// In-place reversal (a classic ownership benchmark): the prefix already
+// reversed accumulates in prev, the unreversed suffix stays in cur, and
+// rev xs = rev cs ++ ys glues them together.
+[[rc::parameters("xs: {list int}", "p: loc")]]
+[[rc::args("p @ &own<xs @ list_t>")]]
+[[rc::ensures("own p : rev(xs) @ list_t")]]
+[[rc::tactics("all: list_solver.")]]
+void list_reverse(struct node** l) {
+  struct node* prev = NULL;
+  struct node* cur = *l;
+  [[rc::exists("ys: {list int}", "cs: {list int}")]]
+  [[rc::inv_vars("prev: ys @ list_t")]]
+  [[rc::inv_vars("cur: cs @ list_t")]]
+  [[rc::inv_vars("l: p @ &own<uninit<8>>")]]
+  [[rc::constraints("{rev(xs) = rev(cs) ++ ys}")]]
+  while (cur != NULL) {
+    struct node* nxt = cur->next;
+    cur->next = prev;
+    prev = cur;
+    cur = nxt;
+  }
+  *l = prev;
+}

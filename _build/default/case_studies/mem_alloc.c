@@ -1,0 +1,33 @@
+// The memory allocator of Figure 1 (paper §1/§2.1), plus the
+// begin-allocating variant suggested by a PLDI reviewer (§6).
+
+typedef unsigned long size_t;
+
+struct [[rc::refined_by("a: nat")]] mem_t {
+  [[rc::field("a @ int<size_t>")]] size_t len;
+  [[rc::field("&own<uninit<a>>")]] unsigned char* buffer;
+};
+
+[[rc::parameters("a: nat", "n: nat", "p: loc")]]
+[[rc::args("p @ &own<a @ mem_t>", "n @ int<size_t>")]]
+[[rc::returns("{n <= a} @ optional<&own<uninit<n>>, null>")]]
+[[rc::ensures("own p : (n <= a ? a - n : a) @ mem_t")]]
+void* alloc(struct mem_t* d, size_t sz) {
+  if (sz > d->len)
+    return NULL;
+  d->len -= sz;
+  return d->buffer + d->len;
+}
+
+[[rc::parameters("a: nat", "n: nat", "p: loc")]]
+[[rc::args("p @ &own<a @ mem_t>", "n @ int<size_t>")]]
+[[rc::returns("{n <= a} @ optional<&own<uninit<n>>, null>")]]
+[[rc::ensures("own p : (n <= a ? a - n : a) @ mem_t")]]
+void* alloc_begin(struct mem_t* d, size_t sz) {
+  if (sz > d->len)
+    return NULL;
+  unsigned char* res = d->buffer;
+  d->buffer += sz;
+  d->len -= sz;
+  return res;
+}

@@ -1,0 +1,66 @@
+// Memory pool modelled on Hafnium's mpool (paper §7 class #5): a
+// spinlock-protected pool of fixed-size entries (the paper's version was
+// also adapted: integer-pointer casts removed).  The lock-protected pool
+// type mpool_t is registered by the expert companion; the entry list is
+// defined here with a padded recursive type.
+
+typedef unsigned long size_t;
+
+typedef struct
+[[rc::refined_by("n: nat")]]
+[[rc::ptr_type("mentries_t: {n != 0} @ optional<&own<...>, null>")]]
+[[rc::exists("m: nat")]]
+[[rc::size("64")]]
+[[rc::constraints("{n = m + 1}")]]
+mentry {
+  [[rc::field("m @ mentries_t")]] struct mentry* next;
+}* mentries_t;
+
+struct mpool {
+  int locked;
+  struct mentry* entries;
+};
+
+// Allocate one 64-byte entry, taking the pool lock.
+[[rc::parameters("p: loc")]]
+[[rc::args("p @ &own<p @ mpool_t>")]]
+[[rc::exists("r: bool")]]
+[[rc::returns("{r} @ optional<&own<uninit<64>>, null>")]]
+[[rc::ensures("own p : p @ mpool_t")]]
+void* mpool_alloc(struct mpool* pool) {
+  int expected = 0;
+  [[rc::inv_vars("pool: p @ &own<p @ mpool_t>")]]
+  while (1) {
+    expected = 0;
+    int ok = atomic_compare_exchange_strong(&pool->locked, &expected, 1);
+    if (ok)
+      break;
+  }
+  void* ret = NULL;
+  struct mentry* e = pool->entries;
+  if (e != NULL) {
+    pool->entries = e->next;
+    ret = e;
+  }
+  atomic_store(&pool->locked, 0);
+  return ret;
+}
+
+// Return a 64-byte block to the pool.
+[[rc::parameters("p: loc")]]
+[[rc::args("p @ &own<p @ mpool_t>", "&own<uninit<64>>")]]
+[[rc::ensures("own p : p @ mpool_t")]]
+void mpool_free(struct mpool* pool, void* block) {
+  int expected = 0;
+  [[rc::inv_vars("pool: p @ &own<p @ mpool_t>")]]
+  while (1) {
+    expected = 0;
+    int ok = atomic_compare_exchange_strong(&pool->locked, &expected, 1);
+    if (ok)
+      break;
+  }
+  struct mentry* e = block;
+  e->next = pool->entries;
+  pool->entries = e;
+  atomic_store(&pool->locked, 0);
+}

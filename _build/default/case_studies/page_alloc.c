@@ -1,0 +1,33 @@
+// Page allocator (paper §7 class #2b): free 4096-byte pages chained by a
+// pointer overlaid at their start — the padded-type pattern (rc::size).
+
+typedef struct
+[[rc::refined_by("n: nat")]]
+[[rc::ptr_type("pages_t: {n != 0} @ optional<&own<...>, null>")]]
+[[rc::exists("m: nat")]]
+[[rc::size("4096")]]
+[[rc::constraints("{n = m + 1}")]]
+page {
+  [[rc::field("m @ pages_t")]] struct page* next;
+}* pages_t;
+
+[[rc::parameters("n: nat", "p: loc")]]
+[[rc::args("p @ &own<n @ pages_t>")]]
+[[rc::returns("{n != 0} @ optional<&own<uninit<4096>>, null>")]]
+[[rc::ensures("own p : (n != 0 ? n - 1 : n) @ pages_t")]]
+void* page_alloc(struct page** pool) {
+  struct page* pg = *pool;
+  if (pg == NULL)
+    return NULL;
+  *pool = pg->next;
+  return pg;
+}
+
+[[rc::parameters("n: nat", "p: loc")]]
+[[rc::args("p @ &own<n @ pages_t>", "&own<uninit<4096>>")]]
+[[rc::ensures("own p : (n + 1) @ pages_t")]]
+void page_free(struct page** pool, void* mem) {
+  struct page* pg = mem;
+  pg->next = *pool;
+  *pool = pg;
+}

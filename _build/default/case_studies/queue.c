@@ -1,0 +1,56 @@
+// FIFO queue (paper §7 class #1b), refined by the list of queued values.
+// Enqueue walks to the end of the chain, maintaining a magic-wand
+// invariant that reassembles the queue with the new element appended
+// (our substitute for the paper's specialized list-segment types; see
+// EXPERIMENTS.md).
+
+typedef struct
+[[rc::refined_by("xs: {list int}")]]
+[[rc::ptr_type("qlist_t: {xs != []} @ optional<&own<...>, null>")]]
+[[rc::exists("x: int", "tl: {list int}")]]
+[[rc::constraints("{xs = x :: tl}")]]
+qnode {
+  [[rc::field("x @ int<int>")]] int val;
+  [[rc::field("tl @ qlist_t")]] struct qnode* next;
+}* qlist_t;
+
+[[rc::parameters("xs: {list int}", "p: loc", "x: int")]]
+[[rc::args("p @ &own<xs @ qlist_t>", "x @ int<int>", "&own<uninit<16>>")]]
+[[rc::ensures("own p : (xs ++ (x :: [])) @ qlist_t")]]
+[[rc::tactics("all: list_solver.")]]
+void enqueue(struct qnode** q, int x, void* mem) {
+  struct qnode* n = mem;
+  n->val = x;
+  n->next = NULL;
+  struct qnode** cur = q;
+  [[rc::exists("cs: {list int}", "cp: loc")]]
+  [[rc::inv_vars("cur: cp @ &own<cs @ qlist_t>")]]
+  [[rc::inv_vars("q: p @ &own<wand<{cp : (cs ++ (x :: [])) @ qlist_t}, (xs ++ (x :: [])) @ qlist_t>>")]]
+  [[rc::inv_vars("n: (x :: []) @ qlist_t")]]
+  [[rc::inv_vars("mem: ptr")]]
+  while (*cur != NULL) {
+    cur = &(*cur)->next;
+  }
+  *cur = n;
+}
+
+[[rc::parameters("x: int", "tl: {list int}", "p: loc")]]
+[[rc::args("p @ &own<(x :: tl) @ qlist_t>")]]
+[[rc::returns("x @ int<int>")]]
+[[rc::ensures("own p : tl @ qlist_t")]]
+int dequeue(struct qnode** q) {
+  struct qnode* n = *q;
+  int v = n->val;
+  *q = n->next;
+  return v;
+}
+
+[[rc::parameters("xs: {list int}", "p: loc")]]
+[[rc::args("p @ &own<xs @ qlist_t>")]]
+[[rc::returns("{xs = []} @ bool<int>")]]
+[[rc::ensures("own p : xs @ qlist_t")]]
+int queue_is_empty(struct qnode** q) {
+  if (*q == NULL)
+    return 1;
+  return 0;
+}

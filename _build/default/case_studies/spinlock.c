@@ -1,0 +1,39 @@
+// Spinlock (paper §6 / §7 class #6a), built on the atomic Boolean type.
+// The lock type lock_t protecting an integer cell is registered by the
+// expert companion (Rc_studies.register_lock_t), exactly as the paper's
+// spinlock abstraction lives in the RefinedC type library.
+
+struct lock { int locked; };
+
+[[rc::parameters("k: loc", "c: loc")]]
+[[rc::args("k @ &own<c @ lock_t>")]]
+[[rc::ensures("own k : c @ lock_t", "own c : int<int>")]]
+void spin_lock(struct lock* l) {
+  int expected = 0;
+  [[rc::inv_vars("l: k @ &own<c @ lock_t>")]]
+  while (1) {
+    expected = 0;
+    int ok = atomic_compare_exchange_strong(&l->locked, &expected, 1);
+    if (ok)
+      return;
+  }
+}
+
+[[rc::parameters("k: loc", "c: loc")]]
+[[rc::args("k @ &own<c @ lock_t>")]]
+[[rc::requires("own c : int<int>")]]
+[[rc::ensures("own k : c @ lock_t")]]
+void spin_unlock(struct lock* l) {
+  atomic_store(&l->locked, 0);
+}
+
+// A critical section: lock, increment the protected counter, unlock.
+[[rc::parameters("k: loc", "c: loc")]]
+[[rc::args("k @ &own<c @ lock_t>", "c @ &own<int<int>>")]]
+[[rc::requires("{0 = 0}")]]
+[[rc::ensures("own k : c @ lock_t")]]
+void locked_reset(struct lock* l, int* counter) {
+  spin_lock(l);
+  *counter = 0;
+  spin_unlock(l);
+}

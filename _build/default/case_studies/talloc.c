@@ -1,0 +1,34 @@
+// Thread-safe allocator (paper §7 class #2a): the Figure-1 allocator
+// protected by a spinlock stored in the same struct — the spinlocked
+// pattern of §2.1.  talloc_t is registered by the expert companion.
+
+typedef unsigned long size_t;
+
+struct tsalloc {
+  int locked;
+  size_t len;
+  unsigned char* buffer;
+};
+
+[[rc::parameters("p: loc", "n: nat")]]
+[[rc::args("p @ &own<p @ talloc_t>", "n @ int<size_t>")]]
+[[rc::exists("r: bool")]]
+[[rc::returns("{r} @ optional<&own<uninit<n>>, null>")]]
+[[rc::ensures("own p : p @ talloc_t")]]
+void* tsalloc_alloc(struct tsalloc* d, size_t sz) {
+  int expected = 0;
+  [[rc::inv_vars("d: p @ &own<p @ talloc_t>")]]
+  while (1) {
+    expected = 0;
+    int ok = atomic_compare_exchange_strong(&d->locked, &expected, 1);
+    if (ok)
+      break;
+  }
+  void* res = NULL;
+  if (sz <= d->len) {
+    d->len -= sz;
+    res = d->buffer + d->len;
+  }
+  atomic_store(&d->locked, 0);
+  return res;
+}

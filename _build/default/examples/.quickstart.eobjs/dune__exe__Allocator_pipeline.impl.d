@@ -1,0 +1,1 @@
+examples/allocator_pipeline.ml: Fmt List Option Rc_caesium Rc_frontend Rc_lithium Util

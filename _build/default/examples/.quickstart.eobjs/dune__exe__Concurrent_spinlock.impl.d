@@ -1,0 +1,1 @@
+examples/concurrent_spinlock.ml: Array Fmt List Random Rc_caesium Rc_frontend Rc_lithium Rc_studies

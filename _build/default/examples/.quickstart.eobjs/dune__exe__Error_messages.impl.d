@@ -1,0 +1,1 @@
+examples/error_messages.ml: Fmt Rc_frontend Rc_lithium Rc_studies

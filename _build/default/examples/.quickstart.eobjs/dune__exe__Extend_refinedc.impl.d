@@ -1,0 +1,1 @@
+examples/extend_refinedc.ml: Fmt List Rc_caesium Rc_frontend Rc_lithium Rc_pure Rc_refinedc Rc_studies Registry Simp Sort

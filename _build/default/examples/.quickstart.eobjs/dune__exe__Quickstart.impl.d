@@ -1,0 +1,1 @@
+examples/quickstart.ml: Fmt List Rc_caesium Rc_cert Rc_frontend Rc_lithium Rc_refinedc Util

@@ -1,0 +1,1 @@
+examples/util.ml: Filename List Rc_frontend Rc_studies Sys

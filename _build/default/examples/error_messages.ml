@@ -1,0 +1,36 @@
+(* The §2.1 error-message experience: introduce the paper's off-by-one
+   specification bug (n < a instead of n ≤ a) and show the precise,
+   located diagnostic that Lithium's syntax-directed search produces.
+
+   Run with:  dune exec examples/error_messages.exe *)
+
+let buggy_src = {|
+typedef unsigned long size_t;
+
+struct [[rc::refined_by("a: nat")]] mem_t {
+  [[rc::field("a @ int<size_t>")]] size_t len;
+  [[rc::field("&own<uninit<a>>")]] unsigned char* buffer;
+};
+
+[[rc::parameters("a: nat", "n: nat", "p: loc")]]
+[[rc::args("p @ &own<a @ mem_t>", "n @ int<size_t>")]]
+[[rc::returns("{n < a} @ optional<&own<uninit<n>>, null>")]]
+[[rc::ensures("own p : (n <= a ? a - n : a) @ mem_t")]]
+void* alloc(struct mem_t* d, size_t sz) {
+  if (sz > d->len)
+    return NULL;
+  d->len -= sz;
+  return d->buffer + d->len;
+}
+|}
+
+let () =
+  Rc_studies.Studies.register_all ();
+  Fmt.pr "Verifying alloc against the buggy specification (n < a):@.@.";
+  let t = Rc_frontend.Driver.check_source ~file:"mem_alloc_bug.c" buggy_src in
+  match Rc_frontend.Driver.errors t with
+  | [] -> Fmt.pr "unexpectedly verified?!@."
+  | (fn, e) :: _ ->
+      Fmt.pr "%s does not verify — as the paper explains, when n = a the@." fn;
+      Fmt.pr "code returns a valid pointer while the spec expects NULL:@.@.";
+      Fmt.pr "%s@." (Rc_lithium.Report.to_string e)

@@ -1,0 +1,14 @@
+(** Shared helpers for the runnable examples. *)
+
+let case_dir () =
+  List.find Sys.file_exists
+    [
+      "case_studies"; "../case_studies"; "../../case_studies";
+      "../../../case_studies";
+    ]
+
+let case_file name = Filename.concat (case_dir ()) name
+
+let check name =
+  Rc_studies.Studies.register_all ();
+  Rc_frontend.Driver.check_file (case_file name)

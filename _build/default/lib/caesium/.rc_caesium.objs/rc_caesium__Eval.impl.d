@@ -1,0 +1,1 @@
+lib/caesium/eval.pp.ml: Array Hashtbl Heap Int_type Layout List Loc Option Printf Random Syntax Ub Value

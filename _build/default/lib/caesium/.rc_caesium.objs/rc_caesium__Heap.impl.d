@@ -1,0 +1,1 @@
+lib/caesium/heap.pp.ml: Array Hashtbl List Loc Option Ub Value

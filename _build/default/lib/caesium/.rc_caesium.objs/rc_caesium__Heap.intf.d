@@ -1,0 +1,1 @@
+lib/caesium/heap.pp.mli: Loc Value

@@ -1,0 +1,1 @@
+lib/caesium/int_type.pp.ml: Fmt Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/caesium/layout.pp.ml: Fmt Int_type List Ppx_deriving_runtime Printf

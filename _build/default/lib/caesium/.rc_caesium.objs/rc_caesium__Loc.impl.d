@@ -1,0 +1,1 @@
+lib/caesium/loc.pp.ml: Fmt Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/caesium/syntax.pp.ml: Int_type Layout List Ppx_deriving_runtime

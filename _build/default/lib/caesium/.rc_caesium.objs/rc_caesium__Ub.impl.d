@@ -1,0 +1,1 @@
+lib/caesium/ub.pp.ml: Fmt Loc

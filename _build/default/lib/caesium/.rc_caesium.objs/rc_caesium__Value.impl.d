@@ -1,0 +1,1 @@
+lib/caesium/value.pp.ml: Fmt Int_type List Loc Ppx_deriving_runtime

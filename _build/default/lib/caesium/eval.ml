@@ -1,0 +1,594 @@
+(** The Caesium interpreter.
+
+    An executable small-step machine for {!Syntax}, detecting every class
+    of undefined behaviour in {!Ub}, including data races.  Races are
+    detected with a vector-clock happens-before monitor (FastTrack-style):
+    sequentially-consistent atomic accesses act as acquire-release
+    synchronization, and two conflicting non-atomic accesses that are not
+    ordered by happens-before raise {!Ub.Data_race} — the RustBelt-style
+    treatment Caesium adopts (§3). *)
+
+open Syntax
+
+(* ------------------------------------------------------------------ *)
+(* Vector clocks                                                       *)
+(* ------------------------------------------------------------------ *)
+
+module Vc = struct
+  type t = int array
+
+  let create n = Array.make n 0
+  let get c t = if t < Array.length c then c.(t) else 0
+
+  let join a b =
+    let n = max (Array.length a) (Array.length b) in
+    Array.init n (fun i -> max (get a i) (get b i))
+
+  let copy = Array.copy
+
+  (** [leq_at (t, clk) c]: the event (t, clk) happens-before clock [c]. *)
+  let leq_at (t, clk) c = clk <= get c t
+end
+
+type byte_state = {
+  mutable last_write : (int * int) option;  (** (tid, clock) *)
+  mutable last_reads : (int * int) list;  (** per-tid read clocks *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Machine state                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type frame = {
+  func : func;
+  env : (string * Loc.t) list;
+  mutable cur_block : string;
+  mutable cur_stmt : int;
+  dest : (Layout.t * Loc.t) option;
+  owned : Loc.t list;  (** stack slots to free on return *)
+}
+
+type thread = {
+  tid : int;
+  mutable frames : frame list;
+  mutable finished : bool;
+  mutable result : Value.t option;
+  mutable clock : Vc.t;
+}
+
+type t = {
+  prog : program;
+  heap : Heap.t;
+  mutable threads : thread list;
+  genv : (string * Loc.t) list;  (** globals *)
+  race_table : (int * int, byte_state) Hashtbl.t;
+  sync_table : (int * int, Vc.t) Hashtbl.t;  (** per-atomic-cell clocks *)
+  mutable steps : int;
+  detect_races : bool;
+}
+
+let ub u = raise (Ub.Undef u)
+
+let create ?(detect_races = true) (prog : program) : t =
+  let heap = Heap.create () in
+  let genv =
+    List.map (fun (g, l) -> (g, Heap.alloc heap (Layout.size l))) prog.globals
+  in
+  {
+    prog;
+    heap;
+    threads = [];
+    genv;
+    race_table = Hashtbl.create 256;
+    sync_table = Hashtbl.create 16;
+    steps = 0;
+    detect_races;
+  }
+
+let global_loc m g = List.assoc_opt g m.genv
+
+(* ------------------------------------------------------------------ *)
+(* Race monitoring                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let key_of (l : Loc.t) i =
+  match l with
+  | Loc.Null -> ub Ub.Null_deref
+  | Loc.Ptr { alloc; ofs } -> (alloc, ofs + i)
+
+let monitor_access m (th : thread) (l : Loc.t) (n : int) ~write ~atomic =
+  if m.detect_races && List.length m.threads > 1 then begin
+    if atomic then begin
+      (* acquire-release on the cell keyed by the start byte *)
+      let k = key_of l 0 in
+      let cell =
+        match Hashtbl.find_opt m.sync_table k with
+        | Some c -> c
+        | None -> Vc.create (List.length m.threads)
+      in
+      th.clock <- Vc.join th.clock cell;
+      Hashtbl.replace m.sync_table k (Vc.copy th.clock);
+      th.clock.(th.tid) <- th.clock.(th.tid) + 1
+    end
+    else
+      for i = 0 to n - 1 do
+        let k = key_of l i in
+        let bs =
+          match Hashtbl.find_opt m.race_table k with
+          | Some bs -> bs
+          | None ->
+              let bs = { last_write = None; last_reads = [] } in
+              Hashtbl.replace m.race_table k bs;
+              bs
+        in
+        (* check against last write *)
+        (match bs.last_write with
+        | Some (t', clk) when t' <> th.tid && not (Vc.leq_at (t', clk) th.clock)
+          ->
+            ub (Ub.Data_race { loc = Loc.shift l i; tids = (t', th.tid) })
+        | _ -> ());
+        if write then begin
+          (* a write must also be ordered after all previous reads *)
+          List.iter
+            (fun (t', clk) ->
+              if t' <> th.tid && not (Vc.leq_at (t', clk) th.clock) then
+                ub (Ub.Data_race { loc = Loc.shift l i; tids = (t', th.tid) }))
+            bs.last_reads;
+          bs.last_write <- Some (th.tid, Vc.get th.clock th.tid);
+          bs.last_reads <- []
+        end
+        else
+          bs.last_reads <-
+            (th.tid, Vc.get th.clock th.tid)
+            :: List.filter (fun (t', _) -> t' <> th.tid) bs.last_reads
+      done
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Operator semantics                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let as_int (it : Int_type.t) (v : Value.t) ~ctx : int =
+  match Value.to_int it v with
+  | Some n -> n
+  | None ->
+      if Value.has_poison v then ub (Ub.Poison_use ctx)
+      else ub (Ub.Stuck (Printf.sprintf "expected %s in %s" it.it_name ctx))
+
+let as_loc (v : Value.t) ~ctx : Loc.t =
+  match Value.to_loc v with
+  | Some l -> l
+  | None ->
+      if Value.has_poison v then ub (Ub.Poison_use ctx)
+      else ub (Ub.Stuck ("expected pointer in " ^ ctx))
+
+let int_result (it : Int_type.t) ~op (n : int) : Value.t =
+  if Int_type.in_range it n then Value.of_int it n
+  else if Int_type.is_signed it then ub (Ub.Signed_overflow { op; result = n })
+  else Value.of_int it (Int_type.wrap it n)
+
+let bool_result b = Value.of_int Int_type.i32 (if b then 1 else 0)
+
+let eval_int_binop (op : binop) (it : Int_type.t) (a : int) (b : int) : Value.t
+    =
+  match op with
+  | AddOp -> int_result it ~op:"+" (a + b)
+  | SubOp -> int_result it ~op:"-" (a - b)
+  | MulOp -> int_result it ~op:"*" (a * b)
+  | DivOp ->
+      if b = 0 then ub Ub.Div_by_zero
+      else int_result it ~op:"/" (a / b) (* C: truncation toward zero *)
+  | ModOp ->
+      if b = 0 then ub Ub.Div_by_zero else int_result it ~op:"%" (a mod b)
+  | AndOp -> Value.of_int it (a land b)
+  | OrOp -> Value.of_int it (a lor b)
+  | XorOp -> Value.of_int it (a lxor b)
+  | ShlOp ->
+      if b < 0 || b >= Int_type.bits it then ub (Ub.Shift_out_of_range b)
+      else int_result it ~op:"<<" (a lsl b)
+  | ShrOp ->
+      if b < 0 || b >= Int_type.bits it then ub (Ub.Shift_out_of_range b)
+      else Value.of_int it (a asr b)
+  | EqOp -> bool_result (a = b)
+  | NeOp -> bool_result (a <> b)
+  | LtOp -> bool_result (a < b)
+  | LeOp -> bool_result (a <= b)
+  | GtOp -> bool_result (a > b)
+  | GeOp -> bool_result (a >= b)
+  | PtrPlusOp _ | PtrDiffOp _ -> ub (Ub.Stuck "pointer op on integers")
+
+(* ------------------------------------------------------------------ *)
+(* Expression evaluation                                               *)
+(* ------------------------------------------------------------------ *)
+
+let rec eval_expr (m : t) (th : thread) (env : (string * Loc.t) list)
+    (e : expr) : Value.t =
+  match e with
+  | IntConst (n, it) ->
+      if not (Int_type.in_range it n) then
+        ub (Ub.Int_out_of_range { value = n; ty = it.it_name });
+      Value.of_int it n
+  | NullConst -> Value.of_loc Loc.Null
+  | FnAddr f ->
+      if Syntax.find_func m.prog f = None then ub Ub.Invalid_function_pointer;
+      Value.of_fn f
+  | VarLoc x -> (
+      match List.assoc_opt x env with
+      | Some l -> Value.of_loc l
+      | None -> (
+          match global_loc m x with
+          | Some l -> Value.of_loc l
+          | None ->
+              if Syntax.find_func m.prog x <> None then Value.of_fn x
+              else ub (Ub.Stuck ("unbound variable " ^ x))))
+  | Use { atomic; layout; arg } ->
+      let l = as_loc (eval_expr m th env arg) ~ctx:"load address" in
+      check_aligned l layout;
+      monitor_access m th l (Layout.size layout) ~write:false ~atomic;
+      let v = Heap.load m.heap l (Layout.size layout) in
+      (* reading a scalar: poison use is UB; struct/array copies move raw
+         bytes (access to representation bytes, §3) *)
+      (match layout with
+      | Layout.Int _ | Layout.Ptr | Layout.FnPtr ->
+          if Value.has_poison v then ub (Ub.Poison_use "load")
+      | _ -> ());
+      v
+  | FieldOfs { arg; struct_; field } ->
+      let l = as_loc (eval_expr m th env arg) ~ctx:"field access" in
+      let f = Layout.field_exn struct_ field in
+      Value.of_loc (Loc.shift l f.fld_ofs)
+  | BinOp { op; ot1; ot2; e1; e2 } -> (
+      let v1 = eval_expr m th env e1 in
+      let v2 = eval_expr m th env e2 in
+      match (op, ot1, ot2) with
+      | PtrPlusOp elem, OPtr, OInt it ->
+          let l = as_loc v1 ~ctx:"pointer arithmetic" in
+          let n = as_int it v2 ~ctx:"pointer arithmetic" in
+          if Loc.is_null l then
+            ub (Ub.Ptr_arith_invalid "arithmetic on null pointer");
+          let l' = Loc.shift l (n * Layout.size elem) in
+          (* the result must stay within the allocation (one-past-end ok) *)
+          (match Heap.block_of m.heap l' with
+          | Some (b, ofs) when b.alive && ofs >= 0 && ofs <= Array.length b.Heap.bytes
+            ->
+              ()
+          | _ -> ub (Ub.Ptr_arith_invalid "result outside allocation"));
+          Value.of_loc l'
+      | PtrDiffOp elem, OPtr, OPtr -> (
+          let l1 = as_loc v1 ~ctx:"pointer difference" in
+          let l2 = as_loc v2 ~ctx:"pointer difference" in
+          match (l1, l2) with
+          | Loc.Ptr { alloc = a1; ofs = o1 }, Loc.Ptr { alloc = a2; ofs = o2 }
+            when a1 = a2 ->
+              Value.of_int Int_type.i64 ((o1 - o2) / Layout.size elem)
+          | _ -> ub (Ub.Ptr_arith_invalid "difference of unrelated pointers"))
+      | (EqOp | NeOp), OPtr, OPtr ->
+          let l1 = as_loc v1 ~ctx:"pointer comparison" in
+          let l2 = as_loc v2 ~ctx:"pointer comparison" in
+          let eq = Loc.equal l1 l2 in
+          bool_result (if op = EqOp then eq else not eq)
+      | (LtOp | LeOp | GtOp | GeOp), OPtr, OPtr -> (
+          let l1 = as_loc v1 ~ctx:"pointer comparison" in
+          let l2 = as_loc v2 ~ctx:"pointer comparison" in
+          match (l1, l2) with
+          | Loc.Ptr { alloc = a1; ofs = o1 }, Loc.Ptr { alloc = a2; ofs = o2 }
+            when a1 = a2 ->
+              let r =
+                match op with
+                | LtOp -> o1 < o2
+                | LeOp -> o1 <= o2
+                | GtOp -> o1 > o2
+                | _ -> o1 >= o2
+              in
+              bool_result r
+          | _ -> ub (Ub.Ptr_cmp_different_allocs (l1, l2)))
+      | _, OInt it1, OInt _it2 ->
+          (* C usual arithmetic conversions are performed by the frontend;
+             here both operands already have a common type *)
+          let a = as_int it1 v1 ~ctx:"binary operation" in
+          let b = as_int it1 v2 ~ctx:"binary operation" in
+          eval_int_binop op it1 a b
+      | _ -> ub (Ub.Stuck "ill-typed binary operation"))
+  | UnOp { op; ot; arg } -> (
+      let v = eval_expr m th env arg in
+      match (op, ot) with
+      | NegOp, OInt it ->
+          let a = as_int it v ~ctx:"negation" in
+          int_result it ~op:"-" (-a)
+      | BitNotOp, OInt it ->
+          let a = as_int it v ~ctx:"bitwise not" in
+          Value.of_int it (Int_type.wrap it (lnot a))
+      | LogNotOp, OInt it ->
+          let a = as_int it v ~ctx:"logical not" in
+          bool_result (a = 0)
+      | LogNotOp, OPtr ->
+          let l = as_loc v ~ctx:"logical not" in
+          bool_result (Loc.is_null l)
+      | _ -> ub (Ub.Stuck "ill-typed unary operation"))
+  | CastIntInt { from_; to_; arg } ->
+      let v = eval_expr m th env arg in
+      let n = as_int from_ v ~ctx:"integer cast" in
+      (* out-of-range conversions wrap (the common implementation-defined
+         behaviour); RefinedC's typing rules require in-range anyway *)
+      Value.of_int to_ (Int_type.wrap to_ n)
+  | CastPtrPtr arg -> eval_expr m th env arg
+
+and check_aligned (l : Loc.t) (layout : Layout.t) =
+  (* Alignment trapping is opt-in: by default we model a byte-addressable
+     machine (the RefinedC type system reproduced here does not track
+     alignment facts through uninit-splitting; see DESIGN.md §5). *)
+  let a = Layout.align layout in
+  match l with
+  | Loc.Null -> ub Ub.Null_deref
+  | Loc.Ptr { ofs; _ } ->
+      if !strict_alignment && a > 1 && ofs mod a <> 0 then
+        ub (Ub.Misaligned { loc = l; align = a })
+
+and strict_alignment = ref false
+
+(* ------------------------------------------------------------------ *)
+(* Statement execution                                                 *)
+(* ------------------------------------------------------------------ *)
+
+exception Thread_done
+
+let truthy m th env (ot : ot) (e : expr) : bool =
+  let v = eval_expr m th env e in
+  match ot with
+  | OInt it -> as_int it v ~ctx:"condition" <> 0
+  | OPtr -> not (Loc.is_null (as_loc v ~ctx:"condition"))
+
+let store_typed m th (l : Loc.t) (layout : Layout.t) (v : Value.t)
+    ~atomic =
+  check_aligned l layout;
+  monitor_access m th l (Layout.size layout) ~write:true ~atomic;
+  Heap.store m.heap l v
+
+let push_call (m : t) (th : thread) (fname : string) (arg_vals : Value.t list)
+    (dest : (Layout.t * Loc.t) option) : unit =
+  match Syntax.find_func m.prog fname with
+  | None -> ub Ub.Invalid_function_pointer
+  | Some f ->
+      if List.length f.args <> List.length arg_vals then
+        ub (Ub.Stuck ("arity mismatch calling " ^ fname));
+      let alloc_slot (x, layout) v =
+        let l = Heap.alloc m.heap (Layout.size layout) in
+        Heap.store m.heap l v;
+        (x, l)
+      in
+      let arg_env = List.map2 alloc_slot f.args arg_vals in
+      let local_env =
+        List.map
+          (fun (x, layout) -> (x, Heap.alloc m.heap (Layout.size layout)))
+          f.locals
+      in
+      let env = arg_env @ local_env in
+      let frame =
+        {
+          func = f;
+          env;
+          cur_block = f.entry;
+          cur_stmt = 0;
+          dest;
+          owned = List.map snd env;
+        }
+      in
+      th.frames <- frame :: th.frames
+
+let pop_frame (m : t) (th : thread) (ret : Value.t option) : unit =
+  match th.frames with
+  | [] -> raise Thread_done
+  | frame :: rest ->
+      List.iter (fun l -> Heap.free m.heap l) frame.owned;
+      (match (frame.dest, ret) with
+      | Some (layout, l), Some v -> store_typed m th l layout v ~atomic:false
+      | _ -> ());
+      th.frames <- rest;
+      if rest = [] then begin
+        th.finished <- true;
+        th.result <- ret;
+        raise Thread_done
+      end
+
+(** Execute one statement (or terminator) of thread [th].  Returns after
+    a single atomic step, suitable for interleaving. *)
+let step (m : t) (th : thread) : unit =
+  m.steps <- m.steps + 1;
+  match th.frames with
+  | [] -> raise Thread_done
+  | frame :: _ -> (
+      let block =
+        match Syntax.find_block frame.func frame.cur_block with
+        | Some b -> b
+        | None -> ub (Ub.Stuck ("no block " ^ frame.cur_block))
+      in
+      let env = frame.env in
+      if frame.cur_stmt < List.length block.stmts then begin
+        let s = List.nth block.stmts frame.cur_stmt in
+        frame.cur_stmt <- frame.cur_stmt + 1;
+        match s with
+        | Skip -> ()
+        | ExprStmt e -> ignore (eval_expr m th env e)
+        | Assign { atomic; layout; lhs; rhs } ->
+            let v = eval_expr m th env rhs in
+            let l = as_loc (eval_expr m th env lhs) ~ctx:"assignment" in
+            if List.length v <> Layout.size layout then
+              ub (Ub.Stuck "assignment size mismatch");
+            store_typed m th l layout v ~atomic
+        | Free e ->
+            let l = as_loc (eval_expr m th env e) ~ctx:"free" in
+            Heap.free m.heap l
+        | Cas { layout; obj; expected; desired; dest } -> (
+            match layout with
+            | Layout.Int it ->
+                let lobj = as_loc (eval_expr m th env obj) ~ctx:"CAS" in
+                let lexp = as_loc (eval_expr m th env expected) ~ctx:"CAS" in
+                let vdes = eval_expr m th env desired in
+                check_aligned lobj layout;
+                monitor_access m th lobj it.size ~write:true ~atomic:true;
+                let cur = Heap.load m.heap lobj it.size in
+                let cur_i = as_int it cur ~ctx:"CAS object" in
+                let exp_v = Heap.load m.heap lexp it.size in
+                let exp_i = as_int it exp_v ~ctx:"CAS expected" in
+                let success = cur_i = exp_i in
+                if success then Heap.store m.heap lobj vdes
+                else Heap.store m.heap lexp cur;
+                (match dest with
+                | Some (dl, dst) ->
+                    let dloc = as_loc (eval_expr m th env dst) ~ctx:"CAS dest" in
+                    let res =
+                      match dl with
+                      | Layout.Int dit ->
+                          Value.of_int dit (if success then 1 else 0)
+                      | _ -> ub (Ub.Stuck "CAS result must be integer")
+                    in
+                    store_typed m th dloc dl res ~atomic:false
+                | None -> ())
+            | _ -> ub (Ub.Stuck "CAS on non-integer layout"))
+        | Call { dest; fn; args } ->
+            let fname =
+              match fn with
+              | FnAddr f -> f
+              | VarLoc f when Syntax.find_func m.prog f <> None -> f
+              | e -> (
+                  let v = eval_expr m th env e in
+                  match Value.to_fn v with
+                  | Some f -> f
+                  | None -> ub Ub.Invalid_function_pointer)
+            in
+            let arg_vals =
+              List.map (fun (_, e) -> eval_expr m th env e) args
+            in
+            let dest =
+              Option.map
+                (fun (dl, e) ->
+                  (dl, as_loc (eval_expr m th env e) ~ctx:"call destination"))
+                dest
+            in
+            push_call m th fname arg_vals dest
+      end
+      else
+        match block.term with
+        | Goto l ->
+            frame.cur_block <- l;
+            frame.cur_stmt <- 0
+        | CondGoto { ot; cond; if_true; if_false } ->
+            let b = truthy m th env ot cond in
+            frame.cur_block <- (if b then if_true else if_false);
+            frame.cur_stmt <- 0
+        | Switch { ot; scrut; cases; default } ->
+            let v = eval_expr m th env scrut in
+            let n =
+              match ot with
+              | OInt it -> as_int it v ~ctx:"switch"
+              | OPtr -> ub (Ub.Stuck "switch on pointer")
+            in
+            let target =
+              match List.assoc_opt n cases with Some l -> l | None -> default
+            in
+            frame.cur_block <- target;
+            frame.cur_stmt <- 0
+        | Return e ->
+            let ret = Option.map (eval_expr m th env) e in
+            pop_frame m th ret
+        | Unreachable -> ub Ub.Unreachable_reached)
+
+(* ------------------------------------------------------------------ *)
+(* Drivers                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type outcome =
+  | Finished of Value.t option
+  | Undefined of Ub.t
+  | Out_of_fuel
+
+(** Run a single function sequentially. *)
+let run_fn ?(fuel = 1_000_000) ?(detect_races = false) (prog : program)
+    (fname : string) (args : Value.t list) : outcome =
+  let m = create ~detect_races prog in
+  let th =
+    { tid = 0; frames = []; finished = false; result = None; clock = Vc.create 1 }
+  in
+  m.threads <- [ th ];
+  match push_call m th fname args None with
+  | exception Ub.Undef u -> Undefined u
+  | () -> (
+      let rec loop n =
+        if n = 0 then Out_of_fuel
+        else
+          match step m th with
+          | () -> loop (n - 1)
+          | exception Thread_done -> Finished th.result
+          | exception Ub.Undef u -> Undefined u
+      in
+      loop fuel)
+
+type threads_outcome =
+  | All_finished of Value.t option list
+  | T_undefined of Ub.t
+  | T_out_of_fuel
+
+(** Run several functions concurrently under a seeded random scheduler;
+    every interleaving decision comes from [seed], so failures replay.
+    [init], when given, runs to completion on a distinguished "spawner"
+    thread first; its effects happen-before every worker (the usual
+    thread-spawn edge), so initialization does not race with workers. *)
+let run_threads ?(fuel = 1_000_000) ?(seed = 42) ?init (prog : program)
+    (entries : (string * Value.t list) list) : threads_outcome =
+  let m = create ~detect_races:true prog in
+  let rng = Random.State.make [| seed |] in
+  let nworkers = List.length entries in
+  let spawner_tid = nworkers in
+  let mk_thread tid =
+    {
+      tid;
+      frames = [];
+      finished = false;
+      result = None;
+      clock =
+        (let c = Vc.create (nworkers + 1) in
+         c.(tid) <- 1;
+         c);
+    }
+  in
+  let spawner = mk_thread spawner_tid in
+  let workers = List.mapi (fun i e -> (mk_thread i, e)) entries in
+  m.threads <- List.map fst workers @ [ spawner ];
+  try
+    (* initialization phase, sequential on the spawner *)
+    (match init with
+    | None -> ()
+    | Some (fname, args) -> (
+        push_call m spawner fname args None;
+        let rec run_init () =
+          match step m spawner with
+          | () -> run_init ()
+          | exception Thread_done -> ()
+        in
+        run_init ()));
+    spawner.finished <- true;
+    (* spawn edges: workers start after the spawner's initialization *)
+    List.iter
+      (fun (th, _) -> th.clock <- Vc.join th.clock spawner.clock)
+      workers;
+    List.iter (fun (th, (fname, args)) -> push_call m th fname args None)
+      workers;
+    let rec loop n =
+      if n = 0 then T_out_of_fuel
+      else
+        let runnable = List.filter (fun th -> not th.finished) m.threads in
+        match runnable with
+        | [] ->
+            All_finished
+              (List.map (fun (th, _) -> th.result) workers)
+        | _ -> (
+            let th =
+              List.nth runnable (Random.State.int rng (List.length runnable))
+            in
+            match step m th with
+            | () -> loop (n - 1)
+            | exception Thread_done -> loop (n - 1)
+            | exception Ub.Undef u -> T_undefined u)
+    in
+    loop fuel
+  with Ub.Undef u -> T_undefined u

@@ -1,0 +1,76 @@
+(** The byte-addressed heap.
+
+    Allocations are numbered blocks of bytes with an alive flag
+    (CompCert-style, §3).  Loads and stores are bounds- and
+    liveness-checked; alignment is checked by the interpreter, which
+    knows the layout of each access. *)
+
+type block = { mutable bytes : Value.byte array; mutable alive : bool }
+
+type t = {
+  blocks : (int, block) Hashtbl.t;
+  mutable next_alloc : int;
+}
+
+let create () = { blocks = Hashtbl.create 64; next_alloc = 1 }
+
+(** Allocate [n] fresh poison bytes; returns a pointer to offset 0. *)
+let alloc (h : t) (n : int) : Loc.t =
+  let id = h.next_alloc in
+  h.next_alloc <- id + 1;
+  Hashtbl.replace h.blocks id
+    { bytes = Array.make n Value.Poison; alive = true };
+  Loc.ptr id 0
+
+let block_of (h : t) (l : Loc.t) : (block * int) option =
+  match l with
+  | Loc.Null -> None
+  | Loc.Ptr { alloc; ofs } ->
+      Option.map (fun b -> (b, ofs)) (Hashtbl.find_opt h.blocks alloc)
+
+let check_access (h : t) (l : Loc.t) (n : int) : block * int =
+  match l with
+  | Loc.Null -> raise (Ub.Undef Ub.Null_deref)
+  | Loc.Ptr _ -> (
+      match block_of h l with
+      | None -> raise (Ub.Undef (Ub.Out_of_bounds { loc = l; size = n }))
+      | Some (b, ofs) ->
+          if not b.alive then raise (Ub.Undef (Ub.Use_after_free l));
+          if ofs < 0 || ofs + n > Array.length b.bytes then
+            raise (Ub.Undef (Ub.Out_of_bounds { loc = l; size = n }));
+          (b, ofs))
+
+(** [load h l n] reads [n] raw bytes (poison allowed — using them is what
+    is UB, not copying them). *)
+let load (h : t) (l : Loc.t) (n : int) : Value.t =
+  let b, ofs = check_access h l n in
+  List.init n (fun i -> b.bytes.(ofs + i))
+
+let store (h : t) (l : Loc.t) (v : Value.t) : unit =
+  let n = List.length v in
+  let b, ofs = check_access h l n in
+  List.iteri (fun i byte -> b.bytes.(ofs + i) <- byte) v
+
+(** [free h l] kills the allocation [l] points into (at offset 0). *)
+let free (h : t) (l : Loc.t) : unit =
+  match l with
+  | Loc.Null -> raise (Ub.Undef Ub.Null_deref)
+  | Loc.Ptr { alloc; ofs } -> (
+      match Hashtbl.find_opt h.blocks alloc with
+      | Some b when b.alive && ofs = 0 -> b.alive <- false
+      | Some _ -> raise (Ub.Undef (Ub.Ptr_arith_invalid "free of interior or dead pointer"))
+      | None -> raise (Ub.Undef (Ub.Use_after_free l)))
+
+(** [valid_range h l n]: the range is inside a live allocation. *)
+let valid_range (h : t) (l : Loc.t) (n : int) : bool =
+  match block_of h l with
+  | Some (b, ofs) -> b.alive && ofs >= 0 && ofs + n <= Array.length b.bytes
+  | None -> false
+
+let alloc_size (h : t) (l : Loc.t) : int option =
+  match block_of h l with
+  | Some (b, _) -> Some (Array.length b.bytes)
+  | None -> None
+
+let is_alive (h : t) (l : Loc.t) : bool =
+  match block_of h l with Some (b, _) -> b.alive | None -> false

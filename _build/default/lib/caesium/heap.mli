@@ -1,0 +1,36 @@
+(** The byte-addressed heap: CompCert-style numbered allocations of raw
+    bytes with liveness tracking (§3 of the paper).
+
+    All accesses are bounds- and liveness-checked and raise
+    {!Rc_caesium.Ub.Undef} on violation.  Alignment is checked by the
+    interpreter, which knows the layout of each access. *)
+
+type block = { mutable bytes : Value.byte array; mutable alive : bool }
+
+type t
+
+val create : unit -> t
+
+val alloc : t -> int -> Loc.t
+(** [alloc h n] allocates [n] fresh poison bytes and returns a pointer to
+    offset 0 of the new allocation. *)
+
+val block_of : t -> Loc.t -> (block * int) option
+(** the backing block and the offset of a location, if the allocation
+    exists (dead allocations are still found — check [alive]) *)
+
+val load : t -> Loc.t -> int -> Value.t
+(** [load h l n] reads [n] raw bytes.  Poison bytes are copied, not
+    flagged: using them is what is undefined, not moving them. *)
+
+val store : t -> Loc.t -> Value.t -> unit
+
+val free : t -> Loc.t -> unit
+(** kill the allocation [l] points to; [l] must be its base (offset 0)
+    and the allocation must be alive *)
+
+val valid_range : t -> Loc.t -> int -> bool
+(** is the byte range inside a live allocation? *)
+
+val alloc_size : t -> Loc.t -> int option
+val is_alive : t -> Loc.t -> bool

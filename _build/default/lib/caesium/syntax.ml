@@ -1,0 +1,99 @@
+(** Abstract syntax of Caesium, the control-flow-graph core language (§3).
+
+    The frontend elaborates annotated C into this language almost 1-to-1
+    (function bodies become CFGs of blocks; expressions are side-effect
+    free — calls and assignments are statements, fixing a left-to-right
+    evaluation order as Caesium does). *)
+
+type ot =
+  | OInt of Int_type.t
+  | OPtr  (** pointer operand *)
+[@@deriving eq, show { with_path = false }]
+
+type binop =
+  | AddOp
+  | SubOp
+  | MulOp
+  | DivOp
+  | ModOp
+  | AndOp
+  | OrOp
+  | XorOp
+  | ShlOp
+  | ShrOp
+  | EqOp
+  | NeOp
+  | LtOp
+  | LeOp
+  | GtOp
+  | GeOp
+  | PtrPlusOp of Layout.t  (** [p + n], scaled by the element layout *)
+  | PtrDiffOp of Layout.t  (** [p - q], divided by the element layout *)
+[@@deriving eq, show { with_path = false }]
+
+type unop = NegOp | BitNotOp | LogNotOp [@@deriving eq, show { with_path = false }]
+
+type expr =
+  | IntConst of int * Int_type.t
+  | NullConst
+  | FnAddr of string  (** address of a function (first-class, §3) *)
+  | VarLoc of string  (** the *location* of a local, argument or global *)
+  | Use of { atomic : bool; layout : Layout.t; arg : expr }
+      (** load from the location denoted by [arg] *)
+  | FieldOfs of { arg : expr; struct_ : Layout.struct_layout; field : string }
+  | BinOp of { op : binop; ot1 : ot; ot2 : ot; e1 : expr; e2 : expr }
+  | UnOp of { op : unop; ot : ot; arg : expr }
+  | CastIntInt of { from_ : Int_type.t; to_ : Int_type.t; arg : expr }
+  | CastPtrPtr of expr  (** pointer-to-pointer casts are no-ops *)
+[@@deriving eq, show { with_path = false }]
+
+type stmt =
+  | Assign of { atomic : bool; layout : Layout.t; lhs : expr; rhs : expr }
+  | Call of {
+      dest : (Layout.t * expr) option;  (** where to store the result *)
+      fn : expr;
+      args : (Layout.t * expr) list;
+    }
+  | Cas of {
+      layout : Layout.t;  (** must be an integer layout *)
+      obj : expr;  (** ℓ_atom: pointer to the atomic object *)
+      expected : expr;  (** ℓ_exp: pointer to the expected value *)
+      desired : expr;  (** v_des: value to store on success *)
+      dest : (Layout.t * expr) option;  (** bool result location *)
+    }
+  | Skip
+  | ExprStmt of expr  (** evaluate and discard (e.g. a void call result) *)
+  | Free of expr  (** frontend-internal: release a heap allocation *)
+[@@deriving show { with_path = false }]
+
+type terminator =
+  | Goto of string
+  | CondGoto of { ot : ot; cond : expr; if_true : string; if_false : string }
+  | Switch of { ot : ot; scrut : expr; cases : (int * string) list; default : string }
+  | Return of expr option
+  | Unreachable
+[@@deriving show { with_path = false }]
+
+type block = { stmts : stmt list; term : terminator }
+[@@deriving show { with_path = false }]
+
+type func = {
+  fname : string;
+  args : (string * Layout.t) list;
+  locals : (string * Layout.t) list;
+  ret_layout : Layout.t;  (** [Layout.Void] for void functions *)
+  blocks : (string * block) list;
+  entry : string;
+}
+[@@deriving show { with_path = false }]
+
+type program = {
+  funcs : (string * func) list;
+  globals : (string * Layout.t) list;
+  structs : (string * Layout.struct_layout) list;
+}
+
+let find_func p name = List.assoc_opt name p.funcs
+let find_block f label = List.assoc_opt label f.blocks
+
+let empty_program = { funcs = []; globals = []; structs = [] }

@@ -1,0 +1,52 @@
+(** Undefined-behaviour descriptors.
+
+    Caesium "assigns undefined behavior to data races following the
+    semantics of RustBelt" and uses poison semantics for uninitialized
+    memory (§3).  The interpreter raises {!Undef} carrying one of these
+    descriptors; the semantic-soundness harness checks that verified
+    functions never raise it. *)
+
+type t =
+  | Out_of_bounds of { loc : Loc.t; size : int }
+  | Use_after_free of Loc.t
+  | Poison_use of string  (** context description *)
+  | Null_deref
+  | Misaligned of { loc : Loc.t; align : int }
+  | Signed_overflow of { op : string; result : int }
+  | Div_by_zero
+  | Shift_out_of_range of int
+  | Ptr_cmp_different_allocs of Loc.t * Loc.t
+  | Ptr_arith_invalid of string
+  | Data_race of { loc : Loc.t; tids : int * int }
+  | Invalid_function_pointer
+  | Unreachable_reached
+  | Int_out_of_range of { value : int; ty : string }
+  | Stuck of string
+
+let pp ppf = function
+  | Out_of_bounds { loc; size } ->
+      Fmt.pf ppf "out-of-bounds access of %d bytes at %a" size Loc.pp loc
+  | Use_after_free l -> Fmt.pf ppf "use after free at %a" Loc.pp l
+  | Poison_use ctx -> Fmt.pf ppf "use of uninitialized value in %s" ctx
+  | Null_deref -> Fmt.string ppf "null pointer dereference"
+  | Misaligned { loc; align } ->
+      Fmt.pf ppf "misaligned access (needs %d) at %a" align Loc.pp loc
+  | Signed_overflow { op; result } ->
+      Fmt.pf ppf "signed overflow in %s (mathematical result %d)" op result
+  | Div_by_zero -> Fmt.string ppf "division by zero"
+  | Shift_out_of_range n -> Fmt.pf ppf "shift amount %d out of range" n
+  | Ptr_cmp_different_allocs (a, b) ->
+      Fmt.pf ppf "relational comparison of pointers %a and %a into different allocations"
+        Loc.pp a Loc.pp b
+  | Ptr_arith_invalid s -> Fmt.pf ppf "invalid pointer arithmetic: %s" s
+  | Data_race { loc; tids = (a, b) } ->
+      Fmt.pf ppf "data race at %a between threads %d and %d" Loc.pp loc a b
+  | Invalid_function_pointer -> Fmt.string ppf "call through invalid function pointer"
+  | Unreachable_reached -> Fmt.string ppf "unreachable code executed"
+  | Int_out_of_range { value; ty } ->
+      Fmt.pf ppf "integer %d does not fit in %s" value ty
+  | Stuck msg -> Fmt.pf ppf "stuck: %s" msg
+
+let to_string u = Fmt.str "%a" pp u
+
+exception Undef of t

@@ -1,0 +1,1 @@
+lib/cert/checker.ml: Fmt List Rc_lithium Rc_pure Rc_refinedc Registry String Term

@@ -1,0 +1,1 @@
+lib/cert/checker.mli: Format Rc_lithium Rc_pure

@@ -1,0 +1,32 @@
+(** Independent certificate checking — this reproduction's stand-in for
+    Coq's checking of the paper's generated typing derivations (see
+    DESIGN.md §1).
+
+    The Lithium search engine is untrusted; [check] re-validates its
+    output derivation: every rule application must exist in the
+    registered rule library, every pure side condition is re-discharged
+    from scratch (with evars resolved, under the recorded hypotheses),
+    and the tree must be structurally well-formed. *)
+
+type issue =
+  | Unknown_rule of string
+  | Side_condition_failed of Rc_pure.Term.prop
+  | Evars_remain of Rc_pure.Term.prop
+  | Malformed_node of string
+
+val pp_issue : Format.formatter -> issue -> unit
+
+type report = {
+  nodes : int;
+  rule_applications : int;
+  side_conditions : int;
+  issues : issue list;
+}
+
+val ok : report -> bool
+val pp_report : Format.formatter -> report -> unit
+
+val rule_table : unit -> string list
+(** the declarative rule table the checker validates against *)
+
+val check : Rc_lithium.Deriv.node -> report

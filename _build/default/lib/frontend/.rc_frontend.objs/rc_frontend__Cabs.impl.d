@@ -1,0 +1,1 @@
+lib/frontend/cabs.ml: Rc_util

@@ -1,0 +1,1 @@
+lib/frontend/clexer.ml: Buffer List Printf Rc_util String

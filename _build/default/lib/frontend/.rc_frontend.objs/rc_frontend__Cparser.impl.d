@@ -1,0 +1,1 @@
+lib/frontend/cparser.ml: Cabs Clexer List Option Printf Rc_util String

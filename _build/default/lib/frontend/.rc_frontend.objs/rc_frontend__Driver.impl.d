@@ -1,0 +1,1 @@
+lib/frontend/driver.ml: Clexer Cparser Elab Fmt List Rc_caesium Rc_lithium Rc_refinedc Rc_util Result Specparse Warn

@@ -1,0 +1,1 @@
+lib/frontend/elab.ml: Cabs Fmt List Option Printf Rc_caesium Rc_pure Rc_refinedc Rc_util Sort Specparse String Term

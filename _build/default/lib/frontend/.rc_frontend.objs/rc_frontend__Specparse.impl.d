@@ -1,0 +1,1 @@
+lib/frontend/specparse.ml: Buffer Fmt List Rc_caesium Rc_pure Rc_refinedc Sort String

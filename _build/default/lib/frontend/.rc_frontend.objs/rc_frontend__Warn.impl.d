@@ -1,0 +1,1 @@
+lib/frontend/warn.ml: Cabs Fmt List Option Rc_util

@@ -1,0 +1,89 @@
+(** The RefinedC toolchain driver (Figure 2): C source → Caesium +
+    specifications → Lithium type checking → per-function results. *)
+
+module Syntax = Rc_caesium.Syntax
+
+type check_result = {
+  name : string;
+  outcome : (Rc_refinedc.Lang.E.result, Rc_lithium.Report.t) result;
+}
+
+type t = {
+  file : string;
+  elaborated : Elab.elaborated;
+  results : check_result list;
+}
+
+exception Frontend_error of string
+
+let parse_and_elab ~file (src : string) : Elab.elaborated =
+  match Cparser.parse_file ~file src with
+  | exception Cparser.Parse_error (msg, loc) ->
+      raise
+        (Frontend_error
+           (Fmt.str "%a: parse error: %s" Rc_util.Srcloc.pp loc msg))
+  | exception Clexer.Lex_error (msg, loc) ->
+      raise
+        (Frontend_error
+           (Fmt.str "%a: lexical error: %s" Rc_util.Srcloc.pp loc msg))
+  | ast -> (
+      let extra_warnings = Warn.check_file ast in
+      match Elab.elab_file ast with
+      | exception Elab.Elab_error (msg, loc) ->
+          raise
+            (Frontend_error
+               (Fmt.str "%a: elaboration error: %s" Rc_util.Srcloc.pp loc msg))
+      | exception Specparse.Spec_error msg ->
+          raise (Frontend_error ("specification error: " ^ msg))
+      | e -> { e with Elab.warnings = extra_warnings @ e.Elab.warnings })
+
+(** Verify every specified function of a source string. *)
+let check_source ~file (src : string) : t =
+  let elaborated = parse_and_elab ~file src in
+  let specs =
+    List.map
+      (fun (f : Rc_refinedc.Typecheck.fn_to_check) ->
+        (f.spec.Rc_refinedc.Rtype.fs_name, f.spec))
+      elaborated.to_check
+  in
+  let results =
+    List.map
+      (fun (f : Rc_refinedc.Typecheck.fn_to_check) ->
+        {
+          name = f.spec.Rc_refinedc.Rtype.fs_name;
+          outcome = Rc_refinedc.Typecheck.check_fn ~specs f;
+        })
+      elaborated.to_check
+  in
+  { file; elaborated; results }
+
+let check_file (path : string) : t =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let src = really_input_string ic n in
+  close_in ic;
+  check_source ~file:path src
+
+let all_ok (t : t) = List.for_all (fun r -> Result.is_ok r.outcome) t.results
+
+let errors (t : t) =
+  List.filter_map
+    (fun r ->
+      match r.outcome with Ok _ -> None | Error e -> Some (r.name, e))
+    t.results
+
+(** Aggregate statistics over all verified functions (Figure 7 inputs). *)
+let stats (t : t) : Rc_lithium.Stats.t =
+  let acc = Rc_lithium.Stats.create () in
+  List.iter
+    (fun r ->
+      match r.outcome with
+      | Ok { Rc_refinedc.Lang.E.stats; _ } -> Rc_lithium.Stats.merge acc stats
+      | Error _ -> ())
+    t.results;
+  acc
+
+(** Run a function of the elaborated program in the Caesium interpreter
+    (used by examples and the semantic-soundness harness). *)
+let run (t : t) (fname : string) (args : Rc_caesium.Value.t list) =
+  Rc_caesium.Eval.run_fn t.elaborated.Elab.program fname args

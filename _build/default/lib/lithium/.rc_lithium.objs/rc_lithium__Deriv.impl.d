@@ -1,0 +1,1 @@
+lib/lithium/deriv.ml: Fmt List Rc_pure Rc_util String

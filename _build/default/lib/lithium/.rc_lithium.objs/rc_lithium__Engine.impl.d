@@ -1,0 +1,1 @@
+lib/lithium/engine.ml: Deriv Evar Fmt Format Goal List Option Rc_pure Rc_util Registry Report Simp Sort Stats Stdlib Term

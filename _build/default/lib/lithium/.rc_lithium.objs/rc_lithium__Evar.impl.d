@@ -1,0 +1,1 @@
+lib/lithium/evar.ml: Hashtbl List Rc_pure Rc_util Sort

@@ -1,0 +1,1 @@
+lib/lithium/evar.mli: Hashtbl Rc_pure Rc_util Sort Term

@@ -1,0 +1,1 @@
+lib/lithium/goal.ml: List Rc_pure

@@ -1,0 +1,1 @@
+lib/lithium/report.ml: Fmt List Rc_pure Rc_util

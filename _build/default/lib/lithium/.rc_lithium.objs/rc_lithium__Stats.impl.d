@@ -1,0 +1,1 @@
+lib/lithium/stats.ml: Fmt Hashtbl Option Rc_pure

@@ -1,0 +1,1 @@
+lib/lithium/stats.mli: Format Hashtbl Rc_pure

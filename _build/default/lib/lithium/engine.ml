@@ -1,0 +1,347 @@
+(** The Lithium interpreter: goal-directed proof search without
+    backtracking (§5).
+
+    The engine is a functor over the language of basic goals and atoms;
+    RefinedC instantiates it with its typing judgments.  The interpreter
+    is a direct transcription of the seven goal cases of the paper:
+
+    1. [True] succeeds.
+    2. [G₁ ∧ G₂] forks (contexts are persistent; the evar store is shared,
+       matching Coq's behaviour for evars created before the fork).
+    3. [∀x. G] introduces a fresh universal.
+    4. [∃x. G] introduces a fresh *sealed* evar.
+    5. [F] applies the unique matching typing rule (rules are indexed and
+       tried in priority order; the first match commits — no backtracking).
+    6. [H ∗ G] decomposes [H]: (a) nested [∗] re-associates, (b) [∃]
+       hoists, (c) [⌜φ⌝] becomes a side condition, (d) an atom is matched
+       against the unique related atom in Δ, yielding a subsumption goal.
+    7. [H -∗ G] decomposes [H] into the contexts: pure facts are
+       normalized into Γ (a contradictory fact closes the goal
+       vacuously), atoms join Δ.
+
+    One extension mirrors RefinedC's [find_in_context]: the goal form
+    {!Goal.Find} locates (and consumes) the atom for a given subject in
+    Δ, which is how read/write/call rules obtain the current type of a
+    location. *)
+
+open Rc_pure
+open Rc_pure.Term
+module Goal = Goal
+
+module type LANG = sig
+  type f
+  type atom
+
+  val pp_f : Format.formatter -> f -> unit
+  val pp_atom : Format.formatter -> atom -> unit
+
+  val head_of_f : f -> string
+  (** judgment head, used for rule indexing, stats and certificates *)
+
+  val loc_of_f : f -> Rc_util.Srcloc.t option
+
+  val related : exact:bool -> atom -> atom -> bool
+  (** do the two atoms assign a type to the same location/value?  The
+      engine first looks for an [exact] subject match; if none exists it
+      makes a weak pass, which the language can use for e.g. splitting
+      ownership of sub-ranges (O-ADD-UNINIT-style reasoning, §6). *)
+
+  val resolve_atom : (term -> term) -> atom -> atom
+  (** map a term-resolution function over the atom *)
+
+  val mk_subsume : atom -> atom -> (f, atom) Goal.goal -> f
+  (** the subsumption judgment [A₁ <: A₂ {G}] *)
+end
+
+module Make (L : LANG) = struct
+  type goal = (L.f, L.atom) Goal.goal
+  type left = (L.f, L.atom) Goal.left
+
+  (* ---------------------------------------------------------------- *)
+  (* Rules                                                             *)
+  (* ---------------------------------------------------------------- *)
+
+  type rule_input = {
+    ri_fresh : ?hint:string -> Sort.t -> term;
+    ri_evar : ?hint:string -> Sort.t -> term;
+    ri_resolve : term -> term;
+    ri_resolve_prop : prop -> prop;
+    ri_props : prop list;  (** current Γ, for rules that peek at facts *)
+    ri_prove : prop -> bool;
+        (** quick default-solver check (not recorded as a side condition);
+            used by rules only to pick between *equivalent* premises *)
+    ri_peek : (L.atom -> bool) -> L.atom option;
+        (** non-consuming Δ lookup, used by rules to dispatch between
+            premises according to where ownership currently lives *)
+  }
+
+  type rule = {
+    rname : string;
+    prio : int;  (** lower fires first (§5 footnote: priorities) *)
+    apply : rule_input -> L.f -> goal option;
+  }
+
+  type cfg = {
+    rules : rule list;  (** sorted by priority at [run] *)
+    tactics : string list;  (** named solvers enabled ([rc::tactics]) *)
+  }
+
+  (* ---------------------------------------------------------------- *)
+  (* Interpreter state                                                 *)
+  (* ---------------------------------------------------------------- *)
+
+  type ctx = {
+    props : prop list;  (** Γ: pure facts *)
+    vars : (string * Sort.t) list;  (** Γ: universals *)
+    delta : L.atom list;  (** Δ: owned atoms *)
+    trail : string list;  (** branch labels for error messages *)
+  }
+
+  let empty_ctx = { props = []; vars = []; delta = []; trail = [] }
+
+  type st = {
+    evars : Evar.t;
+    stats : Stats.t;
+    gen : Rc_util.Gensym.t;
+    cfg : cfg;
+    mutable cur_loc : Rc_util.Srcloc.t option;
+  }
+
+  let resolve st t = Evar.resolve st.evars t
+  let resolve_prop st p = Evar.resolve_prop st.evars p
+  let resolve_atom st a = L.resolve_atom (resolve st) a
+
+  let rule_input st ctx =
+    {
+      ri_fresh =
+        (fun ?hint s ->
+          Var (Rc_util.Gensym.fresh ?hint st.gen, s));
+      ri_evar = (fun ?hint s -> Evar.fresh ?hint:(Some (Option.value ~default:"x" hint)) st.evars s);
+      ri_resolve = resolve st;
+      ri_resolve_prop = resolve_prop st;
+      ri_props = ctx.props;
+      ri_prove = (fun p -> Registry.default_prove ~hyps:ctx.props (resolve_prop st p));
+      ri_peek =
+        (fun pred -> List.find_opt (fun a -> pred (resolve_atom st a)) ctx.delta);
+    }
+
+  let pp_delta ctx =
+    List.map (fun a -> Fmt.str "%a" L.pp_atom a) ctx.delta
+    @ List.map (fun p -> Fmt.str "⌜%a⌝" Term.pp_prop p) ctx.props
+
+  let fail st ctx kind =
+    Report.fail ?loc:st.cur_loc ~trail:ctx.trail ~context:(pp_delta ctx) kind
+
+  (* ---------------------------------------------------------------- *)
+  (* Side conditions (goal case 6c + evar heuristics of §5)            *)
+  (* ---------------------------------------------------------------- *)
+
+  let rec discharge st ctx (phi : prop) : (prop * Registry.verdict) list =
+    let phi = Simp.simp_prop (resolve_prop st phi) in
+    match phi with
+    | PTrue -> []
+    | PAnd (a, b) -> discharge st ctx a @ discharge st ctx b
+    | _ ->
+        if has_evars_prop phi then begin
+          (* Heuristic 1: equalities are discharged by unification with the
+             seals removed. *)
+          let unified =
+            match phi with
+            | PEq (a, b) -> Evar.unify ~unseal:true st.evars a b
+            | _ -> false
+          in
+          if unified then [ (Simp.simp_prop (resolve_prop st phi), Registry.Auto) ]
+          else
+            (* Heuristic 2: goal simplification rules. *)
+            match Evar.apply_goal_simp st.evars phi with
+            | Evar.Progress phi' -> discharge st ctx phi'
+            | Evar.NoProgress ->
+                fail st ctx (Report.Evar_stuck phi)
+        end
+        else
+          let verdict =
+            Registry.solve ~tactics:st.cfg.tactics ~hyps:ctx.props phi
+          in
+          (match verdict with
+          | Registry.Unsolved ->
+              fail st ctx (Report.Unsolved_side_condition phi)
+          | v -> Stats.record_side st.stats v (prop_to_string phi));
+          [ (phi, verdict) ]
+
+  (* ---------------------------------------------------------------- *)
+  (* The interpreter                                                   *)
+  (* ---------------------------------------------------------------- *)
+
+  let rec solve (st : st) (ctx : ctx) (g : goal) : Deriv.node =
+    match g with
+    (* case 1 *)
+    | Goal.True_ -> Deriv.make "done" []
+    (* case 2 *)
+    | Goal.AndG branches ->
+        let children =
+          List.map
+            (fun (label, g) ->
+              let ctx =
+                match label with
+                | Some l -> { ctx with trail = l :: ctx.trail }
+                | None -> ctx
+              in
+              let d = solve st ctx g in
+              match label with
+              | Some l -> Deriv.make ~info:l "branch" [ d ]
+              | None -> d)
+            branches
+        in
+        Deriv.make "and" children
+    (* case 3 *)
+    | Goal.All (x, s, body) ->
+        let y = Rc_util.Gensym.fresh ~hint:x st.gen in
+        let ctx = { ctx with vars = (y, s) :: ctx.vars } in
+        let d = solve st ctx (body (Var (y, s))) in
+        Deriv.make ~info:(Rc_util.Gensym.base y) "intro-forall" [ d ]
+    (* case 4 *)
+    | Goal.Ex (x, s, body) ->
+        let e = Evar.fresh ~hint:x st.evars s in
+        let d = solve st ctx (body e) in
+        Deriv.make ~info:(term_to_string (resolve st e)) "intro-exists" [ d ]
+    (* case 5 *)
+    | Goal.Basic f -> begin
+        (match L.loc_of_f f with Some l -> st.cur_loc <- Some l | None -> ());
+        let ri = rule_input st ctx in
+        let rec try_rules = function
+          | [] ->
+              fail st ctx (Report.No_rule_applies (Fmt.str "%a" L.pp_f f))
+          | r :: rest -> (
+              match r.apply ri f with
+              | Some premise ->
+                  Stats.record_rule st.stats r.rname;
+                  let d = solve st ctx premise in
+                  Deriv.make
+                    ~info:(Fmt.str "%a" L.pp_f f)
+                    ?loc:(L.loc_of_f f)
+                    ("rule:" ^ r.rname) [ d ]
+              | None -> try_rules rest)
+        in
+        try_rules st.cfg.rules
+      end
+    (* case 6 *)
+    | Goal.Star (h, g') -> begin
+        match h with
+        | Goal.LTrue -> solve st ctx g'
+        | Goal.LStar (h1, h2) -> solve st ctx (Goal.Star (h1, Goal.Star (h2, g')))
+        | Goal.LEx (x, s, body) ->
+            solve st ctx (Goal.Ex (x, s, fun t -> Goal.Star (body t, g')))
+        | Goal.LProp phi ->
+            let side = discharge st ctx phi in
+            (* proven facts strengthen Γ for later side conditions *)
+            let ctx =
+              { ctx with props = List.map fst side @ ctx.props }
+            in
+            let d = solve st ctx g' in
+            Deriv.make ~side ~hyps:ctx.props ~tactics:st.cfg.tactics
+              ?loc:st.cur_loc "side-condition" [ d ]
+        | Goal.LAtom a ->
+            let a = resolve_atom st a in
+            let found =
+              match
+                Rc_util.Xlist.find_remove
+                  (fun a' -> L.related ~exact:true (resolve_atom st a') a)
+                  ctx.delta
+              with
+              | Some r -> Some r
+              | None ->
+                  Rc_util.Xlist.find_remove
+                    (fun a' -> L.related ~exact:false (resolve_atom st a') a)
+                    ctx.delta
+            in
+            (match found with
+            | None ->
+                fail st ctx (Report.No_ownership (Fmt.str "%a" L.pp_atom a))
+            | Some (a', delta) ->
+                let ctx = { ctx with delta } in
+                let d =
+                  solve st ctx (Goal.Basic (L.mk_subsume (resolve_atom st a') a g'))
+                in
+                Deriv.make
+                  ~info:(Fmt.str "%a <: %a" L.pp_atom a' L.pp_atom a)
+                  "ctx-lookup" [ d ])
+      end
+    (* case 7 *)
+    | Goal.Wand (h, g') -> begin
+        match h with
+        | Goal.LTrue -> solve st ctx g'
+        | Goal.LStar (h1, h2) -> solve st ctx (Goal.Wand (h1, Goal.Wand (h2, g')))
+        | Goal.LEx (x, s, body) ->
+            solve st ctx (Goal.All (x, s, fun t -> Goal.Wand (body t, g')))
+        | Goal.LProp phi -> begin
+            let phi = Simp.simp_prop (resolve_prop st phi) in
+            match Simp.destruct_hyp phi with
+            | None ->
+                (* contradictory hypothesis: goal holds vacuously *)
+                Deriv.make ~info:(prop_to_string phi) "vacuous" []
+            | Some hyps ->
+                let ctx = { ctx with props = hyps @ ctx.props } in
+                let d = solve st ctx g' in
+                Deriv.make ~info:(prop_to_string phi) "intro-hyp" [ d ]
+          end
+        | Goal.LAtom a ->
+            let a = resolve_atom st a in
+            let ctx = { ctx with delta = a :: ctx.delta } in
+            let d = solve st ctx g' in
+            Deriv.make ~info:(Fmt.str "%a" L.pp_atom a) "intro-atom" [ d ]
+      end
+    | Goal.FindOpt { descr; pred; cont } -> (
+        match
+          Rc_util.Xlist.find_remove
+            (fun a -> pred (resolve st) (resolve_atom st a))
+            ctx.delta
+        with
+        | None ->
+            let d = solve st ctx (cont None) in
+            Deriv.make ~info:(descr ^ " (absent)") "find-opt" [ d ]
+        | Some (a, delta) ->
+            let a = resolve_atom st a in
+            let ctx = { ctx with delta } in
+            let d = solve st ctx (cont (Some a)) in
+            Deriv.make ~info:(Fmt.str "%a" L.pp_atom a) "find-opt" [ d ])
+    (* find_in_context extension *)
+    | Goal.Find { descr; pred; cont } ->
+        let found =
+          Rc_util.Xlist.find_remove
+            (fun a -> pred (resolve st) (resolve_atom st a))
+            ctx.delta
+        in
+        (match found with
+        | None -> fail st ctx (Report.No_ownership descr)
+        | Some (a, delta) ->
+            let a = resolve_atom st a in
+            let ctx = { ctx with delta } in
+            let d = solve st ctx (cont a) in
+            Deriv.make ~info:(Fmt.str "%a" L.pp_atom a) "find" [ d ])
+
+  (* ---------------------------------------------------------------- *)
+  (* Entry point                                                       *)
+  (* ---------------------------------------------------------------- *)
+
+  type result = {
+    deriv : Deriv.node;
+    stats : Stats.t;
+  }
+
+  let run (cfg : cfg) ?(ctx = empty_ctx) (g : goal) :
+      (result, Report.t) Stdlib.result =
+    let st =
+      {
+        evars = Evar.create ();
+        stats = Stats.create ();
+        gen = Rc_util.Gensym.create ();
+        cfg = { cfg with rules = List.sort (fun a b -> compare a.prio b.prio) cfg.rules };
+        cur_loc = None;
+      }
+    in
+    match solve st ctx g with
+    | d ->
+        st.stats.Stats.evar_insts <- st.evars.Evar.instantiations;
+        Ok { deriv = d; stats = st.stats }
+    | exception Report.Error e -> Error e
+end

@@ -1,0 +1,51 @@
+(** The evar store and unification (§5, "Handling of evars").
+
+    Evars created by Lithium's goal case (4) are *sealed*: ordinary
+    reasoning may not instantiate them.  They are unsealed only while
+    discharging a pure side condition, where the engine first tries to
+    unify the two sides of an equality (heuristic 1) and then applies
+    goal-simplification rules such as [?xs ≠ [] ⇝ ?xs := ?y :: ?ys]
+    (heuristic 2).  A bad instantiation can make a provable goal
+    unprovable but never the converse, so none of this is trusted: the
+    certificate checker re-checks side conditions fully resolved. *)
+
+open Rc_pure
+
+type t = {
+  entries : (int, entry) Hashtbl.t;
+  gen : Rc_util.Gensym.t;
+  mutable instantiations : int;  (** Figure 7's ∃ column *)
+}
+
+and entry = {
+  e_sort : Sort.t;
+  e_hint : string;
+  mutable inst : Term.term option;
+  mutable sealed : bool;
+}
+
+val create : unit -> t
+val fresh : ?hint:string -> t -> Sort.t -> Term.term
+val lookup : t -> int -> Term.term option
+val resolve : t -> Term.term -> Term.term
+val resolve_prop : t -> Term.prop -> Term.prop
+
+val unify : ?unseal:bool -> t -> Term.term -> Term.term -> bool
+(** syntactic first-order unification with occurs check; [unseal]
+    permits instantiating sealed evars (side-condition discharge only) *)
+
+val unify_prop : ?unseal:bool -> t -> Term.prop -> Term.prop -> bool
+
+(** {1 Goal-simplification rules (heuristic 2)} *)
+
+type simp_outcome = Progress of Term.prop | NoProgress
+type goal_simp_rule = t -> Term.prop -> simp_outcome
+
+val register_goal_simp : string -> goal_simp_rule -> unit
+(** extend the evar-elimination rules ("user-extensible rewriting rules
+    and equivalences", §5) *)
+
+val ablation_no_goal_simp : bool ref
+(** benchmark switch: disable heuristic 2 *)
+
+val apply_goal_simp : t -> Term.prop -> simp_outcome

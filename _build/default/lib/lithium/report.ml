@@ -1,0 +1,54 @@
+(** Structured verification errors (§2.1, "Error messages").
+
+    Lithium's syntax-directed search affords precise error messages: the
+    failure is located (the C source location of the judgment being
+    typed), the branch trail identifies which control-flow branches were
+    taken, and the failure kind says what could not be proved. *)
+
+type kind =
+  | Unsolved_side_condition of Rc_pure.Term.prop
+  | Evar_stuck of Rc_pure.Term.prop
+      (** a side condition still contains evars after the heuristics *)
+  | No_rule_applies of string  (** printed judgment *)
+  | No_ownership of string  (** printed atom not found in the context *)
+  | Frontend of string  (** parse/elaboration failure *)
+
+type t = {
+  loc : Rc_util.Srcloc.t option;
+  trail : string list;  (** innermost branch label last *)
+  kind : kind;
+  context : string list;  (** printed Δ atoms at the failure point *)
+}
+
+exception Error of t
+
+let fail ?loc ?(trail = []) ?(context = []) kind =
+  raise (Error { loc; trail; kind; context })
+
+let pp_kind ppf = function
+  | Unsolved_side_condition p ->
+      Fmt.pf ppf "Cannot solve side condition in function@,  %a"
+        Rc_pure.Term.pp_prop p
+  | Evar_stuck p ->
+      Fmt.pf ppf
+        "Cannot instantiate existential variable in side condition@,  %a"
+        Rc_pure.Term.pp_prop p
+  | No_rule_applies j -> Fmt.pf ppf "No typing rule applies to@,  %a" Fmt.string j
+  | No_ownership a ->
+      Fmt.pf ppf "Cannot find ownership in the context for@,  %a" Fmt.string a
+  | Frontend msg -> Fmt.string ppf msg
+
+let pp ppf (e : t) =
+  Fmt.pf ppf "@[<v>";
+  (match e.loc with
+  | Some l -> Fmt.pf ppf "Verification failed at %a@," Rc_util.Srcloc.pp l
+  | None -> Fmt.pf ppf "Verification failed@,");
+  List.iter (fun b -> Fmt.pf ppf "  in %s@," b) (List.rev e.trail);
+  Fmt.pf ppf "%a" pp_kind e.kind;
+  if e.context <> [] then begin
+    Fmt.pf ppf "@,Context:";
+    List.iter (fun a -> Fmt.pf ppf "@,  %s" a) e.context
+  end;
+  Fmt.pf ppf "@]"
+
+let to_string e = Fmt.str "%a" pp e

@@ -1,0 +1,62 @@
+(** Verification statistics — the instrumentation behind Figure 7.
+
+    One [t] is collected per verified function and aggregated per case
+    study by the benchmark harness:
+    - [rules_used]/[rule_apps]: the "Rules" column (distinct / applications)
+    - [evar_insts]: the "∃" column
+    - [side_auto]/[side_manual]: the "⌜φ⌝" column (the paper counts any
+      condition needing a named solver or a registered lemma as manual) *)
+
+type t = {
+  mutable rule_apps : int;
+  mutable rules_used : (string, int) Hashtbl.t;
+  mutable evar_insts : int;
+  mutable side_auto : int;
+  mutable side_manual : int;
+  mutable manual_detail : (string * string) list;
+      (** (solver-or-lemma, printed side condition) *)
+}
+
+let create () =
+  {
+    rule_apps = 0;
+    rules_used = Hashtbl.create 32;
+    evar_insts = 0;
+    side_auto = 0;
+    side_manual = 0;
+    manual_detail = [];
+  }
+
+let record_rule t name =
+  t.rule_apps <- t.rule_apps + 1;
+  Hashtbl.replace t.rules_used name
+    (1 + Option.value ~default:0 (Hashtbl.find_opt t.rules_used name))
+
+let record_side t (v : Rc_pure.Registry.verdict) (printed : string) =
+  match v with
+  | Rc_pure.Registry.Auto -> t.side_auto <- t.side_auto + 1
+  | Rc_pure.Registry.Via_solver s ->
+      t.side_manual <- t.side_manual + 1;
+      t.manual_detail <- (s, printed) :: t.manual_detail
+  | Rc_pure.Registry.Via_lemma s ->
+      t.side_manual <- t.side_manual + 1;
+      t.manual_detail <- ("lemma " ^ s, printed) :: t.manual_detail
+  | Rc_pure.Registry.Unsolved -> ()
+
+let distinct_rules t = Hashtbl.length t.rules_used
+
+let merge a b =
+  a.rule_apps <- a.rule_apps + b.rule_apps;
+  Hashtbl.iter
+    (fun k v ->
+      Hashtbl.replace a.rules_used k
+        (v + Option.value ~default:0 (Hashtbl.find_opt a.rules_used k)))
+    b.rules_used;
+  a.evar_insts <- a.evar_insts + b.evar_insts;
+  a.side_auto <- a.side_auto + b.side_auto;
+  a.side_manual <- a.side_manual + b.side_manual;
+  a.manual_detail <- a.manual_detail @ b.manual_detail
+
+let pp ppf t =
+  Fmt.pf ppf "rules %d/%d, ∃ %d, ⌜φ⌝ %d/%d" (distinct_rules t) t.rule_apps
+    t.evar_insts t.side_auto t.side_manual

@@ -1,0 +1,25 @@
+(** Verification statistics — the instrumentation behind Figure 7.
+
+    One [t] is collected per verified function and aggregated per case
+    study by the benchmark harness. *)
+
+type t = {
+  mutable rule_apps : int;  (** total typing-rule applications *)
+  mutable rules_used : (string, int) Hashtbl.t;  (** per-rule counts *)
+  mutable evar_insts : int;  (** the ∃ column: evars auto-instantiated *)
+  mutable side_auto : int;  (** side conditions the default solver proved *)
+  mutable side_manual : int;
+      (** side conditions needing a named solver or a registered lemma
+          (the paper's conservative "manual" counting) *)
+  mutable manual_detail : (string * string) list;
+      (** (solver-or-lemma, printed side condition) *)
+}
+
+val create : unit -> t
+val record_rule : t -> string -> unit
+val record_side : t -> Rc_pure.Registry.verdict -> string -> unit
+val distinct_rules : t -> int
+val merge : t -> t -> unit
+(** [merge acc x] adds [x]'s counters into [acc] *)
+
+val pp : Format.formatter -> t -> unit

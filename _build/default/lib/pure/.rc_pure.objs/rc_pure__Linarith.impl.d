@@ -1,0 +1,1 @@
+lib/pure/linarith.pp.ml: Int List Map Option Simp Sort Term

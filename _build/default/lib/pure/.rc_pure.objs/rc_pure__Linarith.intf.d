@@ -1,0 +1,1 @@
+lib/pure/linarith.pp.mli: Term

@@ -1,0 +1,1 @@
+lib/pure/list_solver.pp.ml: List SS Simp Sort Term

@@ -1,0 +1,1 @@
+lib/pure/registry.pp.ml: Fmt Linarith List List_solver Mset_solver Printf SS Set_solver Simp Sort Sys Term

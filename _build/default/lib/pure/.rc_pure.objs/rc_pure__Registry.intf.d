@@ -1,0 +1,1 @@
+lib/pure/registry.pp.mli: Format Sort Term

@@ -1,0 +1,1 @@
+lib/pure/simp.pp.ml: Sort Term

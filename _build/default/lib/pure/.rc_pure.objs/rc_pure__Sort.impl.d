@@ -1,0 +1,1 @@
+lib/pure/sort.pp.ml: Fmt Option Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/pure/term.pp.ml: Fmt Int List Ppx_deriving_runtime Rc_util Set Sort String

@@ -1,0 +1,414 @@
+(** Linear integer arithmetic solver.
+
+    This is the core of RefinedC's *default* pure solver (§7: "the one
+    default solver that we wrote — which currently only targets linear
+    arithmetic and Coq lists").  It decides sequents [Γ ⊨ φ] where the
+    atoms are linear (in)equalities over [Nat]/[Int] terms, by refutation:
+    [Γ ∧ ¬φ] is put into disjunctive normal form (with bounded case
+    splitting over [∨], [Ite], truncated subtraction, [min]/[max] and
+    disequalities) and every branch is refuted with Fourier–Motzkin
+    elimination over the rationals plus an integer divisibility check on
+    equalities.
+
+    Soundness: every refutation step is valid over the integers, so
+    [prove] returning [true] really means the sequent holds.  The
+    procedure is deliberately incomplete (so is any Coq tactic); goals it
+    misses are reported as unsolved side conditions, exactly the paper's
+    "manual" column. *)
+
+open Term
+
+(* ------------------------------------------------------------------ *)
+(* Linear forms over atom ids                                          *)
+(* ------------------------------------------------------------------ *)
+
+module IMap = Map.Make (Int)
+
+type lin = { coeffs : int IMap.t; const : int }
+
+let lin_const c = { coeffs = IMap.empty; const = c }
+let lin_atom id = { coeffs = IMap.singleton id 1; const = 0 }
+
+let lin_add a b =
+  {
+    coeffs =
+      IMap.union (fun _ x y -> if x + y = 0 then None else Some (x + y))
+        a.coeffs b.coeffs;
+    const = a.const + b.const;
+  }
+
+let lin_scale k a =
+  if k = 0 then lin_const 0
+  else { coeffs = IMap.map (fun x -> k * x) a.coeffs; const = k * a.const }
+
+let lin_sub a b = lin_add a (lin_scale (-1) b)
+let lin_is_const a = IMap.is_empty a.coeffs
+
+(* ------------------------------------------------------------------ *)
+(* Atomization environment                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Non-linear subterms (variables, lengths, applications, opaque ite…) are
+   mapped to atom ids; syntactically equal subterms share an id, giving a
+   cheap congruence closure sufficient for the case studies. *)
+
+type env = {
+  mutable atoms : (term * int) list;  (* canonical term -> id *)
+  mutable next : int;
+  mutable side : branch list -> branch list;
+      (* extra literal sets to conjoin into every branch *)
+}
+
+and literal = Ge of lin  (* lin >= 0 *) | EqZ of lin  (* lin = 0 *)
+and branch = literal list
+
+let new_env () = { atoms = []; next = 0; side = (fun b -> b) }
+
+let atom_id env t =
+  match List.find_opt (fun (u, _) -> equal_term u t) env.atoms with
+  | Some (_, id) -> id
+  | None ->
+      let id = env.next in
+      env.next <- id + 1;
+      env.atoms <- (t, id) :: env.atoms;
+      (* sort-based axioms *)
+      let nonneg =
+        match t with
+        | Length _ | NatSub _ -> true
+        | Var (_, Sort.Nat) | Evar (_, Sort.Nat) -> true
+        | Mod (_, Num m) when m > 0 -> true
+        | _ -> false
+      in
+      if nonneg then (
+        let prev = env.side in
+        env.side <-
+          fun branches ->
+            prev branches
+            |> List.map (fun b -> Ge (lin_atom id) :: b));
+      id
+
+exception Too_many_branches
+exception Nonlinear
+
+let max_branches = 512
+
+(* [linof env t] converts a numeric term to a list of (guard-branch, lin)
+   pairs: case splits arising inside the term produce several pairs whose
+   guards must be conjoined into the enclosing branch. *)
+let rec linof env (t : term) : (branch * lin) list =
+  match t with
+  | Num n -> [ ([], lin_const n) ]
+  | Add (a, b) -> lift2 env lin_add a b
+  | Sub (a, b) -> lift2 env lin_sub a b
+  | Mul (Num k, a) | Mul (a, Num k) ->
+      List.map (fun (g, l) -> (g, lin_scale k l)) (linof env a)
+  | Mul (a, b) -> (
+      (* try constant folding after recursion *)
+      match (linof env a, linof env b) with
+      | [ ([], la) ], _ when lin_is_const la ->
+          List.map (fun (g, l) -> (g, lin_scale la.const l)) (linof env b)
+      | _, [ ([], lb) ] when lin_is_const lb ->
+          List.map (fun (g, l) -> (g, lin_scale lb.const l)) (linof env a)
+      | _ -> [ ([], lin_atom (atom_id env t)) ])
+  | NatSub (a, b) ->
+      (* d = a ∸ b:  (b ≤ a ∧ d = a - b) ∨ (a ≤ b ∧ d = 0) *)
+      let la = linof env a and lb = linof env b in
+      List.concat_map
+        (fun (ga, xa) ->
+          List.concat_map
+            (fun (gb, xb) ->
+              let diff = lin_sub xa xb in
+              [
+                (Ge diff :: (ga @ gb), diff) (* b <= a: result a-b >= 0 *);
+                (Ge (lin_scale (-1) diff) :: (ga @ gb), lin_const 0);
+              ])
+            lb)
+        la
+  | Min (a, b) | Max (a, b) ->
+      let is_min = match t with Min _ -> true | _ -> false in
+      let la = linof env a and lb = linof env b in
+      List.concat_map
+        (fun (ga, xa) ->
+          List.concat_map
+            (fun (gb, xb) ->
+              let d = lin_sub xb xa in
+              (* a <= b branch / b <= a branch *)
+              if is_min then
+                [ (Ge d :: (ga @ gb), xa); (Ge (lin_scale (-1) d) :: (ga @ gb), xb) ]
+              else
+                [ (Ge d :: (ga @ gb), xb); (Ge (lin_scale (-1) d) :: (ga @ gb), xa) ])
+            lb)
+        la
+  | Ite (c, a, b) -> (
+      match lits_of_prop env c with
+      | exception Nonlinear -> [ ([], lin_atom (atom_id env t)) ]
+      | cpos ->
+          let cneg = lits_of_prop env (PNot c) in
+          let la = linof env a and lb = linof env b in
+          List.concat_map
+            (fun gc -> List.map (fun (g, l) -> (gc @ g, l)) la)
+            cpos
+          @ List.concat_map
+              (fun gc -> List.map (fun (g, l) -> (gc @ g, l)) lb)
+              cneg)
+  | Mod (a, Num m) when m > 0 ->
+      (* r = a mod m with 0 <= r < m and a - r divisible: introduce
+         quotient atom q with a = q*m + r.  We encode via fresh atoms. *)
+      let r_id = atom_id env t in
+      let q_id = atom_id env (App ("__div", [ a; Num m ])) in
+      List.map
+        (fun (g, la) ->
+          let r = lin_atom r_id and q = lin_atom q_id in
+          let bound = lin_sub (lin_const (m - 1)) r in
+          ( (Ge r :: Ge bound
+             :: EqZ (lin_sub la (lin_add (lin_scale m q) r))
+             :: g),
+            r ))
+        (linof env a)
+  | Div (a, Num m) when m > 0 ->
+      let q_id = atom_id env (App ("__div", [ a; Num m ])) in
+      let r_id = atom_id env (Mod (a, Num m)) in
+      List.map
+        (fun (g, la) ->
+          let r = lin_atom r_id and q = lin_atom q_id in
+          let bound = lin_sub (lin_const (m - 1)) r in
+          ( (Ge r :: Ge bound
+             :: EqZ (lin_sub la (lin_add (lin_scale m q) r))
+             :: g),
+            q ))
+        (linof env a)
+  | _ -> [ ([], lin_atom (atom_id env t)) ]
+
+and lift2 env f a b =
+  let la = linof env a and lb = linof env b in
+  if List.length la * List.length lb > max_branches then
+    raise Too_many_branches;
+  List.concat_map
+    (fun (ga, xa) -> List.map (fun (gb, xb) -> (ga @ gb, f xa xb)) lb)
+    la
+
+(* [lits_of_prop env p] converts a proposition to DNF over literals:
+   the result is a list of branches; [p] holds iff some branch's literals
+   all hold.  Raises [Nonlinear] when [p] is outside the fragment. *)
+and lits_of_prop env (p : prop) : branch list =
+  match p with
+  | PTrue -> [ [] ]
+  | PFalse -> []
+  | PAnd (a, b) ->
+      let ba = lits_of_prop env a and bb = lits_of_prop env b in
+      if List.length ba * List.length bb > max_branches then
+        raise Too_many_branches;
+      List.concat_map (fun x -> List.map (fun y -> x @ y) bb) ba
+  | POr (a, b) -> lits_of_prop env a @ lits_of_prop env b
+  | PImp (a, b) -> lits_of_prop env (POr (PNot a, b))
+  | PNot (PAnd (a, b)) -> lits_of_prop env (POr (PNot a, PNot b))
+  | PNot (POr (a, b)) -> lits_of_prop env (PAnd (PNot a, PNot b))
+  | PNot (PNot a) -> lits_of_prop env a
+  | PNot (PImp (a, b)) -> lits_of_prop env (PAnd (a, PNot b))
+  | PNot PTrue -> []
+  | PNot PFalse -> [ [] ]
+  | PLe (a, b) -> cmp env a b (fun d -> [ Ge d ])
+  | PLt (a, b) -> cmp env a b (fun d -> [ Ge (lin_add d (lin_const (-1))) ])
+  | PNot (PLe (a, b)) -> lits_of_prop env (PLt (b, a))
+  | PNot (PLt (a, b)) -> lits_of_prop env (PLe (b, a))
+  | PEq (a, b) when Sort.is_numeric (sort_of a) || Sort.is_numeric (sort_of b)
+    ->
+      cmp env a b (fun d -> [ EqZ d ])
+  | PNot (PEq (a, b))
+    when Sort.is_numeric (sort_of a) || Sort.is_numeric (sort_of b) ->
+      lits_of_prop env (POr (PLt (a, b), PLt (b, a)))
+  | PIsTrue (TProp q) -> lits_of_prop env q
+  | PIsTrue _ -> raise Nonlinear
+  | PEq (BoolLit true, TProp q) | PEq (TProp q, BoolLit true) ->
+      lits_of_prop env q
+  | PEq (BoolLit false, TProp q) | PEq (TProp q, BoolLit false) ->
+      lits_of_prop env (PNot q)
+  | _ -> raise Nonlinear
+
+and cmp env a b mk =
+  (* literal(s) for "b - a within mk" *)
+  let la = linof env a and lb = linof env b in
+  if List.length la * List.length lb > max_branches then
+    raise Too_many_branches;
+  List.concat_map
+    (fun (ga, xa) ->
+      List.map (fun (gb, xb) -> ga @ gb @ mk (lin_sub xb xa)) lb)
+    la
+
+(* ------------------------------------------------------------------ *)
+(* Refutation: Gaussian elimination on equalities + Fourier–Motzkin    *)
+(* ------------------------------------------------------------------ *)
+
+let rec gcd a b = if b = 0 then abs a else gcd b (a mod b)
+
+(* returns [true] if the branch (conjunction of literals) is unsat *)
+let branch_unsat (lits : branch) : bool =
+  (* Split into equalities and inequalities *)
+  let eqs = List.filter_map (function EqZ l -> Some l | _ -> None) lits in
+  let ges = List.filter_map (function Ge l -> Some l | _ -> None) lits in
+  (* Gaussian elimination on equalities with divisibility check. *)
+  let exception Unsat in
+  try
+    let subst_in l (x, piv) =
+      (* piv: a*x + r = 0 with a = coefficient of x in piv *)
+      match IMap.find_opt x l.coeffs with
+      | None -> l
+      | Some c ->
+          let a = IMap.find x piv.coeffs in
+          (* a * l - c * piv removes x; keep sign of l's direction by
+             multiplying by sign(a) *)
+          let s = if a > 0 then 1 else -1 in
+          let l' = lin_sub (lin_scale (s * a) l) (lin_scale (s * c) piv) in
+          l'
+    in
+    let rec elim_eqs eqs ges acc_ges =
+      match eqs with
+      | [] -> (ges, acc_ges)
+      | e :: rest ->
+          if lin_is_const e then
+            if e.const <> 0 then raise Unsat else elim_eqs rest ges acc_ges
+          else
+            let g =
+              IMap.fold (fun _ c acc -> gcd acc c) e.coeffs 0
+            in
+            if g <> 0 && e.const mod g <> 0 then raise Unsat
+            else
+              (* pick pivot var with smallest |coeff| *)
+              let x, _ =
+                IMap.fold
+                  (fun k c (bk, bc) ->
+                    if abs c < bc then (k, abs c) else (bk, bc))
+                  e.coeffs (-1, max_int)
+              in
+              let rest = List.map (fun l -> subst_in l (x, e)) rest in
+              let ges = List.map (fun l -> subst_in l (x, e)) ges in
+              elim_eqs rest ges acc_ges
+    in
+    let ges, _ = elim_eqs eqs ges [] in
+    (* Fourier–Motzkin on inequalities (rational relaxation: sound for
+       refutation). *)
+    let rec fm ges fuel =
+      if fuel <= 0 then false
+      else if
+        List.exists (fun l -> lin_is_const l && l.const < 0) ges
+      then true
+      else
+        (* pick a variable occurring in some inequality *)
+        let var =
+          List.fold_left
+            (fun acc l ->
+              match acc with
+              | Some _ -> acc
+              | None -> IMap.choose_opt l.coeffs |> Option.map fst)
+            None ges
+        in
+        match var with
+        | None -> false (* all constants, none negative: satisfiable *)
+        | Some x ->
+            let pos, neg, rest =
+              List.fold_left
+                (fun (p, n, r) l ->
+                  match IMap.find_opt x l.coeffs with
+                  | Some c when c > 0 -> (l :: p, n, r)
+                  | Some _ -> (p, l :: n, r)
+                  | None -> (p, n, l :: r))
+                ([], [], []) ges
+            in
+            let combined =
+              List.concat_map
+                (fun lp ->
+                  let a = IMap.find x lp.coeffs in
+                  List.map
+                    (fun ln ->
+                      let b = -IMap.find x ln.coeffs in
+                      lin_add (lin_scale b lp) (lin_scale a ln))
+                    neg)
+                pos
+            in
+            if List.length combined > 4096 then false
+            else fm (combined @ rest) (fuel - 1)
+    in
+    fm ges 64
+  with Unsat -> true
+
+(* ------------------------------------------------------------------ *)
+(* Equality propagation on non-numeric hypotheses                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Hypotheses like [x = t] for non-numeric [x] are substituted away so
+   that syntactic congruence (shared atom ids) kicks in. *)
+let propagate_eqs hyps goal =
+  let rec loop n hyps goal =
+    if n = 0 then (hyps, goal)
+    else
+      let pick =
+        List.find_map
+          (fun h ->
+            match h with
+            | PEq (Var (x, s), t) when not (Sort.is_numeric s) ->
+                if Term.SS.mem x (free_vars_term t) then None
+                else Some (x, t)
+            | PEq (t, Var (x, s)) when not (Sort.is_numeric s) ->
+                if Term.SS.mem x (free_vars_term t) then None
+                else Some (x, t)
+            | _ -> None)
+          hyps
+      in
+      match pick with
+      | None -> (hyps, goal)
+      | Some (x, t) ->
+          let sub p = Simp.simp_prop (subst_prop [ (x, t) ] p) in
+          loop (n - 1) (List.map sub hyps) (sub goal)
+  in
+  loop 8 hyps goal
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(** [prove ~hyps goal]: try to establish [hyps ⊨ goal].  Quantified or
+    otherwise out-of-fragment hypotheses are ignored (sound). *)
+let prove ~hyps goal =
+  let hyps = List.map Simp.simp_prop hyps in
+  let goal = Simp.simp_prop goal in
+  if goal = PTrue then true
+  else if List.exists (fun h -> equal_prop h goal) hyps then true
+  else if List.exists (fun h -> Simp.simp_prop h = PFalse) hyps then true
+  else
+    let hyps, goal = propagate_eqs hyps goal in
+    if goal = PTrue then true
+    else if List.exists (fun h -> equal_prop h goal) hyps then true
+    else if List.exists (fun h -> h = PFalse) hyps then true
+    else
+      let env = new_env () in
+      try
+        (* hypotheses: DNF each; we take only hypotheses that don't blow
+           up and conjoin them; a hypothesis whose DNF has several
+           branches forces a split. *)
+        let hyp_branches =
+          List.fold_left
+            (fun acc h ->
+              match lits_of_prop env h with
+              | exception Nonlinear -> acc
+              | [] -> raise Exit (* contradictory hypothesis *)
+              | bs ->
+                  if List.length acc * List.length bs > max_branches then acc
+                  else
+                    List.concat_map
+                      (fun a -> List.map (fun b -> a @ b) bs)
+                      acc)
+            [ [] ] hyps
+        in
+        let neg_goal_branches = lits_of_prop env (PNot goal) in
+        (* unsat required for every combination *)
+        let all =
+          List.concat_map
+            (fun h -> List.map (fun g -> h @ g) neg_goal_branches)
+            hyp_branches
+        in
+        let all = env.side all in
+        all <> [] && List.for_all branch_unsat all
+        || neg_goal_branches = []
+      with
+      | Exit -> true
+      | Nonlinear | Too_many_branches -> false

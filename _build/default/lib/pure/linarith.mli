@@ -1,0 +1,20 @@
+(** Linear integer arithmetic — the core of RefinedC's *default* solver
+    (§7: "the one default solver that we wrote … currently only targets
+    linear arithmetic and Coq lists").
+
+    [prove ~hyps goal] decides sequents [Γ ⊨ φ] by refutation:
+    [Γ ∧ ¬φ] is put in disjunctive normal form, with bounded case
+    splitting over [∨], conditionals, truncated subtraction, [min]/[max]
+    and disequalities, and every branch is refuted by Fourier–Motzkin
+    elimination over the rationals plus an integer divisibility check on
+    equalities.  Non-linear subterms are atomized with congruence (equal
+    subterms share an atom) and sort axioms ([Nat] variables and lengths
+    are non-negative, [mod] by a positive literal is bounded).
+
+    Soundness: a [true] answer is always valid over the integers.  The
+    procedure is deliberately incomplete; goals it misses surface as
+    unsolved side conditions — the paper's "manual" column. *)
+
+val prove : hyps:Term.prop list -> Term.prop -> bool
+(** quantified or otherwise out-of-fragment hypotheses are ignored
+    (which is sound) *)

@@ -1,0 +1,115 @@
+(** List solver.
+
+    Covers the "Coq lists" half of the paper's default solver: equalities
+    between list expressions built from [Nil]/[Cons]/[Append]/[Replicate]
+    and list updates, by normalization into segment sequences and
+    cancellation from both ends.  Length reasoning is not handled here —
+    [Length] atoms flow into {!Linarith} with their non-negativity
+    axioms, and structural length equations are unfolded by {!Simp}. *)
+
+open Term
+
+type seg =
+  | SElem of term  (** a single cons cell *)
+  | SRepl of term * term  (** [n] copies of [x] *)
+  | SOpaque of term  (** opaque list subterm *)
+
+let rec segs (t : term) : seg list =
+  match t with
+  | Nil _ -> []
+  | Cons (x, l) -> SElem x :: segs l
+  | Append (a, b) -> segs a @ segs b
+  | Replicate (Num 0, _) -> []
+  | Replicate (n, x) -> [ SRepl (n, x) ]
+  | t -> [ SOpaque t ]
+
+let list_substs hyps =
+  List.filter_map
+    (function
+      | PEq ((Var (_, Sort.List _) as v), t) when not (equal_term v t) ->
+          Some (v, t)
+      | PEq (t, (Var (_, Sort.List _) as v)) when not (equal_term v t) ->
+          Some (v, t)
+      (* defined-function results (e.g. rev xs) also act as rewrites *)
+      | PEq ((App (_, _) as a), t) when not (equal_term a t) -> Some (a, t)
+      | _ -> None)
+    hyps
+
+(* replace syntactic occurrences of [pat] by [rhs] *)
+let rec rewrite_term (pat, rhs) t =
+  if equal_term t pat then rhs else map_term (rewrite_term (pat, rhs)) t
+
+let rec apply_substs n substs t =
+  if n = 0 then t
+  else
+    let t' =
+      List.fold_left
+        (fun t (v, rhs) ->
+          match v with
+          | Var (x, _) when not (SS.mem x (free_vars_term rhs)) ->
+              subst_term [ (x, rhs) ] t
+          | App _ when not (equal_term v rhs) -> rewrite_term (v, rhs) t
+          | _ -> t)
+        t substs
+    in
+    (* re-simplify: substitution may expose defining equations (rev …) *)
+    let t' = Simp.simp_term t' in
+    if equal_term t t' then t else apply_substs (n - 1) substs t'
+
+let seg_eq ~eq a b =
+  match (a, b) with
+  | SElem x, SElem y -> eq x y
+  | SRepl (n, x), SRepl (m, y) -> eq n m && eq x y
+  | SOpaque x, SOpaque y -> equal_term x y
+  | SElem x, SRepl (Num 1, y) | SRepl (Num 1, y), SElem x -> eq x y
+  | _ -> false
+
+(* cancel matching segments from the front and from the back *)
+let cancel ~eq l1 l2 =
+  let rec front a b =
+    match (a, b) with
+    | x :: a', y :: b' when seg_eq ~eq x y -> front a' b'
+    | _ -> (a, b)
+  in
+  let a, b = front l1 l2 in
+  let a', b' = front (List.rev a) (List.rev b) in
+  (List.rev a', List.rev b')
+
+let rec prove ~(prove_pure : hyps:prop list -> prop -> bool) ~hyps goal =
+  let goal = Simp.simp_prop goal in
+  let substs = list_substs hyps in
+  let norm t = segs (apply_substs 8 substs (Simp.simp_term t)) in
+  let eq a b = equal_term a b || prove_pure ~hyps (PEq (a, b)) in
+  let listish t =
+    match sort_of t with
+    | Sort.List _ -> true
+    | Sort.Unknown -> (
+        (* defined functions like rev return lists; accept them when the
+           term is structurally list-shaped *)
+        match t with
+        | App _ | Append _ | Cons _ | Nil _ -> true
+        | _ -> false)
+    | _ -> false
+  in
+  match goal with
+  | PTrue -> true
+  | PAnd (a, b) -> prove ~prove_pure ~hyps a && prove ~prove_pure ~hyps b
+  | PEq (l1, l2) when listish l1 || listish l2 -> (
+      let s1 = norm l1 and s2 = norm l2 in
+      match cancel ~eq s1 s2 with
+      | [], [] -> true
+      | [ SRepl (n, _) ], [] | [], [ SRepl (n, _) ] ->
+          (* replicate n x = [] iff n = 0 *)
+          prove_pure ~hyps (PEq (n, Num 0))
+      | [ SRepl (n, x) ], [ SRepl (m, y) ] ->
+          eq x y && prove_pure ~hyps (PEq (n, m))
+      | _ -> false)
+  | PNot (PEq (l1, l2)) when listish l1 || listish l2 -> (
+      let s1 = norm l1 and s2 = norm l2 in
+      (* distinguishable by length parity: a strict extra SElem on one
+         side with the rest syntactically equal *)
+      match cancel ~eq s1 s2 with
+      | [], rest | rest, [] ->
+          List.exists (function SElem _ -> true | _ -> false) rest
+      | _ -> false)
+  | _ -> false

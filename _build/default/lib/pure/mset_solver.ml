@@ -1,0 +1,197 @@
+(** Multiset solver.
+
+    Reproduction of std++'s [multiset_solver], which Figure 3 invokes via
+    [rc::tactics ("all: multiset_solver.")].  Handles goals over finite
+    multisets of integers: equalities (by normalization to a formal sum
+    of element terms and opaque multiset subterms, then cancellation),
+    non-emptiness, membership, and bounded-universal goals
+    [∀ k, k ∈ s → φ k] (decomposed structurally, with hypothesis chaining
+    for opaque parts).  Arithmetic subgoals are delegated to the default
+    solver through the [prove_pure] callback. *)
+
+open Term
+
+type nf = {
+  elems : term list;  (** element terms, with multiplicity, sorted *)
+  opaque : term list;  (** opaque multiset subterms (vars etc.), sorted *)
+}
+
+let rec flatten (t : term) : nf =
+  match t with
+  | MsEmpty -> { elems = []; opaque = [] }
+  | MsSingleton e -> { elems = [ e ]; opaque = [] }
+  | MsUnion (a, b) ->
+      let na = flatten a and nb = flatten b in
+      { elems = na.elems @ nb.elems; opaque = na.opaque @ nb.opaque }
+  | Ite (PTrue, a, _) -> flatten a
+  | Ite (PFalse, _, b) -> flatten b
+  | t -> { elems = []; opaque = [ t ] }
+
+let sort_nf nf =
+  {
+    elems = List.sort compare_term nf.elems;
+    opaque = List.sort compare_term nf.opaque;
+  }
+
+(* Cancel one occurrence of [x] from [xs] using provable equality. *)
+let cancel_one ~eq x xs =
+  let rec go acc = function
+    | [] -> None
+    | y :: rest ->
+        if eq x y then Some (List.rev_append acc rest) else go (y :: acc) rest
+  in
+  go [] xs
+
+let cancel_all ~eq xs ys =
+  List.fold_left
+    (fun (left, ys) x ->
+      match cancel_one ~eq x ys with
+      | Some ys' -> (left, ys')
+      | None -> (x :: left, ys))
+    ([], ys) xs
+
+(* Saturate multiset equality hypotheses as rewrite rules var -> term. *)
+let mset_substs hyps =
+  List.filter_map
+    (function
+      | PEq ((Var (_, Sort.Mset) as v), t) when not (equal_term v t) ->
+          Some (v, t)
+      | PEq (t, (Var (_, Sort.Mset) as v)) when not (equal_term v t) ->
+          Some (v, t)
+      | _ -> None)
+    hyps
+
+let rec apply_substs n substs t =
+  if n = 0 then t
+  else
+    let t' =
+      List.fold_left
+        (fun t (v, rhs) ->
+          match v with
+          | Var (x, _) when not (SS.mem x (free_vars_term rhs)) ->
+              subst_term [ (x, rhs) ] t
+          | _ -> t)
+        t substs
+    in
+    if equal_term t t' then t else apply_substs (n - 1) substs t'
+
+(** Facts about opaque multiset parts extracted from hypotheses. *)
+type facts = {
+  members : (term * term) list;  (** (k, s): k ∈ s known *)
+  bounded : (term * string * prop) list;
+      (** (s, x, φ): ∀x, x ∈ s → φ known *)
+  nonempty : term list;
+}
+
+let gather_facts hyps =
+  List.fold_left
+    (fun f h ->
+      match h with
+      | PIn (k, s) when sort_of s = Sort.Mset ->
+          { f with members = (k, s) :: f.members }
+      | PForall (x, _, PImp (PIn (Var (x', _), s), phi)) when x = x' ->
+          { f with bounded = (s, x, phi) :: f.bounded }
+      | PNot (PEq (s, MsEmpty)) | PNot (PEq (MsEmpty, s)) ->
+          { f with nonempty = s :: f.nonempty }
+      | _ -> f)
+    { members = []; bounded = []; nonempty = [] }
+    hyps
+
+let rec prove ~(prove_pure : hyps:prop list -> prop -> bool) ~hyps goal =
+  let goal = Simp.simp_prop goal in
+  (* saturation: every known membership k ∈ S instantiates every bounded
+     fact ∀x∈S. φ(x), enriching the pure context (one round suffices for
+     the case studies) *)
+  let hyps =
+    let members =
+      List.filter_map
+        (function PIn (k, s) -> Some (k, s) | _ -> None)
+        hyps
+    in
+    let insts =
+      List.concat_map
+        (function
+          | PForall (x, _, PImp (PIn (Var (x', _), s), phi)) when x = x' ->
+              List.filter_map
+                (fun (k, s') ->
+                  if equal_term s s' then Some (subst_prop [ (x, k) ] phi)
+                  else None)
+                members
+          | _ -> [])
+        hyps
+    in
+    insts @ hyps
+  in
+  let substs = mset_substs hyps in
+  let norm t = sort_nf (flatten (apply_substs 8 substs (Simp.simp_term t))) in
+  let eq_elem a b =
+    equal_term a b || prove_pure ~hyps (PEq (a, b))
+  in
+  let facts = gather_facts hyps in
+  match goal with
+  | PTrue -> true
+  | PAnd (a, b) ->
+      prove ~prove_pure ~hyps a && prove ~prove_pure ~hyps b
+  | POr (a, b) -> prove ~prove_pure ~hyps a || prove ~prove_pure ~hyps b
+  | PImp (a, b) -> (
+      match Simp.destruct_hyp a with
+      | None -> true
+      | Some hs -> prove ~prove_pure ~hyps:(hs @ hyps) b)
+  (* Decompose universals whose premise was split by the simplifier. *)
+  | PForall (x, s, PImp (POr (p, q), phi)) ->
+      prove ~prove_pure ~hyps (PForall (x, s, PImp (p, phi)))
+      && prove ~prove_pure ~hyps (PForall (x, s, PImp (q, phi)))
+  | PForall (x, s, PAnd (p, q)) ->
+      prove ~prove_pure ~hyps (PForall (x, s, p))
+      && prove ~prove_pure ~hyps (PForall (x, s, q))
+  | PForall (x, _, PImp (PEq (Var (x', _), e), phi))
+    when x = x' && not (SS.mem x (free_vars_term e)) ->
+      prove ~prove_pure ~hyps (subst_prop [ (x, e) ] phi)
+  | PForall (x, _, PImp (PEq (e, Var (x', _)), phi))
+    when x = x' && not (SS.mem x (free_vars_term e)) ->
+      prove ~prove_pure ~hyps (subst_prop [ (x, e) ] phi)
+  | PEq (s1, s2) when sort_of s1 = Sort.Mset || sort_of s2 = Sort.Mset ->
+      let n1 = norm s1 and n2 = norm s2 in
+      let left_e, rest_e = cancel_all ~eq:eq_elem n1.elems n2.elems in
+      let left_o, rest_o =
+        cancel_all ~eq:equal_term n1.opaque n2.opaque
+      in
+      left_e = [] && rest_e = [] && left_o = [] && rest_o = []
+  | PNot (PEq (s, MsEmpty)) | PNot (PEq (MsEmpty, s)) ->
+      let n = norm s in
+      n.elems <> []
+      || List.exists
+           (fun v ->
+             List.exists (fun s' -> equal_term v s') facts.nonempty
+             || List.exists (fun (_, s') -> equal_term v s') facts.members)
+           n.opaque
+  | PIn (k, s) when sort_of s = Sort.Mset ->
+      let n = norm s in
+      List.exists (eq_elem k) n.elems
+      || List.exists
+           (fun v ->
+             List.exists
+               (fun (k', s') -> equal_term v s' && eq_elem k k')
+               facts.members)
+           n.opaque
+  | PForall (x, sx, PImp (PIn (Var (x', _), s), phi))
+    when x = x' && sort_of s = Sort.Mset ->
+      let n = norm s in
+      let prove_elem e = prove_pure ~hyps (subst_prop [ (x, e) ] phi) in
+      let prove_opaque v =
+        List.exists
+          (fun (s', y, psi) ->
+            let matches =
+              equal_term (apply_substs 8 substs s') v || equal_term s' v
+            in
+            matches
+            &&
+            (* Γ, ψ[y:=x] ⊨ φ for fresh x *)
+            let fresh = Var (x ^ "'", sx) in
+            let psi' = subst_prop [ (y, fresh) ] psi in
+            let phi' = subst_prop [ (x, fresh) ] phi in
+            prove_pure ~hyps:(psi' :: hyps) phi')
+          facts.bounded
+      in
+      List.for_all prove_elem n.elems && List.for_all prove_opaque n.opaque
+  | g -> List.exists (fun h -> equal_prop h g) hyps || prove_pure ~hyps g

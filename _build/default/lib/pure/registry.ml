@@ -1,0 +1,282 @@
+(** Solver registry: the reproduction of RefinedC's side-condition
+    discharge pipeline (steps (C) of Figure 2).
+
+    Verification conditions emitted by Lithium are *pure* propositions.
+    They are discharged in this order:
+
+    1. the **default solver** (simplifier + syntactic hypothesis lookup +
+       {!Linarith} + {!List_solver}) — successes are counted as *auto*,
+       the paper's "⌜φ⌝ automatically proved" column;
+    2. **named solvers** requested by [rc::tactics] annotations
+       ({!Mset_solver}, {!Set_solver}, …) — successes count as *manual*,
+       matching the paper's conservative counting ("any side condition
+       that cannot be discharged by the one default solver … is counted
+       as manual");
+    3. **registered lemmas** — the stand-in for manual Coq proofs: a
+       case study may register pure lemmas (with premises) in an OCaml
+       companion; a goal matching a lemma instance whose premises the
+       default solver discharges counts as *manual* too.  The certificate
+       checker re-checks lemma applications against the same registry. *)
+
+open Term
+
+type verdict =
+  | Auto  (** proved by the default solver *)
+  | Via_solver of string  (** proved by a named solver ([rc::tactics]) *)
+  | Via_lemma of string  (** proved by a registered manual lemma *)
+  | Unsolved
+
+let pp_verdict ppf = function
+  | Auto -> Fmt.string ppf "auto"
+  | Via_solver s -> Fmt.pf ppf "solver:%s" s
+  | Via_lemma s -> Fmt.pf ppf "lemma:%s" s
+  | Unsolved -> Fmt.string ppf "UNSOLVED"
+
+let is_manual = function Via_solver _ | Via_lemma _ -> true | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Context-aware conditional resolution                                *)
+(* ------------------------------------------------------------------ *)
+
+(** Resolve [Ite] terms whose condition the hypotheses decide (e.g. the
+    refinement [(n ≤ a ? a - n : a)] under the branch fact [n ≤ a]). *)
+let resolve_ites ~hyps (p : prop) : prop =
+  let rec rt (t : term) : term =
+    let t = map_term rt t in
+    match t with
+    | Ite (c, a, b) ->
+        if Linarith.prove ~hyps c then a
+        else if Linarith.prove ~hyps (PNot c) then b
+        else t
+    | t -> t
+  in
+  Simp.simp_prop (map_prop rt p)
+
+(* ------------------------------------------------------------------ *)
+(* Default solver                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let rec default_prove ~hyps goal =
+  let goal = resolve_ites ~hyps (Simp.simp_prop goal) in
+  match goal with
+  | PTrue -> true
+  | PAnd (a, b) -> default_prove ~hyps a && default_prove ~hyps b
+  | PForall (x, s, q) ->
+      (* fresh universal: safe because parser makes names unique *)
+      default_prove ~hyps (subst_prop [ (x, Var (x ^ "!", s)) ] q)
+  | PImp (a, b) -> (
+      match Simp.destruct_hyp a with
+      | None -> true
+      | Some hs -> default_prove ~hyps:(hs @ hyps) b)
+  | _ ->
+      List.exists (fun h -> equal_prop (Simp.simp_prop h) goal) hyps
+      || Linarith.prove ~hyps goal
+      || List_solver.prove ~prove_pure:(fun ~hyps g -> Linarith.prove ~hyps g)
+           ~hyps goal
+
+(* ------------------------------------------------------------------ *)
+(* Named solvers                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type solver = { name : string; run : hyps:prop list -> prop -> bool }
+
+let builtin_solvers () =
+  [
+    {
+      name = "multiset_solver";
+      run = (fun ~hyps g -> Mset_solver.prove ~prove_pure:default_prove ~hyps g);
+    };
+    {
+      name = "set_solver";
+      run = (fun ~hyps g -> Set_solver.prove ~prove_pure:default_prove ~hyps g);
+    };
+    {
+      name = "list_solver";
+      run =
+        (fun ~hyps g -> List_solver.prove ~prove_pure:default_prove ~hyps g);
+    };
+    { name = "lia"; run = (fun ~hyps g -> Linarith.prove ~hyps g) };
+  ]
+
+let solvers : solver list ref = ref (builtin_solvers ())
+
+let register_solver s = solvers := !solvers @ [ s ]
+
+let find_solver name =
+  List.find_opt (fun s -> s.name = name) !solvers
+
+(* ------------------------------------------------------------------ *)
+(* Lemma library (manual Coq proofs)                                    *)
+(* ------------------------------------------------------------------ *)
+
+type lemma = {
+  lname : string;
+  vars : (string * Sort.t) list;  (** universally quantified metavars *)
+  premises : prop list;
+  concl : prop;
+}
+
+let lemmas : lemma list ref = ref []
+let register_lemma l = lemmas := !lemmas @ [ l ]
+let clear_lemmas () = lemmas := []
+
+(* one-way syntactic matching: instantiate lemma vars against the goal *)
+exception No_match
+
+let rec match_term binds pat t =
+  match (pat, t) with
+  | Var (x, _), _ when List.mem_assoc x binds ->
+      if equal_term (List.assoc x binds) t then binds else raise No_match
+  | Var (x, s), _ -> (
+      (* only lemma metavars are bindable; others must match exactly *)
+      match t with
+      | Var (y, _) when y = x -> binds
+      | _ -> (x, s, t) |> fun (x, _, t) -> (x, t) :: binds)
+  | Num a, Num b when a = b -> binds
+  | BoolLit a, BoolLit b when a = b -> binds
+  | NullLoc, NullLoc -> binds
+  | MsEmpty, MsEmpty | SetEmpty, SetEmpty -> binds
+  | Nil _, Nil _ -> binds
+  | TProp p, TProp q -> match_prop binds p q
+  | Add (a, b), Add (c, d)
+  | Sub (a, b), Sub (c, d)
+  | NatSub (a, b), NatSub (c, d)
+  | Mul (a, b), Mul (c, d)
+  | Div (a, b), Div (c, d)
+  | Mod (a, b), Mod (c, d)
+  | Min (a, b), Min (c, d)
+  | Max (a, b), Max (c, d)
+  | LocOfs (a, b), LocOfs (c, d)
+  | MsUnion (a, b), MsUnion (c, d)
+  | SetUnion (a, b), SetUnion (c, d)
+  | SetDiff (a, b), SetDiff (c, d)
+  | Cons (a, b), Cons (c, d)
+  | Append (a, b), Append (c, d)
+  | Replicate (a, b), Replicate (c, d) ->
+      match_term (match_term binds a c) b d
+  | MsSingleton a, MsSingleton b
+  | SetSingleton a, SetSingleton b
+  | Length a, Length b ->
+      match_term binds a b
+  | Ite (c, a, b), Ite (c', a', b') ->
+      match_term (match_term (match_prop binds c c') a a') b b'
+  | NthDflt (a, b, c), NthDflt (a', b', c')
+  | SetListInsert (a, b, c), SetListInsert (a', b', c') ->
+      match_term (match_term (match_term binds a a') b b') c c'
+  | App (f, xs), App (g, ys) when f = g && List.length xs = List.length ys ->
+      List.fold_left2 match_term binds xs ys
+  | _ -> raise No_match
+
+and match_prop binds pat p =
+  match (pat, p) with
+  | PTrue, PTrue | PFalse, PFalse -> binds
+  | PEq (a, b), PEq (c, d)
+  | PLe (a, b), PLe (c, d)
+  | PLt (a, b), PLt (c, d)
+  | PIn (a, b), PIn (c, d) ->
+      match_term (match_term binds a c) b d
+  | PAnd (a, b), PAnd (c, d)
+  | POr (a, b), POr (c, d)
+  | PImp (a, b), PImp (c, d) ->
+      match_prop (match_prop binds a c) b d
+  | PNot a, PNot b -> match_prop binds a b
+  | PIsTrue a, PIsTrue b -> match_term binds a b
+  | PForall (x, _, a), PForall (y, _, b)
+  | PExists (x, _, a), PExists (y, _, b) ->
+      (* rename the concrete binder to the pattern binder *)
+      match_prop binds a (subst_prop [ (y, Var (x, Sort.Unknown)) ] b)
+  | PPred (f, xs), PPred (g, ys)
+    when f = g && List.length xs = List.length ys ->
+      List.fold_left2 match_term binds xs ys
+  | _ -> raise No_match
+
+let binds_ok l binds =
+  (* only allow binding of declared metavars; a non-metavar variable in
+     the pattern must have matched itself *)
+  List.for_all
+    (fun (x, t) ->
+      List.mem_assoc x l.vars
+      || match t with Var (y, _) -> y = x | _ -> false)
+    binds
+
+let try_lemma ~hyps goal (l : lemma) =
+  try
+    let binds = match_prop [] l.concl goal in
+    if not (binds_ok l binds) then false
+    else
+      (* discharge premises left to right.  A premise may bind further
+         metavars by matching a hypothesis (e.g. the shape fact
+         [xs = lxs ++ v :: rxs]); otherwise it is proved by the default
+         solver under the current instantiation. *)
+      let rec prems binds = function
+        | [] -> true
+        | prem :: rest -> (
+            let inst = subst_prop binds prem in
+            let unbound =
+              SS.exists
+                (fun x ->
+                  List.mem_assoc x l.vars && not (List.mem_assoc x binds))
+                (free_vars_prop prem)
+            in
+            if (not unbound) && default_prove ~hyps inst then prems binds rest
+            else
+              (* find a hypothesis the premise pattern matches *)
+              let rec try_hyps = function
+                | [] -> false
+                | h :: hs -> (
+                    match match_prop binds prem (Simp.simp_prop h) with
+                    | binds' when binds_ok l binds' -> prems binds' rest
+                    | _ -> try_hyps hs
+                    | exception No_match -> try_hyps hs)
+              in
+              try_hyps hyps)
+      in
+      prems binds l.premises
+  with No_match -> false
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(** [solve ~tactics ~hyps goal] discharges a side condition, returning
+    how.  [tactics] is the list of named solvers enabled by the current
+    function's [rc::tactics] annotations. *)
+(** Ablation switch: ignore [rc::tactics] (named solvers and lemmas),
+    leaving only the default solver — the paper's "one default solver"
+    baseline. *)
+let ablation_default_only = ref false
+
+let solve ?(tactics = []) ~hyps goal : verdict =
+  let tactics = if !ablation_default_only then [] else tactics in
+  if default_prove ~hyps goal then Auto
+  else
+    let goal = resolve_ites ~hyps goal in
+    let named =
+      List.find_opt
+        (fun name ->
+          match find_solver name with
+          | Some s -> s.run ~hyps goal
+          | None -> false)
+        tactics
+    in
+    match named with
+    | Some name -> Via_solver name
+    | None -> (
+        match
+          if !ablation_default_only then None
+          else List.find_opt (try_lemma ~hyps goal) !lemmas
+        with
+        | Some l -> Via_lemma l.lname
+        | None ->
+            (if Sys.getenv_opt "RC_DEBUG_SOLVE" <> None then begin
+               let oc = open_out_gen [ Open_append; Open_creat ] 0o644
+                   "/tmp/rc_solve_debug.txt" in
+               Printf.fprintf oc "GOAL: %s
+" (Term.show_prop goal);
+               List.iter (fun h -> Printf.fprintf oc "  HYP: %s
+" (Term.show_prop h)) hyps;
+               Printf.fprintf oc "---
+";
+               close_out oc
+             end);
+            Unsolved)

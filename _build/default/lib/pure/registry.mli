@@ -1,0 +1,52 @@
+(** Solver registry: RefinedC's side-condition discharge pipeline
+    (step (C) of Figure 2).
+
+    Side conditions are tried, in order, against: the default solver
+    (simplifier + syntactic lookup + {!Linarith} + {!List_solver}), the
+    named solvers enabled by [rc::tactics], and the registered manual
+    lemmas.  The verdict records which — the basis of Figure 7's
+    auto/manual split. *)
+
+type verdict =
+  | Auto  (** proved by the default solver *)
+  | Via_solver of string  (** proved by a named solver ([rc::tactics]) *)
+  | Via_lemma of string  (** proved by a registered manual lemma *)
+  | Unsolved
+
+val pp_verdict : Format.formatter -> verdict -> unit
+val is_manual : verdict -> bool
+
+val resolve_ites : hyps:Term.prop list -> Term.prop -> Term.prop
+(** resolve conditionals whose condition the hypotheses decide, e.g. the
+    refinement [(n ≤ a ? a - n : a)] under the branch fact [n ≤ a] *)
+
+val default_prove : hyps:Term.prop list -> Term.prop -> bool
+(** the default solver *)
+
+(** {1 Named solvers} *)
+
+type solver = { name : string; run : hyps:Term.prop list -> Term.prop -> bool }
+
+val register_solver : solver -> unit
+val find_solver : string -> solver option
+
+(** {1 Manual lemmas (the stand-in for manual Coq proofs)} *)
+
+type lemma = {
+  lname : string;
+  vars : (string * Sort.t) list;  (** universally quantified metavars *)
+  premises : Term.prop list;
+      (** discharged left to right; a premise may bind further metavars
+          by matching a hypothesis *)
+  concl : Term.prop;
+}
+
+val register_lemma : lemma -> unit
+val clear_lemmas : unit -> unit
+
+(** {1 Entry point} *)
+
+val ablation_default_only : bool ref
+(** benchmark switch: ignore named solvers and lemmas *)
+
+val solve : ?tactics:string list -> hyps:Term.prop list -> Term.prop -> verdict

@@ -1,0 +1,239 @@
+(** Finite-set solver.
+
+    Reproduction of std++'s [set_solver], used by the BST and linked-list
+    case studies (§7 classes #1 and #3).  Sets are idempotent, so
+    normalization deduplicates syntactically equal parts; equality is
+    decided by mutual inclusion over the normal forms, membership by
+    decomposition plus hypothesis chaining, and bounded-universal goals
+    like the sortedness constraints of the BST specs structurally. *)
+
+open Term
+
+type nf = { elems : term list; opaque : term list; diffs : (nf * nf) list }
+
+let rec flatten (t : term) : nf =
+  match t with
+  | SetEmpty -> { elems = []; opaque = []; diffs = [] }
+  | SetSingleton e -> { elems = [ e ]; opaque = []; diffs = [] }
+  | SetUnion (a, b) ->
+      let na = flatten a and nb = flatten b in
+      {
+        elems = na.elems @ nb.elems;
+        opaque = na.opaque @ nb.opaque;
+        diffs = na.diffs @ nb.diffs;
+      }
+  | SetDiff (a, b) ->
+      { elems = []; opaque = []; diffs = [ (flatten a, flatten b) ] }
+  | t -> { elems = []; opaque = [ t ]; diffs = [] }
+
+let dedup cmp l = List.sort_uniq cmp l
+
+let sort_nf nf =
+  {
+    elems = dedup compare_term nf.elems;
+    opaque = dedup compare_term nf.opaque;
+    diffs = nf.diffs;
+  }
+
+let set_substs hyps =
+  List.filter_map
+    (function
+      | PEq ((Var (_, Sort.Set) as v), t) when not (equal_term v t) ->
+          Some (v, t)
+      | PEq (t, (Var (_, Sort.Set) as v)) when not (equal_term v t) ->
+          Some (v, t)
+      | _ -> None)
+    hyps
+
+let rec apply_substs n substs t =
+  if n = 0 then t
+  else
+    let t' =
+      List.fold_left
+        (fun t (v, rhs) ->
+          match v with
+          | Var (x, _) when not (SS.mem x (free_vars_term rhs)) ->
+              subst_term [ (x, rhs) ] t
+          | _ -> t)
+        t substs
+    in
+    if equal_term t t' then t else apply_substs (n - 1) substs t'
+
+type facts = {
+  members : (term * term) list;
+  non_members : (term * term) list;
+  bounded : (term * string * prop) list;
+}
+
+let gather_facts hyps =
+  List.fold_left
+    (fun f h ->
+      match h with
+      | PIn (k, s) when sort_of s = Sort.Set ->
+          { f with members = (k, s) :: f.members }
+      | PNot (PIn (k, s)) when sort_of s = Sort.Set ->
+          { f with non_members = (k, s) :: f.non_members }
+      | PForall (x, _, PImp (PIn (Var (x', _), s), phi)) when x = x' ->
+          { f with bounded = (s, x, phi) :: f.bounded }
+      | _ -> f)
+    { members = []; non_members = []; bounded = [] }
+    hyps
+
+let rec prove ~(prove_pure : hyps:prop list -> prop -> bool) ~hyps goal =
+  let goal = Simp.simp_prop goal in
+  (* saturation: every known membership k ∈ S instantiates every bounded
+     fact ∀x∈S. φ(x), enriching the pure context (one round suffices for
+     the case studies) *)
+  let hyps =
+    let members =
+      List.filter_map
+        (function PIn (k, s) -> Some (k, s) | _ -> None)
+        hyps
+    in
+    let insts =
+      List.concat_map
+        (function
+          | PForall (x, _, PImp (PIn (Var (x', _), s), phi)) when x = x' ->
+              List.filter_map
+                (fun (k, s') ->
+                  if equal_term s s' then Some (subst_prop [ (x, k) ] phi)
+                  else None)
+                members
+          | _ -> [])
+        hyps
+    in
+    insts @ hyps
+  in
+  let substs = set_substs hyps in
+  let norm t = sort_nf (flatten (apply_substs 8 substs (Simp.simp_term t))) in
+  let eq_elem a b = equal_term a b || prove_pure ~hyps (PEq (a, b)) in
+  let ne_elem a b = prove_pure ~hyps (PNot (PEq (a, b))) in
+  let facts = gather_facts hyps in
+  (* [member_of k n]: k provably in normal form n *)
+  let rec member_of k (n : nf) =
+    List.exists (eq_elem k) n.elems
+    || List.exists
+         (fun v ->
+           List.exists
+             (fun (k', s') ->
+               equal_term v (apply_substs 8 substs s') && eq_elem k k')
+             facts.members
+           ||
+           (* disjunction elimination: k ∈ S is known for some S whose
+              normal form contains v, and k is excluded from every other
+              part of S (the BST-descend pattern: from k ∈ {v}∪l∪r, k≠v
+              and the sortedness bound on r, conclude k ∈ l) *)
+           List.exists
+             (fun (k', s') ->
+               eq_elem k k'
+               &&
+               let ns = sort_nf (flatten (apply_substs 8 substs s')) in
+               List.exists (equal_term v) ns.opaque
+               && ns.diffs = []
+               && List.for_all (ne_elem k) ns.elems
+               && List.for_all
+                    (fun u ->
+                      equal_term u v || not_member_of k { elems = []; opaque = [ u ]; diffs = [] })
+                    ns.opaque)
+             facts.members)
+         n.opaque
+    || List.exists
+         (fun (a, b) -> member_of k a && not_member_of k b)
+         n.diffs
+  and not_member_of k (n : nf) =
+    List.for_all (ne_elem k) n.elems
+    && List.for_all
+         (fun v ->
+           List.exists
+             (fun (k', s') ->
+               equal_term v (apply_substs 8 substs s') && eq_elem k k')
+             facts.non_members
+           ||
+           (* bounded facts can exclude: ∀x∈v. φ(x) with φ(k) refutable *)
+           List.exists
+             (fun (s', x, phi) ->
+               equal_term (apply_substs 8 substs s') v
+               && prove_pure ~hyps (PNot (subst_prop [ (x, k) ] phi)))
+             facts.bounded)
+         n.opaque
+    && List.for_all
+         (fun ((a : nf), _) ->
+           (* k ∉ a ⟹ k ∉ a∖b; k ∈ b also suffices but needs b check *)
+           not_member_of k a)
+         n.diffs
+  in
+  match goal with
+  | PTrue -> true
+  | PAnd (a, b) -> prove ~prove_pure ~hyps a && prove ~prove_pure ~hyps b
+  | POr (a, b) -> prove ~prove_pure ~hyps a || prove ~prove_pure ~hyps b
+  | PImp (a, b) -> (
+      match Simp.destruct_hyp a with
+      | None -> true
+      | Some hs -> prove ~prove_pure ~hyps:(hs @ hyps) b)
+  | PForall (x, s, PImp (POr (p, q), phi)) ->
+      prove ~prove_pure ~hyps (PForall (x, s, PImp (p, phi)))
+      && prove ~prove_pure ~hyps (PForall (x, s, PImp (q, phi)))
+  | PForall (x, s, PAnd (p, q)) ->
+      prove ~prove_pure ~hyps (PForall (x, s, p))
+      && prove ~prove_pure ~hyps (PForall (x, s, q))
+  | PForall (x, _, PImp (PEq (Var (x', _), e), phi))
+    when x = x' && not (SS.mem x (free_vars_term e)) ->
+      prove ~prove_pure ~hyps (subst_prop [ (x, e) ] phi)
+  | PForall (x, _, PImp (PEq (e, Var (x', _)), phi))
+    when x = x' && not (SS.mem x (free_vars_term e)) ->
+      prove ~prove_pure ~hyps (subst_prop [ (x, e) ] phi)
+  | PEq (s1, s2) when sort_of s1 = Sort.Set || sort_of s2 = Sort.Set ->
+      let n1 = norm s1 and n2 = norm s2 in
+      (* mutual inclusion on syntactic parts: every elem of one side must
+         be an elem of the other (provably) or covered by membership
+         facts; opaque parts must match syntactically *)
+      let incl a b =
+        List.for_all (fun e -> member_of e b) a.elems
+        && List.for_all
+             (fun v -> List.exists (equal_term v) b.opaque)
+             a.opaque
+        && a.diffs = [] && b.diffs = []
+      in
+      (* common fast path: identical after dedup *)
+      (List.length n1.elems = List.length n2.elems
+       && List.for_all2 equal_term n1.elems n2.elems
+       && List.length n1.opaque = List.length n2.opaque
+       && List.for_all2 equal_term n1.opaque n2.opaque
+       && n1.diffs = [] && n2.diffs = [])
+      ||
+      (* inclusion both ways, requiring same opaque support *)
+      (incl n1 n2 && incl n2 n1)
+  | PIn (k, s) when sort_of s = Sort.Set -> member_of k (norm s)
+  | PNot (PIn (k, s)) when sort_of s = Sort.Set -> not_member_of k (norm s)
+  | PNot (PEq (s, SetEmpty)) | PNot (PEq (SetEmpty, s)) ->
+      let n = norm s in
+      n.elems <> []
+      || List.exists
+           (fun v ->
+             List.exists
+               (fun (_, s') ->
+                 equal_term v (apply_substs 8 substs s'))
+               facts.members)
+           n.opaque
+  | PForall (x, sx, PImp (PIn (Var (x', _), s), phi))
+    when x = x' && sort_of s = Sort.Set ->
+      let n = norm s in
+      let prove_elem e = prove_pure ~hyps (subst_prop [ (x, e) ] phi) in
+      let prove_opaque v =
+        List.exists
+          (fun (s', y, psi) ->
+            let matches =
+              equal_term (apply_substs 8 substs s') v || equal_term s' v
+            in
+            matches
+            &&
+            let fresh = Var (x ^ "'", sx) in
+            let psi' = subst_prop [ (y, fresh) ] psi in
+            let phi' = subst_prop [ (x, fresh) ] phi in
+            prove_pure ~hyps:(psi' :: hyps) phi')
+          facts.bounded
+      in
+      List.for_all prove_elem n.elems
+      && List.for_all prove_opaque n.opaque
+      && n.diffs = []
+  | g -> List.exists (fun h -> equal_prop h g) hyps || prove_pure ~hyps g

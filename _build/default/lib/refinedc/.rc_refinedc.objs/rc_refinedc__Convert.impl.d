@@ -1,0 +1,1 @@
+lib/refinedc/convert.ml: Fmt Lang List Option Rc_caesium Rc_lithium Rc_pure Rtype Simp Sort

@@ -1,0 +1,1 @@
+lib/refinedc/lang.ml: Fmt List Rc_caesium Rc_lithium Rc_pure Rc_util Rtype Sort

@@ -1,0 +1,1 @@
+lib/refinedc/rtype.ml: Fmt Hashtbl List Option Rc_caesium Rc_pure Rc_util Simp Sort

@@ -1,0 +1,1 @@
+lib/refinedc/rule_aux.ml: Convert Fmt Lang Option Rc_caesium Rc_lithium Rc_pure Rtype Simp Sort

@@ -1,0 +1,1 @@
+lib/refinedc/rules.ml: Lang List Rules_binop Rules_call Rules_expr Rules_mem Rules_stmt Rules_subsume

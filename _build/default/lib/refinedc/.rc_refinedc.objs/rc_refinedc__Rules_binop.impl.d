@@ -1,0 +1,1 @@
+lib/refinedc/rules_binop.ml: E Fmt Lang Option Rc_caesium Rc_lithium Rc_pure Rtype Rule_aux Simp

@@ -1,0 +1,1 @@
+lib/refinedc/rules_expr.ml: E Lang List Rc_caesium Rc_lithium Rc_pure Rtype Rule_aux Simp Sort

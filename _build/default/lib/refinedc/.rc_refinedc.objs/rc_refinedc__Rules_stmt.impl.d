@@ -1,0 +1,1 @@
+lib/refinedc/rules_stmt.ml: Convert E Fmt Lang List Printf Rc_caesium Rc_lithium Rc_pure Rtype Rule_aux Simp

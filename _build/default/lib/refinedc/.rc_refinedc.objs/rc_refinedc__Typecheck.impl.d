@@ -1,0 +1,1 @@
+lib/refinedc/typecheck.ml: Convert E Lang List Printf Rc_caesium Rc_lithium Rc_pure Result Rtype Rules Sort

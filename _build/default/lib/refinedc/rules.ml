@@ -1,0 +1,22 @@
+(** The RefinedC standard library of typing rules.
+
+    The paper's standard library "currently contains around 30 types and
+    200 typing rules" (§7); this reproduction's library covers the rules
+    the case-study corpus exercises.  New rules can be registered at any
+    time ([register]) — extensibility is the point of the Lithium
+    architecture (§5, "Extensibility"). *)
+
+let extra : Lang.E.rule list ref = ref []
+
+(** Register additional (user/expert) typing rules. *)
+let register (rs : Lang.E.rule list) = extra := !extra @ rs
+
+let reset_extra () = extra := []
+
+let all () : Lang.E.rule list =
+  Rules_stmt.all @ Rules_expr.all @ Rules_binop.all @ Rules_mem.all
+  @ Rules_call.all @ Rules_subsume.all @ !extra
+
+(** Number of rules in the standard library (for the Figure-7 style
+    summary line in the benchmark harness). *)
+let count () = List.length (all ())

@@ -1,0 +1,180 @@
+(** Structural expression typing (⊢EXPR, T-BINOP-style CPS) plus unary
+    operators and integer casts. *)
+
+open Rc_pure
+open Rc_pure.Term
+module G = Rc_lithium.Goal
+module Syntax = Rc_caesium.Syntax
+module Int_type = Rc_caesium.Int_type
+open Rtype
+open Lang
+open Rule_aux
+
+let mk name prio apply : E.rule = { E.rname = name; prio; apply }
+
+(** The location denoted by a typed value (pointer singletons carry it). *)
+let loc_of (v : term) (ty : rtype) : term =
+  match ty with TPtrV l -> l | TNull -> NullLoc | _ -> v
+
+let expr_rule =
+  mk "T-EXPR" 5 (fun _ri j ->
+      match j with
+      | FExpr { sigma; expr; cont } -> (
+          match expr with
+          | Syntax.IntConst (n, it) -> Some (cont (Num n) (TInt (it, Num n)))
+          | Syntax.NullConst -> Some (cont NullLoc TNull)
+          | Syntax.FnAddr f -> (
+              match List.assoc_opt f sigma.fc_specs with
+              | Some spec ->
+                  Some (cont (Var ("fn_" ^ f, Sort.Loc)) (TFnPtr spec))
+              | None -> None)
+          | Syntax.VarLoc x -> (
+              match List.assoc_opt x sigma.fc_env with
+              | Some l -> Some (cont l (TPtrV l))
+              | None -> (
+                  (* a bare function name used as a value *)
+                  match List.assoc_opt x sigma.fc_specs with
+                  | Some spec ->
+                      Some (cont (Var ("fn_" ^ x, Sort.Loc)) (TFnPtr spec))
+                  | None -> None))
+          | Syntax.Use { atomic; layout; arg } ->
+              Some
+                (G.Basic
+                   (FExpr
+                      {
+                        sigma;
+                        expr = arg;
+                        cont =
+                          (fun v ty ->
+                            G.Basic
+                              (FReadLoc
+                                 {
+                                   loc_term = Simp.simp_term (loc_of v ty);
+                                   layout;
+                                   atomic;
+                                   cont;
+                                   src = None;
+                                 }));
+                      }))
+          | Syntax.FieldOfs { arg; struct_; field } ->
+              let fd = Rc_caesium.Layout.field_exn struct_ field in
+              Some
+                (G.Basic
+                   (FExpr
+                      {
+                        sigma;
+                        expr = arg;
+                        cont =
+                          (fun v ty ->
+                            let l =
+                              Simp.simp_term
+                                (LocOfs (loc_of v ty, Num fd.Rc_caesium.Layout.fld_ofs))
+                            in
+                            cont l (TPtrV l));
+                      }))
+          | Syntax.BinOp { op; ot1; ot2; e1; e2 } ->
+              Some
+                (G.Basic
+                   (FExpr
+                      {
+                        sigma;
+                        expr = e1;
+                        cont =
+                          (fun v1 ty1 ->
+                            G.Basic
+                              (FExpr
+                                 {
+                                   sigma;
+                                   expr = e2;
+                                   cont =
+                                     (fun v2 ty2 ->
+                                       G.Basic
+                                         (FBinop
+                                            {
+                                              op; ot1; ot2; v1; ty1; v2; ty2;
+                                              cont; src = None;
+                                            }));
+                                 }));
+                      }))
+          | Syntax.UnOp { op; ot; arg } ->
+              Some
+                (G.Basic
+                   (FExpr
+                      {
+                        sigma;
+                        expr = arg;
+                        cont =
+                          (fun v ty ->
+                            G.Basic (FUnop { op; ot; v; ty; cont; src = None }));
+                      }))
+          | Syntax.CastIntInt { from_; to_; arg } ->
+              Some
+                (G.Basic
+                   (FExpr
+                      {
+                        sigma;
+                        expr = arg;
+                        cont =
+                          (fun v ty ->
+                            G.Basic
+                              (FCast { from_; to_; v; ty; cont; src = None }));
+                      }))
+          | Syntax.CastPtrPtr arg ->
+              Some (G.Basic (FExpr { sigma; expr = arg; cont })))
+      | _ -> None)
+
+(* Integer casts: the value must fit the target type (RefinedC emits an
+   in-range side condition rather than allowing wrapping). *)
+let cast_int =
+  mk "T-CAST-INT" 5 (fun _ri j ->
+      match j with
+      | FCast { to_; v = _; ty = TInt (_, n); cont; _ } ->
+          Some
+            (G.Star
+               ( G.LProp
+                   (conj
+                      [
+                        PLe (Num (Int_type.min_val to_), n);
+                        PLe (n, Num (Int_type.max_val to_));
+                      ]),
+                 cont n (TInt (to_, n)) ))
+      | FCast { to_; ty = TBool (_, phi); cont; _ } ->
+          Some (cont (bool_term phi) (TInt (to_, bool_term phi)))
+      | _ -> None)
+
+let unop_rules =
+  [
+    mk "O-NEG-INT" 10 (fun _ri j ->
+        match j with
+        | FUnop { op = Syntax.NegOp; v = _; ty = TInt (it, n); cont; _ } ->
+            let r = Simp.simp_term (Sub (Num 0, n)) in
+            Some
+              (G.Star
+                 ( G.LProp
+                     (conj
+                        [
+                          PLe (Num (Int_type.min_val it), r);
+                          PLe (r, Num (Int_type.max_val it));
+                        ]),
+                   cont r (TInt (it, r)) ))
+        | _ -> None);
+    mk "O-NOT-INT" 11 (fun _ri j ->
+        match j with
+        | FUnop { op = Syntax.LogNotOp; ty = TInt (_, n); cont; _ } ->
+            let phi = PEq (n, Num 0) in
+            Some (cont (bool_term phi) (TBool (Int_type.i32, phi)))
+        | FUnop { op = Syntax.LogNotOp; ty = TBool (it, phi); cont; _ } ->
+            Some (cont (bool_term (PNot phi)) (TBool (it, PNot phi)))
+        | _ -> None);
+    (* !p on a pointer: the optional case split of §6 *)
+    mk "O-NOT-OPTIONAL" 12 (fun ri j ->
+        match j with
+        | FUnop { op = Syntax.LogNotOp; ot = Syntax.OPtr; v; ty; cont; _ } ->
+            optional_cases ri v ty
+              ~on_own:(fun () ->
+                cont (Num 0) (TBool (Int_type.i32, PFalse)))
+              ~on_null:(fun () -> cont (Num 1) (TBool (Int_type.i32, PTrue)))
+        | _ -> None);
+  ]
+
+let all : E.rule list = (expr_rule :: cast_int :: unop_rules)

@@ -1,0 +1,173 @@
+(** The per-function typechecker: builds the Lithium goal for a function
+    against its specification and runs the interpreter (step (B) of
+    Figure 2).
+
+    The goal has one branch for the function entry (arguments and
+    preconditions assumed, body checked from the entry block) and one
+    branch per loop-invariant block (the invariant assumed for fresh
+    universals, the loop body checked once).  Jumping *to* an invariant
+    block proves the invariant (rule T-GOTO). *)
+
+open Rc_pure
+open Rc_pure.Term
+module G = Rc_lithium.Goal
+module Syntax = Rc_caesium.Syntax
+module Layout = Rc_caesium.Layout
+open Rtype
+open Lang
+open Convert
+
+type fn_to_check = {
+  func : Syntax.func;
+  spec : fn_spec;
+  invs : (string * loop_inv) list;
+  meta : fn_meta;
+}
+
+(** Location term of a C variable's stack slot. *)
+let slot_term (x : string) : term = Var (x ^ "#loc", Sort.Loc)
+
+(** Pure facts implied by an argument type, available even in loop
+    branches (argument refinements are persistent knowledge). *)
+let rec pure_facts_of_arg (ty : rtype) : prop list =
+  match ty with
+  | TInt (it, n) -> Convert.int_bounds_props it n
+  | TOwn (Some p, t) -> p_ne p NullLoc :: pure_facts_of_arg t
+  | TOwn (None, t) -> pure_facts_of_arg t
+  | TConstr (t, phi) -> phi :: pure_facts_of_arg t
+  | TArrayInt (_, len, xs) -> [ PEq (Length xs, len); PLe (Num 0, len) ]
+  | _ -> []
+
+let check_fn ?(globals = []) ~(specs : (string * fn_spec) list)
+    (ftc : fn_to_check) : (E.result, Rc_lithium.Report.t) result =
+  let func = ftc.func and spec = ftc.spec in
+  let env =
+    List.map (fun (x, _) -> (x, slot_term x)) (func.Syntax.args @ func.Syntax.locals)
+    @ globals
+  in
+  let sigma =
+    {
+      fc_func = func;
+      fc_spec = spec;
+      fc_specs = specs;
+      fc_invs = ftc.invs;
+      fc_env = env;
+      fc_penv = [];
+      fc_meta = ftc.meta;
+      fc_depth = 0;
+    }
+  in
+  let locals_intro g =
+    List.fold_right
+      (fun (x, layout) g ->
+        G.Wand
+          ( G.LAtom (LocTy (slot_term x, TUninit (Num (Layout.size layout)))),
+            g ))
+      func.Syntax.locals g
+  in
+  (* open the universally quantified parameters, substituting them through
+     the spec *)
+  let with_params (body : (string * term) list -> goal) : goal =
+    let rec go acc = function
+      | [] -> body (List.rev acc)
+      | (x, s) :: rest -> G.All (x, s, fun t -> go ((x, t) :: acc) rest)
+    in
+    go [] spec.fs_params
+  in
+  let entry_branch =
+    with_params (fun penv ->
+        let arg_tys = List.map (subst_rtype penv) spec.fs_args in
+        if List.length arg_tys <> List.length func.Syntax.args then
+          (* arity mismatch between spec and code: unprovable *)
+          G.Star (G.LProp PFalse, G.True_)
+        else
+          let spec' =
+            subst_spec penv { spec with fs_params = [] }
+          in
+          let sigma = { sigma with fc_spec = spec'; fc_penv = penv } in
+          let args_intro g =
+            List.fold_right2
+              (fun (x, _) ty g -> G.Wand (intro_loc (slot_term x) ty, g))
+              func.Syntax.args arg_tys g
+          in
+          args_intro
+            (locals_intro
+               (G.Wand
+                  ( intro_hres_list (List.map (subst_hres penv) spec.fs_pre),
+                    G.Basic
+                      (FBlock { sigma; label = func.Syntax.entry; idx = 0 })
+                  ))))
+  in
+  let inv_branch (label, inv) =
+    with_params (fun penv ->
+        let spec' = subst_spec penv { spec with fs_params = [] } in
+        let sigma = { sigma with fc_spec = spec'; fc_penv = penv } in
+        (* persistent pure knowledge: pure preconditions and argument
+           refinement facts *)
+        let pure_pre =
+          List.filter_map
+            (function HProp p -> Some (subst_prop penv p) | HAtom _ -> None)
+            spec.fs_pre
+          @ List.concat_map
+              (fun ty -> pure_facts_of_arg (subst_rtype penv ty))
+              spec.fs_args
+        in
+        let frame =
+          Convert.unlisted_frame sigma (List.map fst inv.li_vars)
+        in
+        let rec open_exists acc = function
+          | [] ->
+              let env' = acc @ penv in
+              let vars_intro g =
+                List.fold_right
+                  (fun (x, ty) g ->
+                    match List.assoc_opt x sigma.fc_env with
+                    | Some l -> G.Wand (intro_loc l (subst_rtype env' ty), g)
+                    | None -> g)
+                  inv.li_vars
+                  (List.fold_right
+                     (fun (l, ty) g -> G.Wand (intro_loc l ty, g))
+                     frame g)
+              in
+              G.Wand
+                ( G.lstars (List.map (fun p -> G.LProp (subst_prop env' p))
+                     inv.li_constraints),
+                  vars_intro (G.Basic (FBlock { sigma; label; idx = 0 })) )
+              |> fun g ->
+              G.Wand (G.lstars (List.map (fun p -> G.LProp p) pure_pre), g)
+          | (x, s) :: rest ->
+              G.All (x, s, fun t -> open_exists ((x, t) :: acc) rest)
+        in
+        open_exists [] inv.li_exists)
+  in
+  let goal =
+    G.AndG
+      ((None, entry_branch)
+      :: List.map
+           (fun (label, inv) ->
+             ( Some (Printf.sprintf "loop invariant block %s" label),
+               inv_branch (label, inv) ))
+           ftc.invs)
+  in
+  let cfg = { E.rules = Rules.all (); tactics = spec.fs_tactics } in
+  E.run cfg goal
+
+(* ------------------------------------------------------------------ *)
+(* Whole-program checking                                              *)
+(* ------------------------------------------------------------------ *)
+
+type program_result = {
+  fn_results : (string * (E.result, Rc_lithium.Report.t) result) list;
+}
+
+let check_program ?(globals = []) (fns : fn_to_check list) : program_result =
+  let specs = List.map (fun f -> (f.spec.fs_name, f.spec)) fns in
+  {
+    fn_results =
+      List.map
+        (fun f -> (f.spec.fs_name, check_fn ~globals ~specs f))
+        fns;
+  }
+
+let all_ok (r : program_result) =
+  List.for_all (fun (_, res) -> Result.is_ok res) r.fn_results

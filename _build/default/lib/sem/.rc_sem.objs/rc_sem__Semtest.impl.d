@@ -1,0 +1,1 @@
+lib/sem/semtest.ml: Fmt List Printf Random Rc_caesium Rc_pure Rc_refinedc Rc_util Sort

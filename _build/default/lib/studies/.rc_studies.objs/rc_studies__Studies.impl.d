@@ -1,0 +1,1 @@
+lib/studies/studies.ml: List Rc_caesium Rc_pure Rc_refinedc Registry Simp Sort

@@ -1,0 +1,1 @@
+lib/util/srcloc.ml: Fmt Int String

@@ -1,0 +1,32 @@
+(** Fresh-name generation.
+
+    Several stages need fresh identifiers: the elaborator (temporaries,
+    CFG block labels), Lithium (universals introduced by goal case (3),
+    evars by case (4)) and the type system (existential witnesses).  A
+    [Gensym.t] is an independent counter so that separate verification runs
+    are reproducible — the whole pipeline is deterministic, a property the
+    paper relies on for predictable proof search. *)
+
+type t = { mutable next : int; prefix : string }
+
+let create ?(prefix = "x") () = { next = 0; prefix }
+
+let fresh ?hint t =
+  let base = match hint with Some h when h <> "" -> h | _ -> t.prefix in
+  let n = t.next in
+  t.next <- n + 1;
+  Printf.sprintf "%s%%%d" base n
+
+(** [fresh_int t] returns a bare counter value (used for evar ids). *)
+let fresh_int t =
+  let n = t.next in
+  t.next <- n + 1;
+  n
+
+let reset t = t.next <- 0
+
+(** [base name] strips the ["%n"] suffix added by [fresh], for display. *)
+let base name =
+  match String.index_opt name '%' with
+  | None -> name
+  | Some i -> String.sub name 0 i

@@ -1,0 +1,51 @@
+(** Source locations for the C frontend and for error reporting.
+
+    A location identifies a half-open range of characters in a named input
+    (usually a [.c] file).  Locations flow from the lexer through every
+    stage of the pipeline so that verification errors can point back at the
+    offending C construct, as in the paper's §2.1 error-message example. *)
+
+type pos = {
+  line : int;  (** 1-based line number *)
+  col : int;  (** 1-based column number *)
+}
+
+type t = {
+  file : string;  (** input name, e.g. ["case_studies/mem_alloc.c"] *)
+  start_p : pos;
+  end_p : pos;
+}
+
+let dummy_pos = { line = 0; col = 0 }
+let dummy = { file = "<none>"; start_p = dummy_pos; end_p = dummy_pos }
+let is_dummy l = l.file = "<none>"
+
+let make ~file ~start_line ~start_col ~end_line ~end_col =
+  {
+    file;
+    start_p = { line = start_line; col = start_col };
+    end_p = { line = end_line; col = end_col };
+  }
+
+(** [merge a b] spans from the start of [a] to the end of [b]. *)
+let merge a b =
+  if is_dummy a then b
+  else if is_dummy b then a
+  else { a with end_p = b.end_p }
+
+let pp ppf l =
+  if is_dummy l then Fmt.string ppf "<unknown location>"
+  else if l.start_p.line = l.end_p.line then
+    Fmt.pf ppf "%s:%d:%d-%d" l.file l.start_p.line l.start_p.col l.end_p.col
+  else
+    Fmt.pf ppf "%s:%d:%d-%d:%d" l.file l.start_p.line l.start_p.col
+      l.end_p.line l.end_p.col
+
+let to_string l = Fmt.str "%a" pp l
+
+let compare a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.start_p.line b.start_p.line in
+    if c <> 0 then c else Int.compare a.start_p.col b.start_p.col

@@ -1,0 +1,1 @@
+test/test_caesium.ml: Alcotest Eval Gen Heap Int_type Layout List Loc Printf QCheck QCheck_alcotest Rc_caesium Test Ub Value

@@ -1,0 +1,1 @@
+test/test_cases.ml: Alcotest Filename Fmt In_channel List Rc_cert Rc_frontend Rc_lithium Rc_refinedc Rc_sem Rc_studies Str Sys

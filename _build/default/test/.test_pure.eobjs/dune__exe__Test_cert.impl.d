@@ -1,0 +1,1 @@
+test/test_cert.ml: Alcotest Filename Fmt List Rc_cert Rc_frontend Rc_lithium Rc_pure Rc_refinedc Rc_studies Sys

@@ -1,0 +1,1 @@
+test/test_frontend.ml: Alcotest Driver Filename List Rc_caesium Rc_frontend Rc_lithium Str Sys

@@ -1,0 +1,1 @@
+test/test_lithium.ml: Alcotest Fmt List Rc_lithium Rc_pure Sort String

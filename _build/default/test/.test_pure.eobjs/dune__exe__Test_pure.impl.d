@@ -1,0 +1,1 @@
+test/test_pure.ml: Alcotest Fmt Linarith List List_solver Mset_solver Printf QCheck QCheck_alcotest Rc_pure Rc_studies Registry Set_solver Simp Sort String

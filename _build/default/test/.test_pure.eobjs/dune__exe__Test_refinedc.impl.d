@@ -1,0 +1,1 @@
+test/test_refinedc.ml: Alcotest Int_type Lang Layout Rc_caesium Rc_lithium Rc_pure Rc_refinedc Sort String Typecheck

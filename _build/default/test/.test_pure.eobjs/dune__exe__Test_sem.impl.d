@@ -1,0 +1,1 @@
+test/test_sem.ml: Alcotest List Random Rc_caesium Rc_frontend Rc_pure Rc_refinedc Rc_sem Rc_studies Sort

@@ -1,0 +1,1 @@
+test/test_specparse.ml: Alcotest Rc_caesium Rc_frontend Rc_pure Rc_refinedc Rc_studies Sort

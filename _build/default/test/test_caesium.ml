@@ -1,0 +1,471 @@
+(* Tests for the Caesium core language: values, layouts, heap, the
+   interpreter's defined and undefined behaviours, and the data-race
+   monitor. *)
+
+open Rc_caesium
+open Rc_caesium.Syntax
+
+let it_i32 = Int_type.i32
+let it_u64 = Int_type.u64
+let li32 = Layout.Int it_i32
+let lu64 = Layout.Int it_u64
+
+let use ?(atomic = false) layout arg = Use { atomic; layout; arg }
+let iconst n = IntConst (n, it_i32)
+
+let binop op e1 e2 =
+  BinOp { op; ot1 = OInt it_i32; ot2 = OInt it_i32; e1; e2 }
+
+let value_tests =
+  let t name f = Alcotest.test_case name `Quick f in
+  [
+    t "int roundtrip" (fun () ->
+        List.iter
+          (fun n ->
+            Alcotest.(check (option int))
+              "roundtrip" (Some n)
+              (Value.to_int it_i32 (Value.of_int it_i32 n)))
+          [ 0; 1; -1; 42; 0x7fffffff; -0x80000000 ]);
+    t "u8 roundtrip" (fun () ->
+        Alcotest.(check (option int))
+          "255" (Some 255)
+          (Value.to_int Int_type.u8 (Value.of_int Int_type.u8 255)));
+    t "loc roundtrip" (fun () ->
+        let l = Loc.ptr 3 16 in
+        Alcotest.(check bool)
+          "roundtrip" true
+          (Value.to_loc (Value.of_loc l) = Some l));
+    t "null roundtrip" (fun () ->
+        Alcotest.(check bool)
+          "null" true
+          (Value.to_loc (Value.of_loc Loc.Null) = Some Loc.Null));
+    t "fn ptr roundtrip" (fun () ->
+        Alcotest.(check (option string))
+          "fn" (Some "main")
+          (Value.to_fn (Value.of_fn "main")));
+    t "poison detected" (fun () ->
+        Alcotest.(check bool) "poison" true (Value.has_poison (Value.poison 4)));
+    t "wrap u8" (fun () ->
+        Alcotest.(check int) "wrap" 44 (Int_type.wrap Int_type.u8 300));
+    t "wrap i8" (fun () ->
+        Alcotest.(check int) "wrap" (-128) (Int_type.wrap Int_type.i8 128));
+  ]
+
+let layout_tests =
+  let t name f = Alcotest.test_case name `Quick f in
+  [
+    t "struct padding" (fun () ->
+        (* struct { char c; int x; } -> x at offset 4, size 8 *)
+        let sl =
+          Layout.mk_struct "s" [ ("c", Layout.Int Int_type.i8); ("x", li32) ]
+        in
+        let f = Layout.field_exn sl "x" in
+        Alcotest.(check int) "offset" 4 f.Layout.fld_ofs;
+        Alcotest.(check int) "size" 8 sl.Layout.sl_size;
+        Alcotest.(check int) "align" 4 sl.Layout.sl_align);
+    t "mem_t layout" (fun () ->
+        (* struct mem_t { size_t len; unsigned char *buffer; } *)
+        let sl = Layout.mk_struct "mem_t" [ ("len", lu64); ("buffer", Layout.Ptr) ] in
+        Alcotest.(check int) "size" 16 sl.Layout.sl_size;
+        Alcotest.(check int)
+          "buffer offset" 8
+          (Layout.field_exn sl "buffer").Layout.fld_ofs);
+    t "array layout" (fun () ->
+        Alcotest.(check int) "size" 40 (Layout.size (Layout.Array (li32, 10))));
+  ]
+
+let heap_tests =
+  let t name f = Alcotest.test_case name `Quick f in
+  [
+    t "alloc store load" (fun () ->
+        let h = Heap.create () in
+        let l = Heap.alloc h 8 in
+        Heap.store h l (Value.of_int it_u64 123456789);
+        Alcotest.(check (option int))
+          "load" (Some 123456789)
+          (Value.to_int it_u64 (Heap.load h l 8)));
+    t "oob load" (fun () ->
+        let h = Heap.create () in
+        let l = Heap.alloc h 4 in
+        Alcotest.check_raises "oob"
+          (Ub.Undef (Ub.Out_of_bounds { loc = Loc.shift l 2; size = 4 }))
+          (fun () -> ignore (Heap.load h (Loc.shift l 2) 4)));
+    t "use after free" (fun () ->
+        let h = Heap.create () in
+        let l = Heap.alloc h 4 in
+        Heap.free h l;
+        Alcotest.check_raises "uaf" (Ub.Undef (Ub.Use_after_free l)) (fun () ->
+            ignore (Heap.load h l 4)));
+    t "double free" (fun () ->
+        let h = Heap.create () in
+        let l = Heap.alloc h 4 in
+        Heap.free h l;
+        Alcotest.check_raises "double free"
+          (Ub.Undef (Ub.Ptr_arith_invalid "free of interior or dead pointer"))
+          (fun () -> Heap.free h l));
+    t "fresh allocations disjoint" (fun () ->
+        let h = Heap.create () in
+        let l1 = Heap.alloc h 8 and l2 = Heap.alloc h 8 in
+        Alcotest.(check bool) "disjoint" false (Loc.equal l1 l2));
+  ]
+
+(* -------------------------------------------------------------- *)
+(* Whole-program interpretation                                    *)
+(* -------------------------------------------------------------- *)
+
+(* int sum_to(int n) { int acc = 0; int i = 1;
+     while (i <= n) { acc += i; i++; } return acc; } *)
+let sum_to_fn =
+  {
+    fname = "sum_to";
+    args = [ ("n", li32) ];
+    locals = [ ("acc", li32); ("i", li32) ];
+    ret_layout = li32;
+    entry = "b0";
+    blocks =
+      [
+        ( "b0",
+          {
+            stmts =
+              [
+                Assign { atomic = false; layout = li32; lhs = VarLoc "acc"; rhs = iconst 0 };
+                Assign { atomic = false; layout = li32; lhs = VarLoc "i"; rhs = iconst 1 };
+              ];
+            term = Goto "loop";
+          } );
+        ( "loop",
+          {
+            stmts = [];
+            term =
+              CondGoto
+                {
+                  ot = OInt it_i32;
+                  cond = binop LeOp (use li32 (VarLoc "i")) (use li32 (VarLoc "n"));
+                  if_true = "body";
+                  if_false = "done";
+                };
+          } );
+        ( "body",
+          {
+            stmts =
+              [
+                Assign
+                  {
+                    atomic = false;
+                    layout = li32;
+                    lhs = VarLoc "acc";
+                    rhs = binop AddOp (use li32 (VarLoc "acc")) (use li32 (VarLoc "i"));
+                  };
+                Assign
+                  {
+                    atomic = false;
+                    layout = li32;
+                    lhs = VarLoc "i";
+                    rhs = binop AddOp (use li32 (VarLoc "i")) (iconst 1);
+                  };
+              ];
+            term = Goto "loop";
+          } );
+        ("done", { stmts = []; term = Return (Some (use li32 (VarLoc "acc"))) });
+      ];
+  }
+
+let prog_sum = { empty_program with funcs = [ ("sum_to", sum_to_fn) ] }
+
+(* A function with signed overflow: int bad(void){ int x = INT_MAX; return x+1; } *)
+let overflow_fn =
+  {
+    fname = "bad";
+    args = [];
+    locals = [ ("x", li32) ];
+    ret_layout = li32;
+    entry = "b0";
+    blocks =
+      [
+        ( "b0",
+          {
+            stmts =
+              [
+                Assign
+                  { atomic = false; layout = li32; lhs = VarLoc "x"; rhs = iconst 0x7fffffff };
+              ];
+            term = Return (Some (binop AddOp (use li32 (VarLoc "x")) (iconst 1)));
+          } );
+      ];
+  }
+
+(* Reading an uninitialized local is a poison use. *)
+let uninit_fn =
+  {
+    fname = "uninit";
+    args = [];
+    locals = [ ("x", li32) ];
+    ret_layout = li32;
+    entry = "b0";
+    blocks = [ ("b0", { stmts = []; term = Return (Some (use li32 (VarLoc "x"))) }) ];
+  }
+
+(* Two threads increment a shared global without synchronization: race. *)
+let racy_inc =
+  {
+    fname = "racy_inc";
+    args = [];
+    locals = [];
+    ret_layout = Layout.Void;
+    entry = "b0";
+    blocks =
+      [
+        ( "b0",
+          {
+            stmts =
+              [
+                Assign
+                  {
+                    atomic = false;
+                    layout = li32;
+                    lhs = VarLoc "counter";
+                    rhs = binop AddOp (use li32 (VarLoc "counter")) (iconst 1);
+                  };
+              ];
+            term = Return None;
+          } );
+      ];
+  }
+
+(* Spinlock-protected increment: acquire a lock with CAS, then touch the
+   shared counter, then release with an atomic store.  No race. *)
+let locked_inc =
+  let lock_layout = li32 in
+  {
+    fname = "locked_inc";
+    args = [];
+    locals = [ ("exp", li32); ("ok", li32) ];
+    ret_layout = Layout.Void;
+    entry = "acquire";
+    blocks =
+      [
+        ( "acquire",
+          {
+            stmts =
+              [
+                Assign { atomic = false; layout = li32; lhs = VarLoc "exp"; rhs = iconst 0 };
+                Cas
+                  {
+                    layout = lock_layout;
+                    obj = VarLoc "lock";
+                    expected = VarLoc "exp";
+                    desired = iconst 1;
+                    dest = Some (li32, VarLoc "ok");
+                  };
+              ];
+            term =
+              CondGoto
+                {
+                  ot = OInt it_i32;
+                  cond = use li32 (VarLoc "ok");
+                  if_true = "crit";
+                  if_false = "acquire";
+                };
+          } );
+        ( "crit",
+          {
+            stmts =
+              [
+                Assign
+                  {
+                    atomic = false;
+                    layout = li32;
+                    lhs = VarLoc "counter";
+                    rhs = binop AddOp (use li32 (VarLoc "counter")) (iconst 1);
+                  };
+                (* release: atomic store of 0 *)
+                Assign { atomic = true; layout = li32; lhs = VarLoc "lock"; rhs = iconst 0 };
+              ];
+            term = Return None;
+          } );
+      ];
+  }
+
+(* init thread for the shared state *)
+let init_shared =
+  {
+    fname = "init_shared";
+    args = [];
+    locals = [];
+    ret_layout = Layout.Void;
+    entry = "b0";
+    blocks =
+      [
+        ( "b0",
+          {
+            stmts =
+              [
+                Assign { atomic = false; layout = li32; lhs = VarLoc "counter"; rhs = iconst 0 };
+                Assign { atomic = true; layout = li32; lhs = VarLoc "lock"; rhs = iconst 0 };
+              ];
+            term = Return None;
+          } );
+      ];
+  }
+
+let conc_prog =
+  {
+    funcs =
+      [
+        ("racy_inc", racy_inc);
+        ("locked_inc", locked_inc);
+        ("init_shared", init_shared);
+      ];
+    globals = [ ("counter", li32); ("lock", li32) ];
+    structs = [];
+  }
+
+let interp_tests =
+  let t name f = Alcotest.test_case name `Quick f in
+  [
+    t "sum_to 10 = 55" (fun () ->
+        match Eval.run_fn prog_sum "sum_to" [ Value.of_int it_i32 10 ] with
+        | Eval.Finished (Some v) ->
+            Alcotest.(check (option int)) "result" (Some 55) (Value.to_int it_i32 v)
+        | _ -> Alcotest.fail "expected normal termination");
+    t "sum_to 0 = 0" (fun () ->
+        match Eval.run_fn prog_sum "sum_to" [ Value.of_int it_i32 0 ] with
+        | Eval.Finished (Some v) ->
+            Alcotest.(check (option int)) "result" (Some 0) (Value.to_int it_i32 v)
+        | _ -> Alcotest.fail "expected normal termination");
+    t "signed overflow is UB" (fun () ->
+        let prog = { empty_program with funcs = [ ("bad", overflow_fn) ] } in
+        match Eval.run_fn prog "bad" [] with
+        | Eval.Undefined (Ub.Signed_overflow _) -> ()
+        | _ -> Alcotest.fail "expected signed overflow UB");
+    t "uninitialized read is UB" (fun () ->
+        let prog = { empty_program with funcs = [ ("uninit", uninit_fn) ] } in
+        match Eval.run_fn prog "uninit" [] with
+        | Eval.Undefined (Ub.Poison_use _) -> ()
+        | _ -> Alcotest.fail "expected poison-use UB");
+    t "out of fuel on infinite loop" (fun () ->
+        let inf =
+          {
+            fname = "inf";
+            args = [];
+            locals = [];
+            ret_layout = Layout.Void;
+            entry = "b0";
+            blocks = [ ("b0", { stmts = []; term = Goto "b0" }) ];
+          }
+        in
+        let prog = { empty_program with funcs = [ ("inf", inf) ] } in
+        match Eval.run_fn ~fuel:1000 prog "inf" [] with
+        | Eval.Out_of_fuel -> ()
+        | _ -> Alcotest.fail "expected out of fuel");
+  ]
+
+let race_tests =
+  let t name f = Alcotest.test_case name `Quick f in
+  let run_seeds which expect_race =
+    (* try several schedules; a race must be found by some seed for the
+       racy program and by no seed for the locked one *)
+    let seeds = [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ] in
+    let raced = ref false in
+    List.iter
+      (fun seed ->
+        match
+          Eval.run_threads ~seed ~init:("init_shared", []) conc_prog
+            [ (which, []); (which, []) ]
+        with
+        | Eval.T_undefined (Ub.Data_race _) -> raced := true
+        | Eval.T_undefined u -> Alcotest.failf "unexpected UB: %s" (Ub.to_string u)
+        | _ -> ())
+      seeds;
+    Alcotest.(check bool) "race found" expect_race !raced
+  in
+  [
+    t "unsynchronized counter races" (fun () -> run_seeds "racy_inc" true);
+    t "spinlock-protected counter does not race" (fun () ->
+        run_seeds "locked_inc" false);
+  ]
+
+(* -------------------------------------------------------------- *)
+(* Property-based tests                                             *)
+(* -------------------------------------------------------------- *)
+
+let prop_tests =
+  let open QCheck in
+  let int_types =
+    [ Int_type.i8; Int_type.u8; Int_type.i16; Int_type.u16; Int_type.i32;
+      Int_type.u32; Int_type.i64; Int_type.size_t ]
+  in
+  let roundtrip =
+    Test.make ~count:500 ~name:"integer encode/decode roundtrips"
+      (pair (int_range 0 7) int)
+      (fun (i, raw) ->
+        let it = List.nth int_types i in
+        let n =
+          let lo = Int_type.min_val it and hi = Int_type.max_val it in
+          (* avoid native-int overflow when the range spans most of it *)
+          if raw >= 0 then hi - (raw mod (hi + 1)) else lo - (raw mod (lo - 1))
+        in
+        Value.to_int it (Value.of_int it n) = Some n)
+  in
+  let wrap_in_range =
+    Test.make ~count:500 ~name:"wrap lands in range"
+      (pair (int_range 0 5) int)
+      (fun (i, n) ->
+        let it = List.nth int_types i in
+        Int_type.in_range it (Int_type.wrap it n))
+  in
+  let layout_disjoint =
+    Test.make ~count:200 ~name:"struct fields are disjoint and aligned"
+      (list_of_size (Gen.int_range 1 6) (int_range 0 7))
+      (fun idxs ->
+        let fields =
+          List.mapi
+            (fun i k ->
+              (Printf.sprintf "f%d" i, Layout.Int (List.nth int_types k)))
+            idxs
+        in
+        let sl = Layout.mk_struct "s" fields in
+        let ranges =
+          List.map
+            (fun fd ->
+              (fd.Layout.fld_ofs,
+               fd.Layout.fld_ofs + Layout.size fd.Layout.fld_layout,
+               Layout.align fd.Layout.fld_layout))
+            sl.Layout.sl_fields
+        in
+        (* aligned *)
+        List.for_all (fun (o, _, a) -> o mod a = 0) ranges
+        (* pairwise disjoint *)
+        && List.for_all
+             (fun (o1, e1, _) ->
+               List.for_all
+                 (fun (o2, e2, _) -> e1 <= o2 || e2 <= o1 || (o1 = o2 && e1 = e2))
+                 (List.filter (fun (o2, _, _) -> o2 <> o1) ranges))
+             ranges
+        (* contained *)
+        && List.for_all (fun (_, e, _) -> e <= sl.Layout.sl_size) ranges)
+  in
+  let deterministic =
+    Test.make ~count:50 ~name:"interpreter is deterministic"
+      (int_range 0 60)
+      (fun n ->
+        let run () =
+          match Eval.run_fn prog_sum "sum_to" [ Value.of_int it_i32 n ] with
+          | Eval.Finished (Some v) -> Value.to_int it_i32 v
+          | _ -> None
+        in
+        run () = run () && run () = Some (n * (n + 1) / 2))
+  in
+  List.map QCheck_alcotest.to_alcotest
+    [ roundtrip; wrap_in_range; layout_disjoint; deterministic ]
+
+let () =
+  Alcotest.run "caesium"
+    [
+      ("values", value_tests);
+      ("layouts", layout_tests);
+      ("heap", heap_tests);
+      ("interp", interp_tests);
+      ("races", race_tests);
+      ("properties", prop_tests);
+    ]

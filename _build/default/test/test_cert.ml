@@ -1,0 +1,103 @@
+(* Certificate-checker tests: genuine certificates re-check; tampered
+   certificates (unknown rules, false side conditions, malformed
+   structure) are flagged — the property that keeps the search engine
+   out of the trusted computing base. *)
+
+open Rc_pure.Term
+module Deriv = Rc_lithium.Deriv
+module Checker = Rc_cert.Checker
+
+let () = Rc_studies.Studies.register_all ()
+
+let case_dir =
+  List.find Sys.file_exists
+    [
+      "case_studies"; "../case_studies"; "../../case_studies";
+      "../../../case_studies";
+    ]
+
+let genuine_deriv () =
+  let t =
+    Rc_frontend.Driver.check_file (Filename.concat case_dir "mem_alloc.c")
+  in
+  match (List.hd t.results).outcome with
+  | Ok res -> res.Rc_refinedc.Lang.E.deriv
+  | Error _ -> Alcotest.fail "mem_alloc did not verify"
+
+let tests =
+  [
+    Alcotest.test_case "genuine certificate re-checks" `Quick (fun () ->
+        let rep = Checker.check (genuine_deriv ()) in
+        Alcotest.(check bool) "ok" true (Checker.ok rep);
+        Alcotest.(check bool) "has rule applications" true
+          (rep.Checker.rule_applications > 10);
+        Alcotest.(check bool) "has side conditions" true
+          (rep.Checker.side_conditions > 3));
+    Alcotest.test_case "unknown rule is flagged" `Quick (fun () ->
+        let d = genuine_deriv () in
+        let tampered =
+          Deriv.make "rule:NO-SUCH-RULE" ~info:"forged" [ d ]
+        in
+        let rep = Checker.check tampered in
+        Alcotest.(check bool) "rejected" false (Checker.ok rep));
+    Alcotest.test_case "false side condition is flagged" `Quick (fun () ->
+        let d = genuine_deriv () in
+        let tampered =
+          Deriv.make "side-condition"
+            ~side:[ (PLt (Num 2, Num 1), Rc_pure.Registry.Auto) ]
+            [ d ]
+        in
+        let rep = Checker.check tampered in
+        Alcotest.(check bool) "rejected" false (Checker.ok rep));
+    Alcotest.test_case "side condition with dangling evars is flagged" `Quick
+      (fun () ->
+        let tampered =
+          Deriv.make "side-condition"
+            ~side:[ (PEq (Evar (0, Rc_pure.Sort.Int), Num 1), Rc_pure.Registry.Auto) ]
+            []
+        in
+        let rep = Checker.check tampered in
+        Alcotest.(check bool) "rejected" false (Checker.ok rep));
+    Alcotest.test_case "claimed-auto verdicts are recomputed, not believed"
+      `Quick (fun () ->
+        (* a condition only a named solver proves, recorded with the right
+           tactics, re-checks; without the tactics it must fail *)
+        let side =
+          [
+            ( PEq
+                ( MsUnion (MsSingleton (Num 1), Var ("s", Rc_pure.Sort.Mset)),
+                  MsUnion (Var ("s", Rc_pure.Sort.Mset), MsSingleton (Num 1)) ),
+              Rc_pure.Registry.Auto );
+          ]
+        in
+        let with_tactics =
+          Deriv.make "side-condition" ~side ~tactics:[ "multiset_solver" ] []
+        in
+        let without =
+          Deriv.make "side-condition" ~side ~tactics:[] []
+        in
+        Alcotest.(check bool) "with tactics" true
+          (Checker.ok (Checker.check with_tactics));
+        Alcotest.(check bool) "without tactics" false
+          (Checker.ok (Checker.check without)));
+    Alcotest.test_case "certificates of all case studies re-check" `Slow
+      (fun () ->
+        List.iter
+          (fun file ->
+            let t =
+              Rc_frontend.Driver.check_file (Filename.concat case_dir file)
+            in
+            List.iter
+              (fun (r : Rc_frontend.Driver.check_result) ->
+                match r.outcome with
+                | Ok res ->
+                    let rep = Checker.check res.Rc_refinedc.Lang.E.deriv in
+                    if not (Checker.ok rep) then
+                      Alcotest.failf "%s/%s: %s" file r.name
+                        (Fmt.str "%a" Checker.pp_report rep)
+                | Error _ -> Alcotest.failf "%s/%s failed" file r.name)
+              t.results)
+          [ "free_list.c"; "bst_direct.c"; "spinlock.c" ]);
+  ]
+
+let () = Alcotest.run "cert" [ ("checker", tests) ]

@@ -1,0 +1,465 @@
+(* Tests for the pure layer: simplifier, linear arithmetic, multiset /
+   set / list solvers and the solver registry. *)
+
+open Rc_pure
+open Rc_pure.Term
+
+let check_prove name hyps goal expect =
+  Alcotest.test_case name `Quick (fun () ->
+      Alcotest.(check bool) name expect (Linarith.prove ~hyps goal))
+
+let a = nat "a"
+let b = nat "b"
+let n = nat "n"
+let i = int_v "i"
+let j = int_v "j"
+
+let simp_tests =
+  let t name input expected =
+    Alcotest.test_case name `Quick (fun () ->
+        Alcotest.(check string)
+          name
+          (term_to_string expected)
+          (term_to_string (Simp.simp_term input)))
+  in
+  let p name input expected =
+    Alcotest.test_case name `Quick (fun () ->
+        Alcotest.(check string)
+          name
+          (prop_to_string expected)
+          (prop_to_string (Simp.simp_prop input)))
+  in
+  [
+    t "add-const" (Add (Num 2, Num 3)) (Num 5);
+    t "add-zero" (Add (a, Num 0)) a;
+    t "mul-zero" (Mul (a, Num 0)) (Num 0);
+    t "natsub-self" (NatSub (a, a)) (Num 0);
+    t "natsub-consts" (NatSub (Num 3, Num 5)) (Num 0);
+    t "length-cons" (Length (Cons (a, Nil Sort.Nat))) (Num 1);
+    t "length-append"
+      (Length (Append (Cons (a, Nil Sort.Nat), Cons (b, Nil Sort.Nat))))
+      (Num 2);
+    t "replicate-len" (Length (Replicate (n, Num 0))) n;
+    t "ite-true" (Ite (PTrue, a, b)) a;
+    t "ite-same" (Ite (PEq (a, b), n, n)) n;
+    t "locofs-zero" (LocOfs (loc_v "l", Num 0)) (loc_v "l");
+    t "locofs-nested"
+      (LocOfs (LocOfs (loc_v "l", Num 1), Num 2))
+      (LocOfs (loc_v "l", Num 3));
+    t "mset-empty-union" (MsUnion (MsEmpty, mset_v "s")) (mset_v "s");
+    p "eq-refl" (PEq (a, a)) PTrue;
+    p "cons-nil" (PEq (Cons (a, Nil Sort.Nat), Nil Sort.Nat)) PFalse;
+    p "in-empty" (PIn (a, MsEmpty)) PFalse;
+    p "in-singleton" (PIn (a, MsSingleton b)) (PEq (a, b));
+    p "not-not" (PNot (PNot (PEq (a, b)))) (PEq (a, b));
+    p "null-ne-ofs" (PEq (NullLoc, LocOfs (loc_v "l", Num 4))) PFalse;
+    p "locofs-inj"
+      (PEq (LocOfs (loc_v "l", a), LocOfs (loc_v "l", b)))
+      (PEq (a, b));
+  ]
+
+let destruct_tests =
+  let t name input expected =
+    Alcotest.test_case name `Quick (fun () ->
+        let shown = function
+          | None -> "contradiction"
+          | Some ps -> String.concat "; " (List.map prop_to_string ps)
+        in
+        Alcotest.(check string)
+          name (shown expected)
+          (shown (Simp.destruct_hyp input)))
+  in
+  [
+    t "append-nil"
+      (PEq (Append (Var ("xs", Sort.List Sort.Nat), Var ("ys", Sort.List Sort.Nat)), Nil Sort.Nat))
+      (Some
+         [
+           PEq (Var ("xs", Sort.List Sort.Nat), Nil Sort.Nat);
+           PEq (Var ("ys", Sort.List Sort.Nat), Nil Sort.Nat);
+         ]);
+    t "false-hyp" (PEq (Num 1, Num 2)) None;
+    t "true-hyp" (PEq (Num 1, Num 1)) (Some []);
+    t "conj-split" (PAnd (PLe (a, b), PLe (b, n)))
+      (Some [ PLe (a, b); PLe (b, n) ]);
+  ]
+
+let linarith_tests =
+  [
+    check_prove "trivial" [] (PLe (Num 1, Num 2)) true;
+    check_prove "refl" [] (PLe (a, a)) true;
+    check_prove "from-hyp" [ PLe (a, b) ] (PLe (a, b)) true;
+    check_prove "transitive" [ PLe (a, b); PLe (b, n) ] (PLe (a, n)) true;
+    check_prove "strict-chain" [ PLt (a, b); PLt (b, n) ]
+      (PLt (Add (a, Num 1), n))
+      true;
+    check_prove "not-provable" [] (PLe (a, b)) false;
+    check_prove "unsat-hyp" [ PLt (a, a) ] PFalse true;
+    check_prove "nat-nonneg" [] (PLe (Num 0, a)) true;
+    check_prove "int-not-nonneg" [] (PLe (Num 0, i)) false;
+    check_prove "arith" [ PLe (n, a) ]
+      (PLe (Sub (a, n), a))
+      true;
+    check_prove "natsub-bound" [] (PLe (NatSub (a, b), a)) true;
+    check_prove "natsub-exact" [ PLe (b, a) ]
+      (PEq (Add (NatSub (a, b), b), a))
+      true;
+    check_prove "min-le" [] (PLe (Min (i, j), i)) true;
+    check_prove "max-ge" [] (PLe (i, Max (i, j))) true;
+    check_prove "ite-branch" [ PLe (n, a) ]
+      (PEq (Ite (PLe (n, a), Num 1, Num 0), Num 1))
+      true;
+    check_prove "disequality-split" [ PLe (a, Num 1); PNot (PEq (a, Num 1)) ]
+      (PEq (a, Num 0))
+      true;
+    check_prove "length-nonneg" []
+      (PLe (Num 0, Length (Var ("xs", Sort.List Sort.Int))))
+      true;
+    check_prove "congruence"
+      [ PLe (Length (Var ("xs", Sort.List Sort.Int)), Num 3) ]
+      (PLe (Length (Var ("xs", Sort.List Sort.Int)), Num 5))
+      true;
+    check_prove "mod-bound" [] (PLt (Mod (i, Num 8), Num 8)) true;
+    check_prove "mod-nonneg" [] (PLe (Num 0, Mod (i, Num 8))) true;
+    check_prove "div-mul" [ PEq (i, Mul (Num 8, j)); PLe (Num 0, j) ]
+      (PLe (Num 0, i))
+      true;
+    check_prove "integrality" [ PEq (Mul (Num 2, i), Num 1) ] PFalse true;
+    check_prove "impl-goal" []
+      (PImp (PLe (a, Num 3), PLe (a, Num 4)))
+      true;
+    check_prove "or-hyp" [ POr (PLe (a, Num 1), PLe (a, Num 2)) ]
+      (PLe (a, Num 2))
+      true;
+    check_prove "eq-subst-nonnum"
+      [ PEq (Var ("xs", Sort.List Sort.Int), Nil Sort.Int) ]
+      (PEq (Length (Var ("xs", Sort.List Sort.Int)), Num 0))
+      true;
+  ]
+
+let default = Registry.default_prove
+
+let mset_tests =
+  let s = mset_v "s" in
+  let tail = mset_v "tail" in
+  let prove hyps g = Mset_solver.prove ~prove_pure:default ~hyps g in
+  let t name hyps g expect =
+    Alcotest.test_case name `Quick (fun () ->
+        Alcotest.(check bool) name expect (prove hyps g))
+  in
+  [
+    t "union-comm" []
+      (PEq (MsUnion (MsSingleton a, s), MsUnion (s, MsSingleton a)))
+      true;
+    t "union-assoc" []
+      (PEq
+         ( MsUnion (MsUnion (s, tail), MsSingleton a),
+           MsUnion (s, MsUnion (tail, MsSingleton a)) ))
+      true;
+    t "cancel-with-eq-elems" [ PEq (a, b) ]
+      (PEq (MsUnion (MsSingleton a, s), MsUnion (MsSingleton b, s)))
+      true;
+    t "not-equal" []
+      (PEq (MsUnion (MsSingleton a, s), s))
+      false;
+    t "subst-hyp" [ PEq (s, MsUnion (MsSingleton n, tail)) ]
+      (PEq (MsUnion (MsSingleton a, s),
+            MsUnion (MsSingleton n, MsUnion (MsSingleton a, tail))))
+      true;
+    t "membership" [] (PIn (a, MsUnion (MsSingleton a, s))) true;
+    t "membership-hyp" [ PIn (a, tail) ]
+      (PIn (a, MsUnion (MsSingleton n, tail)))
+      true;
+    t "nonempty" []
+      (PNot (PEq (MsUnion (MsSingleton a, s), MsEmpty)))
+      true;
+    t "bounded-forall"
+      [
+        PForall ("k", Sort.Nat, PImp (PIn (nat "k", tail), PLe (n, nat "k")));
+        PLe (n, a);
+      ]
+      (PForall
+         ( "k",
+           Sort.Nat,
+           PImp
+             (PIn (nat "k", MsUnion (MsSingleton a, tail)), PLe (n, nat "k"))
+         ))
+      true;
+  ]
+
+let set_tests =
+  let s = Var ("s", Sort.Set) in
+  let l = Var ("l", Sort.Set) in
+  let r = Var ("r", Sort.Set) in
+  let prove hyps g = Set_solver.prove ~prove_pure:default ~hyps g in
+  let t name hyps g expect =
+    Alcotest.test_case name `Quick (fun () ->
+        Alcotest.(check bool) name expect (prove hyps g))
+  in
+  [
+    t "union-comm" []
+      (PEq (SetUnion (SetSingleton a, s), SetUnion (s, SetSingleton a)))
+      true;
+    t "idempotent" []
+      (PEq (SetUnion (SetSingleton a, SetSingleton a), SetSingleton a))
+      true;
+    t "member" [] (PIn (a, SetUnion (l, SetSingleton a))) true;
+    t "member-hyp" [ PIn (a, l) ]
+      (PIn (a, SetUnion (SetSingleton n, SetUnion (l, r))))
+      true;
+    t "not-member"
+      [
+        PForall ("k", Sort.Nat, PImp (PIn (nat "k", l), PLt (nat "k", n)));
+      ]
+      (PNot (PIn (n, l)))
+      true;
+    t "bst-split"
+      [ PEq (s, SetUnion (SetSingleton n, SetUnion (l, r))) ]
+      (PIn (n, s))
+      true;
+    t "forall-over-union"
+      [
+        PForall ("k", Sort.Nat, PImp (PIn (nat "k", l), PLt (nat "k", n)));
+        PLt (a, n);
+      ]
+      (PForall
+         ( "k",
+           Sort.Nat,
+           PImp
+             (PIn (nat "k", SetUnion (SetSingleton a, l)), PLt (nat "k", n))
+         ))
+      true;
+  ]
+
+let list_tests =
+  let xs = Var ("xs", Sort.List Sort.Int) in
+  let ys = Var ("ys", Sort.List Sort.Int) in
+  let prove hyps g = List_solver.prove ~prove_pure:default ~hyps g in
+  let t name hyps g expect =
+    Alcotest.test_case name `Quick (fun () ->
+        Alcotest.(check bool) name expect (prove hyps g))
+  in
+  [
+    t "append-assoc" []
+      (PEq (Append (Append (xs, ys), Cons (i, Nil Sort.Int)),
+            Append (xs, Append (ys, Cons (i, Nil Sort.Int)))))
+      true;
+    t "cancel-front" []
+      (PEq (Cons (i, xs), Cons (i, xs)))
+      true;
+    t "cancel-both-ends" []
+      (PEq (Append (Cons (i, xs), Cons (j, Nil Sort.Int)),
+            Append (Cons (i, xs), Cons (j, Nil Sort.Int))))
+      true;
+    t "ne-extra-elem" []
+      (PNot (PEq (Cons (i, xs), xs)))
+      true;
+    t "subst" [ PEq (ys, Cons (i, xs)) ]
+      (PEq (ys, Cons (i, xs)))
+      true;
+    t "repl-eq" [ PEq (n, b) ]
+      (PEq (Replicate (n, Num 0), Replicate (b, Num 0)))
+      true;
+  ]
+
+let registry_tests =
+  let t name f = Alcotest.test_case name `Quick f in
+  [
+    t "auto-verdict" (fun () ->
+        Alcotest.(check string)
+          "auto" "auto"
+          (Fmt.str "%a" Registry.pp_verdict
+             (Registry.solve ~hyps:[ PLe (a, b) ] (PLe (a, Add (b, Num 1))))));
+    t "tactics-verdict" (fun () ->
+        let g =
+          PEq
+            ( MsUnion (MsSingleton a, mset_v "s"),
+              MsUnion (mset_v "s", MsSingleton a) )
+        in
+        Alcotest.(check string)
+          "via multiset solver" "solver:multiset_solver"
+          (Fmt.str "%a" Registry.pp_verdict
+             (Registry.solve ~tactics:[ "multiset_solver" ] ~hyps:[] g)));
+    t "unsolved-without-tactics" (fun () ->
+        let g =
+          PEq
+            ( MsUnion (MsSingleton a, mset_v "s"),
+              MsUnion (mset_v "s", MsSingleton a) )
+        in
+        Alcotest.(check bool)
+          "unsolved" true
+          (Registry.solve ~hyps:[] g = Registry.Unsolved));
+    t "lemma-application" (fun () ->
+        Registry.clear_lemmas ();
+        Registry.register_lemma
+          {
+            Registry.lname = "mod_lt_self";
+            vars = [ ("x", Sort.Nat); ("m", Sort.Nat) ];
+            premises = [ PLt (Num 0, Var ("m", Sort.Nat)) ];
+            concl =
+              PLt (Mod (Var ("x", Sort.Nat), Var ("m", Sort.Nat)),
+                   Var ("m", Sort.Nat));
+          };
+        let v =
+          Registry.solve ~hyps:[ PLt (Num 0, nat "cap") ]
+            (PLt (Mod (nat "h", nat "cap"), nat "cap"))
+        in
+        Registry.clear_lemmas ();
+        Alcotest.(check string)
+          "lemma verdict" "lemma:mod_lt_self"
+          (Fmt.str "%a" Registry.pp_verdict v));
+  ]
+
+(* property-based tests *)
+
+let gen_lin_term =
+  let open QCheck.Gen in
+  let var = oneofl [ a; b; n ] in
+  fix
+    (fun self depth ->
+      if depth <= 0 then oneof [ var; map (fun k -> Num k) (int_range (-20) 20) ]
+      else
+        frequency
+          [
+            (3, var);
+            (3, map (fun k -> Num k) (int_range (-20) 20));
+            (2, map2 (fun x y -> Add (x, y)) (self (depth - 1)) (self (depth - 1)));
+            (2, map2 (fun x y -> Sub (x, y)) (self (depth - 1)) (self (depth - 1)));
+            (1, map (fun x -> Mul (Num 3, x)) (self (depth - 1)));
+          ])
+    3
+
+let eval_term env t =
+  let rec go t =
+    match t with
+    | Var (x, _) -> List.assoc x env
+    | Num k -> k
+    | Add (x, y) -> go x + go y
+    | Sub (x, y) -> go x - go y
+    | NatSub (x, y) -> max 0 (go x - go y)
+    | Mul (x, y) -> go x * go y
+    | Min (x, y) -> min (go x) (go y)
+    | Max (x, y) -> max (go x) (go y)
+    | _ -> failwith "eval"
+  in
+  go t
+
+let prop_tests =
+  let lin_sound =
+    QCheck.Test.make ~count:300 ~name:"linarith is sound on random goals"
+      QCheck.(
+        pair
+          (make ~print:(fun (x, y) ->
+               Printf.sprintf "%s <= %s" (term_to_string x) (term_to_string y))
+             QCheck.Gen.(pair gen_lin_term gen_lin_term))
+          (triple small_nat small_nat small_nat))
+      (fun (((x, y), (va, vb, vn))) ->
+        (* if the solver proves x <= y with no hypotheses, the inequality
+           must hold for every valuation of the nat variables *)
+        if Linarith.prove ~hyps:[] (PLe (x, y)) then
+          let env = [ ("a", va); ("b", vb); ("n", vn) ] in
+          eval_term env x <= eval_term env y
+        else true)
+  in
+  let simp_sound =
+    QCheck.Test.make ~count:300 ~name:"simplifier preserves value"
+      QCheck.(
+        pair
+          (make ~print:term_to_string gen_lin_term)
+          (triple small_nat small_nat small_nat))
+      (fun (t, (va, vb, vn)) ->
+        let env = [ ("a", va); ("b", vb); ("n", vn) ] in
+        eval_term env t = eval_term env (Simp.simp_term t))
+  in
+  List.map QCheck_alcotest.to_alcotest [ lin_sound; simp_sound ]
+
+let extension_tests =
+  let t name f = Alcotest.test_case name `Quick f in
+  [
+    t "resolve_ites uses branch facts" (fun () ->
+        let goal = PEq (Ite (PLe (n, a), Sub (a, n), a), Sub (a, n)) in
+        Alcotest.(check bool)
+          "provable under n <= a" true
+          (Registry.default_prove ~hyps:[ PLe (n, a) ] goal);
+        Alcotest.(check bool)
+          "not provable without" false
+          (Registry.default_prove ~hyps:[] goal));
+    t "lemma premises can match hypotheses" (fun () ->
+        (* the layered-BST pattern: the shape premise binds metavars *)
+        Registry.clear_lemmas ();
+        let xs = Var ("xs", Sort.List Sort.Int) in
+        let lxs = Var ("lxs", Sort.List Sort.Int) in
+        let rxs = Var ("rxs", Sort.List Sort.Int) in
+        let v = Var ("v", Sort.Int) in
+        let k = Var ("k", Sort.Int) in
+        Registry.register_lemma
+          {
+            Registry.lname = "elem_of_root";
+            vars =
+              [ ("k", Sort.Int); ("v", Sort.Int);
+                ("xs", Sort.List Sort.Int); ("lxs", Sort.List Sort.Int);
+                ("rxs", Sort.List Sort.Int) ];
+            premises = [ PEq (xs, Append (lxs, Cons (v, rxs))); PEq (k, v) ];
+            concl = PIn (k, xs);
+          };
+        let zs = Var ("zs", Sort.List Sort.Int) in
+        let ls = Var ("ls", Sort.List Sort.Int) in
+        let rs = Var ("rs", Sort.List Sort.Int) in
+        let w = Var ("w", Sort.Int) in
+        let u = Var ("u", Sort.Int) in
+        let verdict =
+          Registry.solve
+            ~hyps:[ PEq (zs, Append (ls, Cons (w, rs))); PEq (u, w) ]
+            (PIn (u, zs))
+        in
+        Registry.clear_lemmas ();
+        Alcotest.(check string)
+          "lemma fires" "lemma:elem_of_root"
+          (Fmt.str "%a" Registry.pp_verdict verdict));
+    t "set solver saturates bounded facts" (fun () ->
+        (* from r ∈ l and ∀j∈l. j < v conclude r < v, then r ≤ v *)
+        let l = Var ("l", Sort.Set) in
+        let r = int_v "r" in
+        let v = int_v "v" in
+        Alcotest.(check bool)
+          "saturation" true
+          (Set_solver.prove ~prove_pure:Registry.default_prove
+             ~hyps:
+               [
+                 PIn (r, l);
+                 PForall ("j", Sort.Int, PImp (PIn (int_v "j", l), PLt (int_v "j", v)));
+               ]
+             (PLe (r, v))));
+    t "list solver rewrites defined functions" (fun () ->
+        Rc_studies.Studies.register_all ();
+        let xs = Var ("xs", Sort.List Sort.Int) in
+        let cs = Var ("cs", Sort.List Sort.Int) in
+        let tl = Var ("tl", Sort.List Sort.Int) in
+        let ys = Var ("ys", Sort.List Sort.Int) in
+        let x = int_v "x" in
+        let rev l = App ("rev", [ l ]) in
+        Alcotest.(check bool)
+          "rev-append reasoning" true
+          (List_solver.prove ~prove_pure:Registry.default_prove
+             ~hyps:
+               [ PEq (cs, Cons (x, tl)); PEq (rev xs, Append (rev cs, ys)) ]
+             (PEq (rev xs, Append (rev tl, Cons (x, ys))))));
+    t "nat-subtraction case split" (fun () ->
+        Alcotest.(check bool)
+          "a - (a - n) = n under n <= a" true
+          (Linarith.prove ~hyps:[ PLe (n, a) ]
+             (PEq (Sub (a, Sub (a, n)), n))));
+  ]
+
+let () =
+  Alcotest.run "pure"
+    [
+      ("simp", simp_tests);
+      ("destruct-hyp", destruct_tests);
+      ("linarith", linarith_tests);
+      ("multiset-solver", mset_tests);
+      ("set-solver", set_tests);
+      ("list-solver", list_tests);
+      ("registry", registry_tests);
+      ("extensions", extension_tests);
+      ("properties", prop_tests);
+    ]

@@ -1,0 +1,288 @@
+(* End-to-end tests of the RefinedC type system on hand-elaborated
+   Caesium code: the paper's Figure 1 allocator (both variants of §6),
+   its buggy-specification error message (§2.1), and smaller sanity
+   checks. *)
+
+open Rc_pure
+open Rc_pure.Term
+open Rc_caesium.Syntax
+open Rc_refinedc
+open Rc_refinedc.Rtype
+
+let u64 = Int_type.size_t
+let lu64 = Layout.Int u64
+let li32 = Layout.Int Int_type.i32
+let use ?(atomic = false) layout arg = Use { atomic; layout; arg }
+
+let mem_t_sl = Layout.mk_struct "mem_t" [ ("len", lu64); ("buffer", Layout.Ptr) ]
+
+let () =
+  register_type_def
+    {
+      td_name = "mem_t";
+      td_params = [ ("a", Sort.Nat) ];
+      td_layout = Some (Layout.Struct mem_t_sl);
+      td_unfold =
+        (function
+        | [ a ] ->
+            TStruct (mem_t_sl, [ TInt (u64, a); TOwn (None, TUninit a) ])
+        | _ -> invalid_arg "mem_t arity");
+    }
+
+(* -------------------------------------------------------------- *)
+(* Figure 1: the allocator, hand-elaborated to a Caesium CFG        *)
+(* -------------------------------------------------------------- *)
+
+let d_len = FieldOfs { arg = use Layout.Ptr (VarLoc "d"); struct_ = mem_t_sl; field = "len" }
+let d_buffer =
+  FieldOfs { arg = use Layout.Ptr (VarLoc "d"); struct_ = mem_t_sl; field = "buffer" }
+
+let binop op ot1 ot2 e1 e2 = BinOp { op; ot1; ot2; e1; e2 }
+
+(* variant 1 (Figure 1): allocate from the end of the buffer *)
+let alloc_fn =
+  {
+    fname = "alloc";
+    args = [ ("d", Layout.Ptr); ("sz", lu64) ];
+    locals = [];
+    ret_layout = Layout.Ptr;
+    entry = "b0";
+    blocks =
+      [
+        ( "b0",
+          {
+            stmts = [];
+            term =
+              CondGoto
+                {
+                  ot = OInt Int_type.i32;
+                  cond =
+                    binop GtOp (OInt u64) (OInt u64) (use lu64 (VarLoc "sz"))
+                      (use lu64 d_len);
+                  if_true = "btrue";
+                  if_false = "bfalse";
+                };
+          } );
+        ("btrue", { stmts = []; term = Return (Some NullConst) });
+        ( "bfalse",
+          {
+            stmts =
+              [
+                Assign
+                  {
+                    atomic = false;
+                    layout = lu64;
+                    lhs = d_len;
+                    rhs =
+                      binop SubOp (OInt u64) (OInt u64) (use lu64 d_len)
+                        (use lu64 (VarLoc "sz"));
+                  };
+              ];
+            term =
+              Return
+                (Some
+                   (binop (PtrPlusOp (Layout.Int Int_type.u8)) OPtr (OInt u64)
+                      (use Layout.Ptr d_buffer) (use lu64 d_len)));
+          } );
+      ];
+  }
+
+(* variant 2 (§6, suggested by a PLDI reviewer): allocate from the start *)
+let alloc2_fn =
+  {
+    alloc_fn with
+    fname = "alloc2";
+    locals = [ ("res", Layout.Ptr) ];
+    blocks =
+      [
+        ( "b0",
+          {
+            stmts = [];
+            term =
+              CondGoto
+                {
+                  ot = OInt Int_type.i32;
+                  cond =
+                    binop GtOp (OInt u64) (OInt u64) (use lu64 (VarLoc "sz"))
+                      (use lu64 d_len);
+                  if_true = "btrue";
+                  if_false = "bfalse";
+                };
+          } );
+        ("btrue", { stmts = []; term = Return (Some NullConst) });
+        ( "bfalse",
+          {
+            stmts =
+              [
+                Assign
+                  {
+                    atomic = false;
+                    layout = Layout.Ptr;
+                    lhs = VarLoc "res";
+                    rhs = use Layout.Ptr d_buffer;
+                  };
+                Assign
+                  {
+                    atomic = false;
+                    layout = Layout.Ptr;
+                    lhs = d_buffer;
+                    rhs =
+                      binop (PtrPlusOp (Layout.Int Int_type.u8)) OPtr
+                        (OInt u64)
+                        (use Layout.Ptr d_buffer)
+                        (use lu64 (VarLoc "sz"));
+                  };
+                Assign
+                  {
+                    atomic = false;
+                    layout = lu64;
+                    lhs = d_len;
+                    rhs =
+                      binop SubOp (OInt u64) (OInt u64) (use lu64 d_len)
+                        (use lu64 (VarLoc "sz"));
+                  };
+              ];
+            term = Return (Some (use Layout.Ptr (VarLoc "res")));
+          } );
+      ];
+  }
+
+let a = Var ("a", Sort.Nat)
+let n = Var ("n", Sort.Nat)
+let p = Var ("p", Sort.Loc)
+
+let alloc_spec ?(name = "alloc") ?(cmp = PLe (n, a)) () : fn_spec =
+  {
+    fs_name = name;
+    fs_params = [ ("a", Sort.Nat); ("n", Sort.Nat); ("p", Sort.Loc) ];
+    fs_args = [ TOwn (Some p, TNamed ("mem_t", [ a ])); TInt (u64, n) ];
+    fs_pre = [];
+    fs_exists = [];
+    fs_ret = TOptional (cmp, TOwn (None, TUninit n), TNull);
+    fs_post =
+      [
+        HAtom
+          (LocTy
+             (p, TNamed ("mem_t", [ Ite (PLe (n, a), Sub (a, n), a) ])));
+      ];
+    fs_tactics = [];
+    fs_loc = None;
+  }
+
+let check fn spec =
+  Typecheck.check_fn ~specs:[ (spec.fs_name, spec) ]
+    { func = fn; spec; invs = []; meta = Lang.empty_meta }
+
+let expect_ok name fn spec =
+  Alcotest.test_case name `Quick (fun () ->
+      match check fn spec with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "verification failed:@.%s" (Rc_lithium.Report.to_string e))
+
+let expect_fail name fn spec =
+  Alcotest.test_case name `Quick (fun () ->
+      match check fn spec with
+      | Ok _ -> Alcotest.fail "verification unexpectedly succeeded"
+      | Error _ -> ())
+
+(* -------------------------------------------------------------- *)
+(* Smaller sanity checks                                            *)
+(* -------------------------------------------------------------- *)
+
+(* int id(int x) { return x; } *)
+let id_fn =
+  {
+    fname = "id";
+    args = [ ("x", li32) ];
+    locals = [];
+    ret_layout = li32;
+    entry = "b0";
+    blocks =
+      [ ("b0", { stmts = []; term = Return (Some (use li32 (VarLoc "x"))) }) ];
+  }
+
+let id_spec =
+  {
+    fs_name = "id";
+    fs_params = [ ("n", Sort.Int) ];
+    fs_args = [ TInt (Int_type.i32, Var ("n", Sort.Int)) ];
+    fs_pre = [];
+    fs_exists = [];
+    fs_ret = TInt (Int_type.i32, Var ("n", Sort.Int));
+    fs_post = [];
+    fs_tactics = [];
+    fs_loc = None;
+  }
+
+(* int add3(int x) { return x + 3; }, spec requires n+3 in range *)
+let add3_fn =
+  {
+    id_fn with
+    fname = "add3";
+    blocks =
+      [
+        ( "b0",
+          {
+            stmts = [];
+            term =
+              Return
+                (Some
+                   (binop AddOp (OInt Int_type.i32) (OInt Int_type.i32)
+                      (use li32 (VarLoc "x"))
+                      (IntConst (3, Int_type.i32))));
+          } );
+      ];
+  }
+
+let add3_spec ~with_pre =
+  {
+    id_spec with
+    fs_name = "add3";
+    fs_pre =
+      (if with_pre then
+         [ HProp (PLt (Var ("n", Sort.Int), Num 1000000)) ]
+       else []);
+    fs_ret = TInt (Int_type.i32, Add (Var ("n", Sort.Int), Num 3));
+  }
+
+let basic_tests =
+  [
+    expect_ok "id" id_fn id_spec;
+    expect_ok "add3 with precondition" add3_fn (add3_spec ~with_pre:true);
+    expect_fail "add3 without range precondition" add3_fn
+      (add3_spec ~with_pre:false);
+  ]
+
+let alloc_tests =
+  [
+    expect_ok "alloc (Figure 1)" alloc_fn (alloc_spec ());
+    expect_ok "alloc variant 2 (§6), same rules" alloc2_fn
+      (alloc_spec ~name:"alloc2" ());
+    expect_fail "alloc with buggy spec n < a (§2.1)" alloc_fn
+      (alloc_spec ~cmp:(PLt (n, a)) ());
+  ]
+
+let error_message_test =
+  Alcotest.test_case "buggy spec yields a located, readable error" `Quick
+    (fun () ->
+      match check alloc_fn (alloc_spec ~cmp:(PLt (n, a)) ()) with
+      | Ok _ -> Alcotest.fail "expected failure"
+      | Error e ->
+          let msg = Rc_lithium.Report.to_string e in
+          Alcotest.(check bool)
+            "mentions a side condition" true
+            (e.Rc_lithium.Report.kind
+             |> function
+             | Rc_lithium.Report.Unsolved_side_condition _ -> true
+             | _ -> false);
+          Alcotest.(check bool)
+            "message is non-empty" true
+            (String.length msg > 10))
+
+let () =
+  Alcotest.run "refinedc"
+    [
+      ("basic", basic_tests);
+      ("alloc", alloc_tests);
+      ("errors", [ error_message_test ]);
+    ]

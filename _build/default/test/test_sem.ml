@@ -1,0 +1,127 @@
+(* Tests for the semantic-soundness harness itself: the type-directed
+   generator produces inhabitants of the types it claims to (values
+   decode, constraints hold), and the harness actually catches unsound
+   code — a function whose behaviour violates its (deliberately
+   unverified) specification's implicit safety must be reported. *)
+
+open Rc_pure
+open Rc_pure.Term
+open Rc_refinedc.Rtype
+module Sem = Rc_sem.Semtest
+module Caesium = Rc_caesium
+module Int_type = Rc_caesium.Int_type
+module Value = Rc_caesium.Value
+module Heap = Rc_caesium.Heap
+module Syntax = Rc_caesium.Syntax
+
+let () = Rc_studies.Studies.register_all ()
+
+let rng = Random.State.make [| 11 |]
+
+let gen_tests =
+  let t name f = Alcotest.test_case name `Quick f in
+  [
+    t "integers satisfy their refinement" (fun () ->
+        let h = Heap.create () in
+        let va = ref [ ("n", Sem.CInt 7) ] in
+        let v = Sem.gen_arg rng h va (TInt (Int_type.i32, nat "n")) in
+        Alcotest.(check (option int)) "value" (Some 7)
+          (Value.to_int Int_type.i32 v));
+    t "own pointers allocate initialized pointees" (fun () ->
+        let h = Heap.create () in
+        let va = ref [ ("n", Sem.CInt 5) ] in
+        let v =
+          Sem.gen_arg rng h va
+            (TOwn (Some (Var ("p", Sort.Loc)), TInt (Int_type.i32, nat "n")))
+        in
+        match Value.to_loc v with
+        | Some l ->
+            Alcotest.(check (option int)) "pointee" (Some 5)
+              (Value.to_int Int_type.i32 (Heap.load h l 4));
+            (* the location parameter was bound by the allocation *)
+            Alcotest.(check bool) "p bound" true (List.mem_assoc "p" !va)
+        | None -> Alcotest.fail "expected a pointer");
+    t "structs are laid out field by field" (fun () ->
+        let sl =
+          Caesium.Layout.mk_struct "s"
+            [ ("a", Caesium.Layout.Int Int_type.i32);
+              ("b", Caesium.Layout.Int Int_type.u64) ]
+        in
+        let h = Heap.create () in
+        let va = ref [] in
+        let l = Heap.alloc h 16 in
+        Sem.gen_at rng h va
+          (TStruct (sl, [ TInt (Int_type.i32, Num 3); TInt (Int_type.u64, Num 9) ]))
+          l;
+        Alcotest.(check (option int)) "a" (Some 3)
+          (Value.to_int Int_type.i32 (Heap.load h l 4));
+        Alcotest.(check (option int)) "b" (Some 9)
+          (Value.to_int Int_type.u64 (Heap.load h (Caesium.Loc.shift l 8) 8)));
+    t "constraint-directed witnesses solve list decompositions" (fun () ->
+        let h = Heap.create () in
+        let va = ref [ ("xs", Sem.CList [ 4; 5; 6 ]) ] in
+        (* ∃x tl. {… | xs = x :: tl} *)
+        let ty =
+          TExists
+            ( "x",
+              Sort.Int,
+              fun x ->
+                TExists
+                  ( "tl",
+                    Sort.List Sort.Int,
+                    fun tl ->
+                      TConstr
+                        ( TInt (Int_type.i32, x),
+                          PEq (Var ("xs", Sort.List Sort.Int), Cons (x, tl)) )
+                  ) )
+        in
+        let l = Heap.alloc h 4 in
+        Sem.gen_at rng h va ty l;
+        Alcotest.(check (option int)) "head" (Some 4)
+          (Value.to_int Int_type.i32 (Heap.load h l 4)));
+    t "unsatisfiable constraints are reported" (fun () ->
+        let h = Heap.create () in
+        let va = ref [] in
+        match
+          Sem.gen_at rng h va
+            (TConstr (TInt (Int_type.i32, Num 1), PEq (Num 1, Num 2)))
+            (Heap.alloc h 4)
+        with
+        | () -> Alcotest.fail "expected Cannot_generate"
+        | exception Sem.Cannot_generate _ -> ());
+  ]
+
+(* A function whose *body* divides by its argument, with a spec that does
+   not exclude zero: the harness must find the UB. *)
+let div_src = {|
+[[rc::parameters("n: int")]]
+[[rc::args("n @ int<int>")]]
+int half_of_100(int d) {
+  return 100 / d;
+}
+|}
+
+let harness_tests =
+  [
+    Alcotest.test_case "the harness catches division by zero" `Quick
+      (fun () ->
+        (* not verified (and indeed unverifiable: / requires d ≠ 0);
+           we run the harness directly on the unproved spec *)
+        let e = Rc_frontend.Driver.parse_and_elab ~file:"div.c" div_src in
+        let spec =
+          (List.hd e.Rc_frontend.Elab.to_check).Rc_refinedc.Typecheck.spec
+        in
+        match Sem.check_fn ~runs:2000 e.Rc_frontend.Elab.program spec with
+        | Sem.Ub_found _ -> ()
+        | Sem.Passed _ -> Alcotest.fail "UB not found"
+        | Sem.Skipped why -> Alcotest.failf "skipped: %s" why);
+    Alcotest.test_case "the type checker rejects the division" `Quick
+      (fun () ->
+        let t = Rc_frontend.Driver.check_source ~file:"div.c" div_src in
+        Alcotest.(check bool)
+          "rejected" false
+          (Rc_frontend.Driver.errors t = []));
+  ]
+
+let () =
+  Alcotest.run "sem" [ ("generator", gen_tests); ("harness", harness_tests) ]
