@@ -138,17 +138,39 @@ type row = {
   stats : Stats.t;
   locs : loc_counts;
   ok : bool;
+  note : string option;  (** why the row failed, when it did *)
 }
 
+(* A failing study produces a FAILED row instead of aborting the whole
+   table: the harness reports per-row outcomes for the full corpus. *)
 let check_study (s : study) : row =
   let path = Filename.concat case_dir s.file in
-  let t = Driver.check_file path in
-  {
-    study = s;
-    stats = Driver.stats t;
-    locs = count_lines (read path);
-    ok = Driver.errors t = [];
-  }
+  let locs =
+    try count_lines (read path)
+    with _ ->
+      { impl = 0; spec = 0; annot_ds = 0; annot_loop = 0; annot_other = 0 }
+  in
+  match Driver.check_file path with
+  | t ->
+      let note =
+        match Driver.errors t with
+        | [] -> None
+        | (fn, e) :: _ ->
+            Some (Fmt.str "%s: %s" fn (Rc_lithium.Report.kind_label e.kind))
+      in
+      {
+        study = s;
+        stats = Driver.stats t;
+        locs;
+        ok = Driver.errors t = [];
+        note;
+      }
+  | exception Driver.Frontend_error msg ->
+      { study = s; stats = Stats.create (); locs; ok = false;
+        note = Some ("frontend: " ^ msg) }
+  | exception e ->
+      { study = s; stats = Stats.create (); locs; ok = false;
+        note = Some ("crash: " ^ Printexc.to_string e) }
 
 let print_table (rows : row list) =
   Fmt.pr "@.%-5s %-27s %-9s %4s %9s %5s %5s %-14s %4s %6s@." "Class" "Test"
@@ -168,7 +190,10 @@ let print_table (rows : row list) =
         s.Stats.evar_insts s.Stats.side_auto s.Stats.side_manual r.locs.impl
         r.locs.spec annot r.locs.annot_ds r.locs.annot_loop
         r.locs.annot_other r.study.pure_lemmas ovh
-        (if r.ok then "" else "  *** FAILED"))
+        (match (r.ok, r.note) with
+        | true, _ -> ""
+        | false, Some n -> "  *** FAILED: " ^ n
+        | false, None -> "  *** FAILED"))
     rows;
   Fmt.pr "%s@." (String.make 104 '-');
   Fmt.pr
@@ -186,6 +211,8 @@ let print_table (rows : row list) =
 (* ------------------------------------------------------------------ *)
 
 let time_studies (rows : row list) =
+  (* only time rows that verify; a failing study would abort the loop *)
+  let rows = List.filter (fun r -> r.ok) rows in
   let open Bechamel in
   let open Toolkit in
   let tests =

@@ -3,7 +3,14 @@
     - [refinedc check FILE]   — verify every specified function
     - [refinedc run FILE FN]  — execute a function in the Caesium
                                 interpreter (integer arguments)
-    - [refinedc cfg FILE]     — dump the elaborated control-flow graphs *)
+    - [refinedc cfg FILE]     — dump the elaborated control-flow graphs
+
+    [check] honours per-function resource budgets ([--fuel], [--timeout],
+    [--max-depth]) and never aborts the whole file on a single function:
+    checker crashes and budget exhaustion become structured per-function
+    diagnostics.  Exit codes are stable: 0 = everything verified, 1 = at
+    least one verification failure, 2 = at least one checker fault or
+    exhausted budget. *)
 
 open Cmdliner
 module Driver = Rc_frontend.Driver
@@ -32,38 +39,110 @@ let check_cmd =
             "Run the semantic-soundness harness: execute each verified \
              function on sampled well-typed inputs and require UB-freedom.")
   in
-  let run file deriv stats cert semtest =
+  let fuel =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fuel" ] ~docv:"N"
+          ~doc:"Per-function step budget for proof search.")
+  in
+  let timeout =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "timeout" ] ~docv:"SECS"
+          ~doc:
+            "Per-function wall-clock budget in seconds (monotonic clock).")
+  in
+  let max_depth =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-depth" ] ~docv:"N"
+          ~doc:"Per-function goal recursion depth limit.")
+  in
+  let fail_fast =
+    Arg.(
+      value
+      & vflag false
+          [
+            ( true,
+              info [ "fail-fast" ]
+                ~doc:"Stop at the first failing function." );
+            ( false,
+              info [ "keep-going" ]
+                ~doc:
+                  "Check every function regardless of failures (default)."
+            );
+          ])
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit machine-readable JSON diagnostics on stdout instead of \
+             the human-readable report.")
+  in
+  let run file deriv stats cert semtest fuel timeout max_depth fail_fast json =
     setup ();
-    match Driver.check_file file with
+    let budget = { Rc_util.Budget.fuel; timeout; max_depth } in
+    match Driver.check_file ~budget ~fail_fast file with
+    | exception Sys_error msg ->
+        if json then
+          Fmt.pr "%s@."
+            (Rc_util.Jsonout.to_string
+               (Rc_util.Jsonout.Obj
+                  [
+                    ("file", Rc_util.Jsonout.Str file);
+                    ("ok", Rc_util.Jsonout.Bool false);
+                    ("exit_code", Rc_util.Jsonout.Int 1);
+                    ("io_error", Rc_util.Jsonout.Str msg);
+                  ]))
+        else Fmt.epr "%s@." msg;
+        1
     | exception Driver.Frontend_error msg ->
-        Fmt.epr "%s@." msg;
+        if json then
+          Fmt.pr "%s@."
+            (Rc_util.Jsonout.to_string
+               (Rc_util.Jsonout.Obj
+                  [
+                    ("file", Rc_util.Jsonout.Str file);
+                    ("ok", Rc_util.Jsonout.Bool false);
+                    ("exit_code", Rc_util.Jsonout.Int 1);
+                    ("frontend_error", Rc_util.Jsonout.Str msg);
+                  ]))
+        else Fmt.epr "%s@." msg;
         1
     | t ->
         let failed = ref 0 in
+        let say fmt =
+          if json then Format.ikfprintf ignore Fmt.stdout fmt else Fmt.pr fmt
+        in
         List.iter
           (fun (r : Driver.check_result) ->
             match r.outcome with
             | Ok res ->
-                Fmt.pr "%s: verified (%a)@." r.name Rc_lithium.Stats.pp
+                say "%s: verified (%a)@." r.name Rc_lithium.Stats.pp
                   res.Rc_refinedc.Lang.E.stats;
-                if deriv then
+                if deriv && not json then
                   Fmt.pr "%a@." (Rc_lithium.Deriv.pp ~depth:0)
                     res.Rc_refinedc.Lang.E.deriv;
                 if stats then begin
                   let s = res.Rc_refinedc.Lang.E.stats in
-                  Fmt.pr "  distinct rules: %d, applications: %d@."
+                  say "  distinct rules: %d, applications: %d@."
                     (Rc_lithium.Stats.distinct_rules s)
                     s.Rc_lithium.Stats.rule_apps;
-                  Fmt.pr "  evars auto-instantiated: %d@."
+                  say "  evars auto-instantiated: %d@."
                     s.Rc_lithium.Stats.evar_insts;
-                  Fmt.pr "  side conditions auto/manual: %d/%d@."
+                  say "  side conditions auto/manual: %d/%d@."
                     s.Rc_lithium.Stats.side_auto s.Rc_lithium.Stats.side_manual
                 end;
                 if cert then begin
                   let rep =
                     Rc_cert.Checker.check res.Rc_refinedc.Lang.E.deriv
                   in
-                  Fmt.pr "  %a@." Rc_cert.Checker.pp_report rep;
+                  say "  %a@." Rc_cert.Checker.pp_report rep;
                   if not (Rc_cert.Checker.ok rep) then incr failed
                 end;
                 if semtest then begin
@@ -84,23 +163,38 @@ let check_cmd =
                       t.elaborated.Rc_frontend.Elab.program spec.spec
                   with
                   | Rc_sem.Semtest.Passed n ->
-                      Fmt.pr "  semtest: %d executions, no UB@." n
+                      say "  semtest: %d executions, no UB@." n
                   | Rc_sem.Semtest.Skipped why ->
-                      Fmt.pr "  semtest: skipped (%s)@." why
+                      say "  semtest: skipped (%s)@." why
                   | Rc_sem.Semtest.Ub_found msg ->
-                      Fmt.pr "  semtest: UNDEFINED BEHAVIOUR: %s@." msg;
+                      say "  semtest: UNDEFINED BEHAVIOUR: %s@." msg;
                       incr failed
                 end
             | Error e ->
-                Fmt.pr "%s: FAILED@.%s@." r.name (Rc_lithium.Report.to_string e);
+                let what =
+                  if Rc_lithium.Report.is_fault e then "CHECKER FAULT"
+                  else "FAILED"
+                in
+                say "%s: %s@.%s@." r.name what
+                  (Rc_lithium.Report.to_string e);
                 incr failed)
           t.results;
+        List.iter
+          (fun fn -> say "%s: skipped (fail-fast)@." fn)
+          t.Driver.skipped;
+        if json then
+          Fmt.pr "%s@." (Rc_util.Jsonout.to_string (Driver.to_json t));
         List.iter (fun w -> Fmt.epr "warning: %s@." w)
           t.elaborated.Rc_frontend.Elab.warnings;
-        if !failed = 0 then 0 else 1
+        (* the exit-code contract: faults trump verification failures;
+           cert/semtest regressions count as verification failures *)
+        let code = Driver.exit_code t in
+        if code = 0 && !failed > 0 then 1 else code
   in
   Cmd.v (Cmd.info "check" ~doc:"Verify the specified functions of FILE.")
-    Term.(const run $ file $ deriv $ stats $ cert $ semtest)
+    Term.(
+      const run $ file $ deriv $ stats $ cert $ semtest $ fuel $ timeout
+      $ max_depth $ fail_fast $ json)
 
 let run_cmd =
   let file = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in

@@ -1,17 +1,28 @@
 (** The RefinedC toolchain driver (Figure 2): C source → Caesium +
-    specifications → Lithium type checking → per-function results. *)
+    specifications → Lithium type checking → per-function results.
+
+    Every function's check runs inside a fault-isolation boundary: an
+    exception escaping the checker ([Stack_overflow], a solver bug, an
+    injected fault) is converted into a structured per-function
+    {!Rc_lithium.Report.t} instead of aborting the file, so the remaining
+    functions still verify.  {!faults} distinguishes *the checker broke*
+    (crash or budget exhaustion) from {!failures}, *verification found a
+    problem* — the CLI maps these to different exit codes. *)
 
 module Syntax = Rc_caesium.Syntax
+module Report = Rc_lithium.Report
 
 type check_result = {
   name : string;
-  outcome : (Rc_refinedc.Lang.E.result, Rc_lithium.Report.t) result;
+  outcome : (Rc_refinedc.Lang.E.result, Report.t) result;
+  time_s : float;  (** wall-clock seconds spent on this function *)
 }
 
 type t = {
   file : string;
   elaborated : Elab.elaborated;
   results : check_result list;
+  skipped : string list;  (** functions not attempted under [~fail_fast] *)
 }
 
 exception Frontend_error of string
@@ -37,8 +48,34 @@ let parse_and_elab ~file (src : string) : Elab.elaborated =
           raise (Frontend_error ("specification error: " ^ msg))
       | e -> { e with Elab.warnings = extra_warnings @ e.Elab.warnings })
 
-(** Verify every specified function of a source string. *)
-let check_source ~file (src : string) : t =
+(* ------------------------------------------------------------------ *)
+(* Fault isolation                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(** Run one function's check, converting any escaping exception into a
+    structured checker-fault diagnostic.  Asynchronous exceptions are
+    re-raised: masking [Out_of_memory] or Ctrl-C would be dishonest. *)
+let check_fn_isolated ~budget ~specs (f : Rc_refinedc.Typecheck.fn_to_check)
+    : (Rc_refinedc.Lang.E.result, Report.t) result =
+  match Rc_refinedc.Typecheck.check_fn ~budget ~specs f with
+  | outcome -> outcome
+  | exception Report.Error e -> Error e
+  | exception ((Out_of_memory | Sys.Break) as e) -> raise e
+  | exception Rc_util.Faultsim.Injected site ->
+      Error (Report.make (Report.Checker_fault ("injected fault at " ^ site)))
+  | exception Stack_overflow ->
+      Error (Report.make (Report.Checker_fault "Stack_overflow in checker"))
+  | exception e ->
+      Error
+        (Report.make
+           (Report.Checker_fault ("uncaught exception " ^ Printexc.to_string e)))
+
+(** Verify every specified function of a source string.  With
+    [~fail_fast] the remaining functions are skipped (and listed in
+    {!field-skipped}) after the first failure; the default checks all
+    functions regardless. *)
+let check_source ?(budget = Rc_util.Budget.unlimited) ?(fail_fast = false)
+    ~file (src : string) : t =
   let elaborated = parse_and_elab ~file src in
   let specs =
     List.map
@@ -46,31 +83,54 @@ let check_source ~file (src : string) : t =
         (f.spec.Rc_refinedc.Rtype.fs_name, f.spec))
       elaborated.to_check
   in
-  let results =
-    List.map
-      (fun (f : Rc_refinedc.Typecheck.fn_to_check) ->
-        {
-          name = f.spec.Rc_refinedc.Rtype.fs_name;
-          outcome = Rc_refinedc.Typecheck.check_fn ~specs f;
-        })
-      elaborated.to_check
+  let fn_name (f : Rc_refinedc.Typecheck.fn_to_check) =
+    f.spec.Rc_refinedc.Rtype.fs_name
   in
-  { file; elaborated; results }
+  let rec go acc = function
+    | [] -> (List.rev acc, [])
+    | f :: rest ->
+        let watch = Rc_util.Budget.stopwatch () in
+        let outcome = check_fn_isolated ~budget ~specs f in
+        let r = { name = fn_name f; outcome; time_s = watch () } in
+        if fail_fast && Result.is_error outcome then
+          (List.rev (r :: acc), List.map fn_name rest)
+        else go (r :: acc) rest
+  in
+  let results, skipped = go [] elaborated.to_check in
+  { file; elaborated; results; skipped }
 
-let check_file (path : string) : t =
-  let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let src = really_input_string ic n in
-  close_in ic;
-  check_source ~file:path src
+let check_file ?budget ?fail_fast (path : string) : t =
+  let src = In_channel.with_open_bin path In_channel.input_all in
+  check_source ?budget ?fail_fast ~file:path src
 
-let all_ok (t : t) = List.for_all (fun r -> Result.is_ok r.outcome) t.results
+(* ------------------------------------------------------------------ *)
+(* Outcome queries                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let all_ok (t : t) =
+  t.skipped = [] && List.for_all (fun r -> Result.is_ok r.outcome) t.results
 
 let errors (t : t) =
   List.filter_map
     (fun r ->
       match r.outcome with Ok _ -> None | Error e -> Some (r.name, e))
     t.results
+
+(** Verification failures: the program (or its spec) could not be
+    verified.  The complement of {!faults} within {!errors}. *)
+let failures (t : t) =
+  List.filter (fun (_, e) -> not (Report.is_fault e)) (errors t)
+
+(** Checker faults: the *checker* crashed or ran out of budget on these
+    functions; nothing was established about the program. *)
+let faults (t : t) =
+  List.filter (fun (_, e) -> Report.is_fault e) (errors t)
+
+(** The CLI exit-code contract: 0 = all functions verified,
+    1 = at least one verification failure, 2 = at least one checker
+    fault or budget exhaustion. *)
+let exit_code (t : t) =
+  if faults t <> [] then 2 else if all_ok t then 0 else 1
 
 (** Aggregate statistics over all verified functions (Figure 7 inputs). *)
 let stats (t : t) : Rc_lithium.Stats.t =
@@ -82,6 +142,50 @@ let stats (t : t) : Rc_lithium.Stats.t =
       | Error _ -> ())
     t.results;
   acc
+
+(* ------------------------------------------------------------------ *)
+(* JSON diagnostics (--json)                                           *)
+(* ------------------------------------------------------------------ *)
+
+let result_to_json (r : check_result) : Rc_util.Jsonout.t =
+  let open Rc_util.Jsonout in
+  let base = [ ("name", Str r.name); ("time_s", Float r.time_s) ] in
+  match r.outcome with
+  | Ok res ->
+      let s = res.Rc_refinedc.Lang.E.stats in
+      Obj
+        (base
+        @ [
+            ("status", Str "verified");
+            ( "stats",
+              Obj
+                [
+                  ("rule_apps", Int s.Rc_lithium.Stats.rule_apps);
+                  ("evar_insts", Int s.Rc_lithium.Stats.evar_insts);
+                  ("side_auto", Int s.Rc_lithium.Stats.side_auto);
+                  ("side_manual", Int s.Rc_lithium.Stats.side_manual);
+                ] );
+          ])
+  | Error e ->
+      Obj
+        (base
+        @ [
+            ("status", Str (if Report.is_fault e then "fault" else "failed"));
+            ("diagnostic", Report.to_json e);
+          ])
+
+let to_json (t : t) : Rc_util.Jsonout.t =
+  let open Rc_util.Jsonout in
+  Obj
+    [
+      ("file", Str t.file);
+      ("ok", Bool (all_ok t));
+      ("exit_code", Int (exit_code t));
+      ("functions", List (List.map result_to_json t.results));
+      ("skipped", List (List.map (fun s -> Str s) t.skipped));
+      ( "warnings",
+        List (List.map (fun w -> Str w) t.elaborated.Elab.warnings) );
+    ]
 
 (** Run a function of the elaborated program in the Caesium interpreter
     (used by examples and the semantic-soundness harness). *)

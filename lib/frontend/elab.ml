@@ -18,6 +18,13 @@ exception Elab_error of string * Rc_util.Srcloc.t
 
 let err loc fmt = Fmt.kstr (fun s -> raise (Elab_error (s, loc))) fmt
 
+(** Attach the enclosing declaration's location to errors raised while
+    parsing its [rc::] annotations, so spec errors point into the C
+    source like every other frontend diagnostic. *)
+let with_spec_loc loc f =
+  try f ()
+  with Specparse.Spec_error msg -> err loc "specification error: %s" msg
+
 (* ------------------------------------------------------------------ *)
 (* C types → layouts                                                   *)
 (* ------------------------------------------------------------------ *)
@@ -87,6 +94,7 @@ let spec_env (g : genv) vars : Specparse.env =
   { Specparse.vars; structs = g.structs; fn_specs = g.fn_specs }
 
 let elab_struct (g : genv) (sd : struct_decl) : unit =
+  with_spec_loc sd.sd_loc @@ fun () ->
   let layout_fields =
     List.map
       (fun fd -> (fd.fd_name, layout_of_ctype ~loc:sd.sd_loc g fd.fd_type))
@@ -856,7 +864,8 @@ and elab_loop b loc atts _ cond step body =
     :: (lexit, loc_descr "exit of the loop" loc)
     :: b.block_descr;
   (* loop invariant annotations *)
-  (let exists_binders =
+  with_spec_loc loc (fun () ->
+   let exists_binders =
      List.map Specparse.binder (attr_args "exists" atts)
    in
    let env_vars = b.spec_params @ exists_binders in
@@ -906,6 +915,7 @@ let parse_fn_spec (g : genv) (fd : fun_decl) : fn_spec option =
   if attr_args "args" fd.fn_attrs = [] && attr_args "returns" fd.fn_attrs = []
   then None
   else
+    with_spec_loc fd.fn_loc @@ fun () ->
     let params = List.map Specparse.binder (attr_args "parameters" fd.fn_attrs) in
     let env = spec_env g params in
     let args = List.map (Specparse.rtype ~env) (attr_args "args" fd.fn_attrs) in

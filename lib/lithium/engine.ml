@@ -104,7 +104,9 @@ module Make (L : LANG) = struct
     stats : Stats.t;
     gen : Rc_util.Gensym.t;
     cfg : cfg;
+    budget : Rc_util.Budget.t;
     mutable cur_loc : Rc_util.Srcloc.t option;
+    mutable cur_head : string option;  (** head of the last basic goal *)
   }
 
   let resolve st t = Evar.resolve st.evars t
@@ -132,11 +134,31 @@ module Make (L : LANG) = struct
   let fail st ctx kind =
     Report.fail ?loc:st.cur_loc ~trail:ctx.trail ~context:(pp_delta ctx) kind
 
+  (* budget exhaustion: abort the search with a structured diagnostic
+     recording where it stood (§5's predictability, made enforceable) *)
+  let exhausted st ctx (exh : Rc_util.Budget.exhaustion) =
+    fail st ctx
+      (Report.Resource_exhausted
+         {
+           exh;
+           goal_head = st.cur_head;
+           rule_apps = st.stats.Stats.rule_apps;
+           elapsed = Rc_util.Budget.elapsed st.budget;
+         })
+
+  let check_budget st ctx =
+    match Rc_util.Budget.step st.budget with
+    | Some ex -> exhausted st ctx ex
+    | None -> ()
+
   (* ---------------------------------------------------------------- *)
   (* Side conditions (goal case 6c + evar heuristics of §5)            *)
   (* ---------------------------------------------------------------- *)
 
   let rec discharge st ctx (phi : prop) : (prop * Registry.verdict) list =
+    (* the simplification/unification heuristics recurse too: they burn
+       budget so a divergent simp loop cannot hang the checker *)
+    check_budget st ctx;
     let phi = Simp.simp_prop (resolve_prop st phi) in
     match phi with
     | PTrue -> []
@@ -172,7 +194,14 @@ module Make (L : LANG) = struct
   (* The interpreter                                                   *)
   (* ---------------------------------------------------------------- *)
 
-  let rec solve (st : st) (ctx : ctx) (g : goal) : Deriv.node =
+  let rec solve (st : st) (depth : int) (ctx : ctx) (g : goal) : Deriv.node =
+    (* every goal step pays one unit of fuel and re-checks the deadline
+       and the depth bound; exhaustion raises a structured report *)
+    check_budget st ctx;
+    (match Rc_util.Budget.check_depth st.budget depth with
+    | Some ex -> exhausted st ctx ex
+    | None -> ());
+    let solve ctx g = solve st (depth + 1) ctx g in
     match g with
     (* case 1 *)
     | Goal.True_ -> Deriv.make "done" []
@@ -186,7 +215,7 @@ module Make (L : LANG) = struct
                 | Some l -> { ctx with trail = l :: ctx.trail }
                 | None -> ctx
               in
-              let d = solve st ctx g in
+              let d = solve ctx g in
               match label with
               | Some l -> Deriv.make ~info:l "branch" [ d ]
               | None -> d)
@@ -197,16 +226,18 @@ module Make (L : LANG) = struct
     | Goal.All (x, s, body) ->
         let y = Rc_util.Gensym.fresh ~hint:x st.gen in
         let ctx = { ctx with vars = (y, s) :: ctx.vars } in
-        let d = solve st ctx (body (Var (y, s))) in
+        let d = solve ctx (body (Var (y, s))) in
         Deriv.make ~info:(Rc_util.Gensym.base y) "intro-forall" [ d ]
     (* case 4 *)
     | Goal.Ex (x, s, body) ->
         let e = Evar.fresh ~hint:x st.evars s in
-        let d = solve st ctx (body e) in
+        let d = solve ctx (body e) in
         Deriv.make ~info:(term_to_string (resolve st e)) "intro-exists" [ d ]
     (* case 5 *)
     | Goal.Basic f -> begin
         (match L.loc_of_f f with Some l -> st.cur_loc <- Some l | None -> ());
+        st.cur_head <- Some (L.head_of_f f);
+        Rc_util.Faultsim.point "rule_lookup";
         let ri = rule_input st ctx in
         let rec try_rules = function
           | [] ->
@@ -215,7 +246,7 @@ module Make (L : LANG) = struct
               match r.apply ri f with
               | Some premise ->
                   Stats.record_rule st.stats r.rname;
-                  let d = solve st ctx premise in
+                  let d = solve ctx premise in
                   Deriv.make
                     ~info:(Fmt.str "%a" L.pp_f f)
                     ?loc:(L.loc_of_f f)
@@ -227,17 +258,17 @@ module Make (L : LANG) = struct
     (* case 6 *)
     | Goal.Star (h, g') -> begin
         match h with
-        | Goal.LTrue -> solve st ctx g'
-        | Goal.LStar (h1, h2) -> solve st ctx (Goal.Star (h1, Goal.Star (h2, g')))
+        | Goal.LTrue -> solve ctx g'
+        | Goal.LStar (h1, h2) -> solve ctx (Goal.Star (h1, Goal.Star (h2, g')))
         | Goal.LEx (x, s, body) ->
-            solve st ctx (Goal.Ex (x, s, fun t -> Goal.Star (body t, g')))
+            solve ctx (Goal.Ex (x, s, fun t -> Goal.Star (body t, g')))
         | Goal.LProp phi ->
             let side = discharge st ctx phi in
             (* proven facts strengthen Γ for later side conditions *)
             let ctx =
               { ctx with props = List.map fst side @ ctx.props }
             in
-            let d = solve st ctx g' in
+            let d = solve ctx g' in
             Deriv.make ~side ~hyps:ctx.props ~tactics:st.cfg.tactics
               ?loc:st.cur_loc "side-condition" [ d ]
         | Goal.LAtom a ->
@@ -260,7 +291,7 @@ module Make (L : LANG) = struct
             | Some (a', delta) ->
                 let ctx = { ctx with delta } in
                 let d =
-                  solve st ctx (Goal.Basic (L.mk_subsume (resolve_atom st a') a g'))
+                  solve ctx (Goal.Basic (L.mk_subsume (resolve_atom st a') a g'))
                 in
                 Deriv.make
                   ~info:(Fmt.str "%a <: %a" L.pp_atom a' L.pp_atom a)
@@ -269,10 +300,10 @@ module Make (L : LANG) = struct
     (* case 7 *)
     | Goal.Wand (h, g') -> begin
         match h with
-        | Goal.LTrue -> solve st ctx g'
-        | Goal.LStar (h1, h2) -> solve st ctx (Goal.Wand (h1, Goal.Wand (h2, g')))
+        | Goal.LTrue -> solve ctx g'
+        | Goal.LStar (h1, h2) -> solve ctx (Goal.Wand (h1, Goal.Wand (h2, g')))
         | Goal.LEx (x, s, body) ->
-            solve st ctx (Goal.All (x, s, fun t -> Goal.Wand (body t, g')))
+            solve ctx (Goal.All (x, s, fun t -> Goal.Wand (body t, g')))
         | Goal.LProp phi -> begin
             let phi = Simp.simp_prop (resolve_prop st phi) in
             match Simp.destruct_hyp phi with
@@ -281,13 +312,13 @@ module Make (L : LANG) = struct
                 Deriv.make ~info:(prop_to_string phi) "vacuous" []
             | Some hyps ->
                 let ctx = { ctx with props = hyps @ ctx.props } in
-                let d = solve st ctx g' in
+                let d = solve ctx g' in
                 Deriv.make ~info:(prop_to_string phi) "intro-hyp" [ d ]
           end
         | Goal.LAtom a ->
             let a = resolve_atom st a in
             let ctx = { ctx with delta = a :: ctx.delta } in
-            let d = solve st ctx g' in
+            let d = solve ctx g' in
             Deriv.make ~info:(Fmt.str "%a" L.pp_atom a) "intro-atom" [ d ]
       end
     | Goal.FindOpt { descr; pred; cont } -> (
@@ -297,12 +328,12 @@ module Make (L : LANG) = struct
             ctx.delta
         with
         | None ->
-            let d = solve st ctx (cont None) in
+            let d = solve ctx (cont None) in
             Deriv.make ~info:(descr ^ " (absent)") "find-opt" [ d ]
         | Some (a, delta) ->
             let a = resolve_atom st a in
             let ctx = { ctx with delta } in
-            let d = solve st ctx (cont (Some a)) in
+            let d = solve ctx (cont (Some a)) in
             Deriv.make ~info:(Fmt.str "%a" L.pp_atom a) "find-opt" [ d ])
     (* find_in_context extension *)
     | Goal.Find { descr; pred; cont } ->
@@ -316,7 +347,7 @@ module Make (L : LANG) = struct
         | Some (a, delta) ->
             let a = resolve_atom st a in
             let ctx = { ctx with delta } in
-            let d = solve st ctx (cont a) in
+            let d = solve ctx (cont a) in
             Deriv.make ~info:(Fmt.str "%a" L.pp_atom a) "find" [ d ])
 
   (* ---------------------------------------------------------------- *)
@@ -328,20 +359,28 @@ module Make (L : LANG) = struct
     stats : Stats.t;
   }
 
-  let run (cfg : cfg) ?(ctx = empty_ctx) (g : goal) :
-      (result, Report.t) Stdlib.result =
+  let run (cfg : cfg) ?(budget = Rc_util.Budget.unlimited) ?(ctx = empty_ctx)
+      (g : goal) : (result, Report.t) Stdlib.result =
     let st =
       {
         evars = Evar.create ();
         stats = Stats.create ();
         gen = Rc_util.Gensym.create ();
         cfg = { cfg with rules = List.sort (fun a b -> compare a.prio b.prio) cfg.rules };
+        budget = Rc_util.Budget.start budget;
         cur_loc = None;
+        cur_head = None;
       }
     in
-    match solve st ctx g with
+    match solve st 0 ctx g with
     | d ->
         st.stats.Stats.evar_insts <- st.evars.Evar.instantiations;
         Ok { deriv = d; stats = st.stats }
     | exception Report.Error e -> Error e
+    | exception Stack_overflow ->
+        (* catch here (rather than only in the driver) so the diagnostic
+           still carries the source location of the judgment in flight *)
+        Error
+          (Report.make ?loc:st.cur_loc
+             (Report.Checker_fault "Stack_overflow during proof search"))
 end

@@ -41,8 +41,13 @@ let lookup (st : t) (id : int) : term option =
   | _ -> None
 
 (** Resolve all instantiated evars inside a term / proposition. *)
-let resolve (st : t) (t : term) : term = subst_evars_term (lookup st) t
-let resolve_prop (st : t) (p : prop) : prop = subst_evars_prop (lookup st) p
+let resolve (st : t) (t : term) : term =
+  Rc_util.Faultsim.point "evar_resolve";
+  subst_evars_term (lookup st) t
+
+let resolve_prop (st : t) (p : prop) : prop =
+  Rc_util.Faultsim.point "evar_resolve";
+  subst_evars_prop (lookup st) p
 
 let set (st : t) (id : int) (t : term) : unit =
   match Hashtbl.find_opt st.entries id with

@@ -12,6 +12,15 @@ type kind =
   | No_rule_applies of string  (** printed judgment *)
   | No_ownership of string  (** printed atom not found in the context *)
   | Frontend of string  (** parse/elaboration failure *)
+  | Resource_exhausted of {
+      exh : Rc_util.Budget.exhaustion;
+      goal_head : string option;  (** judgment head being attempted *)
+      rule_apps : int;  (** rule applications before exhaustion *)
+      elapsed : float;  (** seconds on the monotonic clock *)
+    }  (** the per-function budget ran out (fuel, deadline, or depth) *)
+  | Checker_fault of string
+      (** an exception escaped the checker itself — a checker bug, not a
+          verification failure *)
 
 type t = {
   loc : Rc_util.Srcloc.t option;
@@ -22,8 +31,22 @@ type t = {
 
 exception Error of t
 
+(** Faults are failures *of the checker* (crash or budget exhaustion),
+    as opposed to failures of verification; the CLI maps them to a
+    distinct exit code. *)
+let is_fault_kind = function
+  | Resource_exhausted _ | Checker_fault _ -> true
+  | Unsolved_side_condition _ | Evar_stuck _ | No_rule_applies _
+  | No_ownership _ | Frontend _ ->
+      false
+
+let is_fault (e : t) = is_fault_kind e.kind
+
+let make ?loc ?(trail = []) ?(context = []) kind : t =
+  { loc; trail; kind; context }
+
 let fail ?loc ?(trail = []) ?(context = []) kind =
-  raise (Error { loc; trail; kind; context })
+  raise (Error (make ?loc ~trail ~context kind))
 
 let pp_kind ppf = function
   | Unsolved_side_condition p ->
@@ -37,12 +60,23 @@ let pp_kind ppf = function
   | No_ownership a ->
       Fmt.pf ppf "Cannot find ownership in the context for@,  %a" Fmt.string a
   | Frontend msg -> Fmt.string ppf msg
+  | Resource_exhausted { exh; goal_head; rule_apps; elapsed } ->
+      Fmt.pf ppf "Proof search aborted: %a@,  after %d rule applications in %.3fs%a"
+        Rc_util.Budget.pp_exhaustion exh rule_apps elapsed
+        (fun ppf -> function
+          | Some h -> Fmt.pf ppf "@,  while attempting judgment %s" h
+          | None -> ())
+        goal_head
+  | Checker_fault msg ->
+      Fmt.pf ppf "Checker fault (this is a bug in the checker, not a@,\
+                  property of the program):@,  %a" Fmt.string msg
 
 let pp ppf (e : t) =
   Fmt.pf ppf "@[<v>";
+  let verb = if is_fault e then "Check aborted" else "Verification failed" in
   (match e.loc with
-  | Some l -> Fmt.pf ppf "Verification failed at %a@," Rc_util.Srcloc.pp l
-  | None -> Fmt.pf ppf "Verification failed@,");
+  | Some l -> Fmt.pf ppf "%s at %a@," verb Rc_util.Srcloc.pp l
+  | None -> Fmt.pf ppf "%s@," verb);
   List.iter (fun b -> Fmt.pf ppf "  in %s@," b) (List.rev e.trail);
   Fmt.pf ppf "%a" pp_kind e.kind;
   if e.context <> [] then begin
@@ -52,3 +86,42 @@ let pp ppf (e : t) =
   Fmt.pf ppf "@]"
 
 let to_string e = Fmt.str "%a" pp e
+
+let kind_label = function
+  | Unsolved_side_condition _ -> "unsolved_side_condition"
+  | Evar_stuck _ -> "evar_stuck"
+  | No_rule_applies _ -> "no_rule_applies"
+  | No_ownership _ -> "no_ownership"
+  | Frontend _ -> "frontend_error"
+  | Resource_exhausted { exh; _ } -> Rc_util.Budget.exhaustion_label exh
+  | Checker_fault _ -> "checker_fault"
+
+(** Machine-readable form for the CLI's [--json] mode. *)
+let to_json (e : t) : Rc_util.Jsonout.t =
+  let open Rc_util.Jsonout in
+  let loc =
+    match e.loc with
+    | Some l -> Str (Rc_util.Srcloc.to_string l)
+    | None -> Null
+  in
+  let extra =
+    match e.kind with
+    | Resource_exhausted { exh = _; goal_head; rule_apps; elapsed } ->
+        [
+          ( "goal_head",
+            match goal_head with Some h -> Str h | None -> Null );
+          ("rule_apps", Int rule_apps);
+          ("elapsed_s", Float elapsed);
+        ]
+    | _ -> []
+  in
+  Obj
+    ([
+       ("kind", Str (kind_label e.kind));
+       ("fault", Bool (is_fault e));
+       ("message", Str (Fmt.str "%a" pp_kind e.kind));
+       ("loc", loc);
+       ("trail", List (List.map (fun s -> Str s) (List.rev e.trail)));
+       ("context", List (List.map (fun s -> Str s) e.context));
+     ]
+    @ extra)

@@ -247,6 +247,7 @@ let try_lemma ~hyps goal (l : lemma) =
 let ablation_default_only = ref false
 
 let solve ?(tactics = []) ~hyps goal : verdict =
+  Rc_util.Faultsim.point "solver";
   let tactics = if !ablation_default_only then [] else tactics in
   if default_prove ~hyps goal then Auto
   else

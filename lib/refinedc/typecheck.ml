@@ -38,8 +38,9 @@ let rec pure_facts_of_arg (ty : rtype) : prop list =
   | TArrayInt (_, len, xs) -> [ PEq (Length xs, len); PLe (Num 0, len) ]
   | _ -> []
 
-let check_fn ?(globals = []) ~(specs : (string * fn_spec) list)
-    (ftc : fn_to_check) : (E.result, Rc_lithium.Report.t) result =
+let check_fn ?(globals = []) ?(budget = Rc_util.Budget.unlimited)
+    ~(specs : (string * fn_spec) list) (ftc : fn_to_check) :
+    (E.result, Rc_lithium.Report.t) result =
   let func = ftc.func and spec = ftc.spec in
   let env =
     List.map (fun (x, _) -> (x, slot_term x)) (func.Syntax.args @ func.Syntax.locals)
@@ -150,7 +151,7 @@ let check_fn ?(globals = []) ~(specs : (string * fn_spec) list)
            ftc.invs)
   in
   let cfg = { E.rules = Rules.all (); tactics = spec.fs_tactics } in
-  E.run cfg goal
+  E.run cfg ~budget goal
 
 (* ------------------------------------------------------------------ *)
 (* Whole-program checking                                              *)
@@ -160,12 +161,13 @@ type program_result = {
   fn_results : (string * (E.result, Rc_lithium.Report.t) result) list;
 }
 
-let check_program ?(globals = []) (fns : fn_to_check list) : program_result =
+let check_program ?(globals = []) ?(budget = Rc_util.Budget.unlimited)
+    (fns : fn_to_check list) : program_result =
   let specs = List.map (fun f -> (f.spec.fs_name, f.spec)) fns in
   {
     fn_results =
       List.map
-        (fun f -> (f.spec.fs_name, check_fn ~globals ~specs f))
+        (fun f -> (f.spec.fs_name, check_fn ~globals ~budget ~specs f))
         fns;
   }
 

@@ -1,0 +1,81 @@
+(** Deterministic, seed-driven fault injection for robustness testing.
+
+    The toolchain claims to survive any single-function checker failure;
+    this module lets the test suite *prove* it.  Instrumented points in
+    the pipeline (solver calls, rule lookup, evar resolution) call
+    {!point}; when the simulator is armed, each hit draws from a
+    splitmix64 stream derived from the campaign seed and raises
+    {!Injected} with the configured probability.  The stream depends only
+    on the seed and the sequence of hits, so campaigns replay
+    bit-for-bit.  Disarmed (the default), a point is a single load and
+    compare. *)
+
+type cfg = {
+  seed : int;
+  rate : float;  (** injection probability per instrumented point *)
+  sites : string list option;  (** restrict to these sites; [None] = all *)
+  max_faults : int;  (** stop injecting after this many; negative = no cap *)
+}
+
+(** Raised at an instrumented point when the simulator decides to
+    inject; the payload is the site name. *)
+exception Injected of string
+
+type state = {
+  cfg : cfg;
+  mutable prng : int64;
+  mutable hits : int;
+  mutable injected : int;
+}
+
+let armed : state option ref = ref None
+
+let arm ?(rate = 0.001) ?sites ?(max_faults = -1) seed =
+  armed :=
+    Some
+      {
+        cfg = { seed; rate; sites; max_faults };
+        prng = Int64.of_int seed;
+        hits = 0;
+        injected = 0;
+      }
+
+let disarm () = armed := None
+let active () = !armed <> None
+let hit_count () = match !armed with Some s -> s.hits | None -> 0
+let injected_count () = match !armed with Some s -> s.injected | None -> 0
+
+(* splitmix64: tiny, high-quality, and fully determined by the seed *)
+let next (s : state) : int64 =
+  s.prng <- Int64.add s.prng 0x9E3779B97F4A7C15L;
+  let z = s.prng in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* uniform draw in [0,1) from the top 53 bits *)
+let uniform (s : state) : float =
+  Int64.to_float (Int64.shift_right_logical (next s) 11) *. 0x1p-53
+
+(** An instrumented point.  No-op unless armed; otherwise may raise
+    {!Injected}. *)
+let point (site : string) : unit =
+  match !armed with
+  | None -> ()
+  | Some s ->
+      if s.cfg.max_faults >= 0 && s.injected >= s.cfg.max_faults then ()
+      else if
+        match s.cfg.sites with None -> true | Some l -> List.mem site l
+      then begin
+        s.hits <- s.hits + 1;
+        if uniform s < s.cfg.rate then begin
+          s.injected <- s.injected + 1;
+          raise (Injected site)
+        end
+      end

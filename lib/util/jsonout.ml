@@ -1,0 +1,48 @@
+(** Minimal JSON emission for machine-readable diagnostics ([--json]).
+
+    Output only — the toolchain never parses JSON — so a tiny value type
+    and a printer with correct string escaping are all that is needed; no
+    external dependency. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape (s : string) : string =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let rec pp ppf (v : t) =
+  match v with
+  | Null -> Fmt.string ppf "null"
+  | Bool b -> Fmt.bool ppf b
+  | Int i -> Fmt.int ppf i
+  | Float f ->
+      if Float.is_integer f && Float.abs f < 1e15 then
+        Fmt.pf ppf "%.1f" f
+      else Fmt.pf ppf "%.6g" f
+  | Str s -> Fmt.pf ppf "\"%s\"" (escape s)
+  | List vs ->
+      Fmt.pf ppf "[@[<hv>%a@]]" (Fmt.list ~sep:(Fmt.any ",@ ") pp) vs
+  | Obj fields ->
+      let field ppf (k, v) = Fmt.pf ppf "\"%s\":%a" (escape k) pp v in
+      Fmt.pf ppf "{@[<hv>%a@]}" (Fmt.list ~sep:(Fmt.any ",@ ") field) fields
+
+let to_string (v : t) : string = Fmt.str "%a" pp v

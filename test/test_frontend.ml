@@ -192,10 +192,68 @@ let more_tests =
              t.elaborated.Rc_frontend.Elab.warnings));
   ]
 
+(* --------------------------------------------------------------- *)
+(* Error paths: malformed input in every frontend stage must yield   *)
+(* a located Frontend_error, never a crash                           *)
+(* --------------------------------------------------------------- *)
+
+let error_path_tests =
+  let expect_located name ~category src =
+    Alcotest.test_case name `Quick (fun () ->
+        match Driver.check_source ~file:"err.c" src with
+        | exception Driver.Frontend_error msg ->
+            let contains what =
+              try
+                ignore (Str.search_forward (Str.regexp_string what) msg 0);
+                true
+              with Not_found -> false
+            in
+            if not (contains category) then
+              Alcotest.failf "expected a %s error, got: %s" category msg;
+            (* the message must point into the source: "err.c:LINE:..." *)
+            if not (Str.string_match (Str.regexp ".*err\\.c:[0-9]+:") msg 0)
+            then Alcotest.failf "no source location in: %s" msg
+        | exception e ->
+            Alcotest.failf "expected Frontend_error, got %s"
+              (Printexc.to_string e)
+        | _ -> Alcotest.fail "malformed input verified")
+  in
+  [
+    expect_located "parse error is located" ~category:"parse error"
+      "int f(int x { return x; }";
+    expect_located "lexical error is located" ~category:"lexical error"
+      "int f(void) { return `1; }";
+    expect_located "unterminated comment is located" ~category:"lexical error"
+      "int f(void) { return 0; } /* oops";
+    expect_located "elaboration error is located"
+      ~category:"elaboration error" "int f(void) { return g(1); }";
+    expect_located "spec error is located" ~category:"specification error"
+      {|
+[[rc::parameters("x: int")]]
+[[rc::args("x @@@ bad")]]
+[[rc::returns("x @ int<int>")]]
+int id(int a) { return a; }
+|};
+    expect_located "spec error in loop annotation is located"
+      ~category:"specification error"
+      {|
+[[rc::parameters("x: nat")]]
+[[rc::args("x @ int<int>")]]
+[[rc::returns("x @ int<int>")]]
+int spin(int a) {
+  [[rc::exists("j: notasort!!")]]
+  [[rc::constraints("{j <= x}")]]
+  while (a > 0) { a -= 1; }
+  return a;
+}
+|};
+  ]
+
 let () =
   Alcotest.run "frontend"
     [
       ("pipeline", pipeline_tests);
       ("mem_alloc", mem_alloc_tests);
       ("more-c-features", more_tests);
+      ("error-paths", error_path_tests);
     ]
