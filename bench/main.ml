@@ -11,7 +11,14 @@
    goal-simplification off, named solvers/lemmas off, and the
    layered-vs-direct BST comparison.
 
-   Run with:  dune exec bench/main.exe -- [--time] [--ablations] [--all] *)
+   Run with:  dune exec bench/main.exe -- [--time] [--ablations] [--all]
+
+   [--json [--json-out PATH] [-j N] [--cache DIR]] instead measures the
+   full corpus end-to-end under four configurations — sequential,
+   parallel (-j), cold cache and warm cache — and writes a
+   machine-readable perf record (default BENCH_pr2.json; schema
+   documented in README.md) so the repo's performance trajectory
+   accumulates as data, one record per PR. *)
 
 module Driver = Rc_frontend.Driver
 module Stats = Rc_lithium.Stats
@@ -74,13 +81,7 @@ let count_lines (src : string) : loc_counts =
   List.iter
     (fun line ->
       let l = String.trim line in
-      let has s =
-        let re = Str.regexp_string s in
-        try
-          ignore (Str.search_forward re l 0);
-          true
-        with Not_found -> false
-      in
+      let has s = Rc_util.Xstring.contains_sub l ~sub:s in
       let is_annot_start = has "[[rc::" in
       let annot_line = is_annot_start || !in_annot in
       if is_annot_start then
@@ -112,9 +113,7 @@ let count_lines (src : string) : loc_counts =
         ()
       else begin
         incr impl;
-        let starts p =
-          String.length l >= String.length p && String.sub l 0 (String.length p) = p
-        in
+        let starts p = Rc_util.Xstring.starts_with ~prefix:p l in
         if (starts "struct" || starts "typedef struct") && not (has "(") then
           in_struct := true;
         if !in_struct && (starts "}" || has "};" || has "}*") then
@@ -289,23 +288,202 @@ let ablations (rows : row list) =
      pure reasoning)@."
 
 (* ------------------------------------------------------------------ *)
+(* Machine-readable perf record (--json)                               *)
+(* ------------------------------------------------------------------ *)
+
+(* One corpus pass under a given configuration.  Studies are checked in
+   corpus order (elaboration registers type definitions globally, so
+   files must not elaborate concurrently); [jobs] fans the *functions*
+   of each study across the domain pool. *)
+
+type jstudy = {
+  j_study : study;
+  j_ok : bool;
+  j_wall_s : float;  (** end-to-end: parse + elaborate + check *)
+  j_functions : int;
+  j_stats : Stats.t;
+  j_hits : int;
+  j_misses : int;
+}
+
+let measure_study ~jobs ?cache (s : study) : jstudy =
+  let path = Filename.concat case_dir s.file in
+  let watch = Rc_util.Budget.stopwatch () in
+  match Driver.check_file ~jobs ?cache path with
+  | t ->
+      let hits, misses =
+        match t.Driver.cache_stats with Some hm -> hm | None -> (0, 0)
+      in
+      {
+        j_study = s;
+        j_ok = Driver.errors t = [] && t.Driver.skipped = [];
+        j_wall_s = watch ();
+        j_functions = List.length t.Driver.results;
+        j_stats = Driver.stats t;
+        j_hits = hits;
+        j_misses = misses;
+      }
+  | exception _ ->
+      {
+        j_study = s;
+        j_ok = false;
+        j_wall_s = watch ();
+        j_functions = 0;
+        j_stats = Stats.create ();
+        j_hits = 0;
+        j_misses = 0;
+      }
+
+let run_to_json ~mode ~jobs ~cached (studies : jstudy list) :
+    float * Rc_util.Jsonout.t =
+  let open Rc_util.Jsonout in
+  let total = List.fold_left (fun a r -> a +. r.j_wall_s) 0. studies in
+  let hits = Rc_util.Xlist.sum (List.map (fun r -> r.j_hits) studies) in
+  let misses = Rc_util.Xlist.sum (List.map (fun r -> r.j_misses) studies) in
+  let study_json r =
+    Obj
+      [
+        ("class", Str r.j_study.cls);
+        ("name", Str r.j_study.name);
+        ("file", Str r.j_study.file);
+        ("ok", Bool r.j_ok);
+        ("wall_s", Float r.j_wall_s);
+        ("functions", Int r.j_functions);
+        ("rule_apps", Int r.j_stats.Stats.rule_apps);
+        ("distinct_rules", Int (Stats.distinct_rules r.j_stats));
+        ("evar_insts", Int r.j_stats.Stats.evar_insts);
+        ("side_auto", Int r.j_stats.Stats.side_auto);
+        ("side_manual", Int r.j_stats.Stats.side_manual);
+        ("cache_hits", Int r.j_hits);
+        ("cache_misses", Int r.j_misses);
+      ]
+  in
+  ( total,
+    Obj
+      [
+        ("mode", Str mode);
+        ("jobs", Int jobs);
+        ("cache", Bool cached);
+        ("total_wall_s", Float total);
+        ("ok", Bool (List.for_all (fun r -> r.j_ok) studies));
+        ("cache_hits", Int hits);
+        ("cache_misses", Int misses);
+        ( "cache_hit_rate",
+          Float
+            (if hits + misses = 0 then 0.
+             else float_of_int hits /. float_of_int (hits + misses)) );
+        ("studies", List (List.map study_json studies));
+      ] )
+
+let json_record ~jobs ~cache_dir ~out () =
+  let open Rc_util.Jsonout in
+  let pass ~mode ~jobs ?cache () =
+    Fmt.pr "  measuring: %-12s (-j %d%s)@." mode jobs
+      (if cache <> None then ", cached" else "");
+    run_to_json ~mode ~jobs ~cached:(cache <> None)
+      (List.map (measure_study ~jobs ?cache) corpus)
+  in
+  let seq_wall, seq = pass ~mode:"sequential" ~jobs:1 () in
+  let par_wall, par = pass ~mode:"parallel" ~jobs () in
+  (* make the cold pass genuinely cold even if the directory survives a
+     previous bench run *)
+  if Sys.file_exists cache_dir && Sys.is_directory cache_dir then
+    Array.iter
+      (fun f ->
+        if Filename.check_suffix f ".vc" then
+          try Sys.remove (Filename.concat cache_dir f) with Sys_error _ -> ())
+      (Sys.readdir cache_dir);
+  let cache = Rc_util.Vercache.create cache_dir in
+  let _, cold = pass ~mode:"cold_cache" ~jobs ~cache () in
+  let warm_wall, warm = pass ~mode:"warm_cache" ~jobs ~cache () in
+  let record =
+    Obj
+      [
+        ("schema", Str "refinedc-bench/1");
+        ("ocaml", Str Sys.ocaml_version);
+        ("word_size", Int Sys.word_size);
+        ("parallelism_available", Bool Rc_util.Pool.parallelism_available);
+        ("jobs", Int jobs);
+        ("corpus_studies", Int (List.length corpus));
+        ( "stdlib",
+          Obj
+            [
+              ("typing_rules", Int (Rc_refinedc.Rules.count ()));
+              ( "named_types",
+                Int (Hashtbl.length Rc_refinedc.Rtype.type_defs) );
+            ] );
+        ("runs", List [ seq; par; cold; warm ]);
+        ( "speedup",
+          Obj
+            [
+              ( "parallel_vs_sequential",
+                Float (if par_wall > 0. then seq_wall /. par_wall else 0.) );
+              ( "warm_cache_vs_sequential",
+                Float (if warm_wall > 0. then seq_wall /. warm_wall else 0.)
+              );
+            ] );
+      ]
+  in
+  Out_channel.with_open_bin out (fun oc ->
+      Out_channel.output_string oc (Rc_util.Jsonout.to_string record);
+      Out_channel.output_string oc "\n");
+  Fmt.pr
+    "@.Perf record written to %s@.  sequential %.3fs, parallel (-j %d) \
+     %.3fs, warm cache %.3fs@."
+    out seq_wall jobs par_wall warm_wall;
+  List.for_all
+    (fun j ->
+      match j with
+      | Obj fields -> (
+          match List.assoc_opt "ok" fields with
+          | Some (Bool b) -> b
+          | _ -> false)
+      | _ -> false)
+    [ seq; par; cold; warm ]
+
+(* ------------------------------------------------------------------ *)
 (* Entry point                                                         *)
 (* ------------------------------------------------------------------ *)
+
+(** [opt_value args name default]: the value following [name]. *)
+let opt_value args name default =
+  match Rc_util.Xlist.index_of (( = ) name) args with
+  | Some i when i + 1 < List.length args -> List.nth args (i + 1)
+  | _ -> default
 
 let () =
   let args = Array.to_list Sys.argv in
   Rc_studies.Studies.register_all ();
-  Fmt.pr "Reproducing Figure 7 (paper: RefinedC, PLDI 2021)@.";
-  let rows = List.map check_study corpus in
-  print_table rows;
-  let all = List.mem "--all" args in
-  if List.mem "--time" args || all || args = [ Sys.argv.(0) ] then
-    time_studies rows;
-  if List.mem "--ablations" args || all || args = [ Sys.argv.(0) ] then
-    ablations rows;
-  if List.for_all (fun r -> r.ok) rows then
-    Fmt.pr "@.All %d case studies verified.@." (List.length rows)
+  if List.mem "--json" args then begin
+    let jobs =
+      match int_of_string_opt (opt_value args "-j" "") with
+      | Some n when n > 0 -> n
+      | _ -> max 2 (Rc_util.Pool.default_jobs ())
+    in
+    let cache_dir =
+      opt_value args "--cache"
+        (Filename.concat (Filename.get_temp_dir_name ()) "refinedc-bench-cache")
+    in
+    let out = opt_value args "--json-out" "BENCH_pr2.json" in
+    Fmt.pr "Benchmarking the corpus (perf record -> %s)@." out;
+    if not (json_record ~jobs ~cache_dir ~out ()) then begin
+      Fmt.pr "@.SOME CASE STUDIES FAILED@.";
+      exit 1
+    end
+  end
   else begin
-    Fmt.pr "@.SOME CASE STUDIES FAILED@.";
-    exit 1
+    Fmt.pr "Reproducing Figure 7 (paper: RefinedC, PLDI 2021)@.";
+    let rows = List.map check_study corpus in
+    print_table rows;
+    let all = List.mem "--all" args in
+    if List.mem "--time" args || all || args = [ Sys.argv.(0) ] then
+      time_studies rows;
+    if List.mem "--ablations" args || all || args = [ Sys.argv.(0) ] then
+      ablations rows;
+    if List.for_all (fun r -> r.ok) rows then
+      Fmt.pr "@.All %d case studies verified.@." (List.length rows)
+    else begin
+      Fmt.pr "@.SOME CASE STUDIES FAILED@.";
+      exit 1
+    end
   end

@@ -84,10 +84,43 @@ let check_cmd =
             "Emit machine-readable JSON diagnostics on stdout instead of \
              the human-readable report.")
   in
-  let run file deriv stats cert semtest fuel timeout max_depth fail_fast json =
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Check up to $(docv) functions in parallel (OCaml 5 domains; \
+             on OCaml 4.x the checks run sequentially).  $(b,-j 0) uses \
+             the runtime's recommended worker count.  Results, statistics \
+             and exit codes are identical to $(b,-j 1).")
+  in
+  let cache =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache" ] ~docv:"DIR"
+          ~doc:
+            "Replay verdicts of unchanged functions from the verification \
+             cache in $(docv) (created if missing) instead of re-proving \
+             them.  Ignored under $(b,--cert), which must re-check real \
+             derivations.")
+  in
+  let run file deriv stats cert semtest fuel timeout max_depth fail_fast json
+      jobs cache =
     setup ();
     let budget = { Rc_util.Budget.fuel; timeout; max_depth } in
-    match Driver.check_file ~budget ~fail_fast file with
+    let jobs = if jobs <= 0 then Rc_util.Pool.default_jobs () else jobs in
+    let cache =
+      match cache with
+      | Some _ when cert ->
+          Fmt.epr
+            "warning: --cache is ignored under --cert (certificates must \
+             be re-derived)@.";
+          None
+      | Some dir -> Some (Rc_util.Vercache.create dir)
+      | None -> None
+    in
+    match Driver.check_file ~budget ~fail_fast ~jobs ?cache file with
     | exception Sys_error msg ->
         if json then
           Fmt.pr "%s@."
@@ -182,6 +215,13 @@ let check_cmd =
         List.iter
           (fun fn -> say "%s: skipped (fail-fast)@." fn)
           t.Driver.skipped;
+        (match t.Driver.cache_stats with
+        | Some (hits, misses) ->
+            say "cache: %d hit%s, %d miss%s@." hits
+              (if hits = 1 then "" else "s")
+              misses
+              (if misses = 1 then "" else "es")
+        | None -> ());
         if json then
           Fmt.pr "%s@." (Rc_util.Jsonout.to_string (Driver.to_json t));
         List.iter (fun w -> Fmt.epr "warning: %s@." w)
@@ -194,7 +234,7 @@ let check_cmd =
   Cmd.v (Cmd.info "check" ~doc:"Verify the specified functions of FILE.")
     Term.(
       const run $ file $ deriv $ stats $ cert $ semtest $ fuel $ timeout
-      $ max_depth $ fail_fast $ json)
+      $ max_depth $ fail_fast $ json $ jobs $ cache)
 
 let run_cmd =
   let file = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in

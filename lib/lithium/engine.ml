@@ -78,13 +78,79 @@ module Make (L : LANG) = struct
   type rule = {
     rname : string;
     prio : int;  (** lower fires first (§5 footnote: priorities) *)
+    heads : string list option;
+        (** the judgment heads ({!L.head_of_f}) this rule can fire on;
+            [None] means it must be tried on every head.  This is a
+            dispatch hint, not a semantic filter: a rule listed under the
+            wrong head is simply never offered the goals it matches. *)
     apply : rule_input -> L.f -> goal option;
   }
 
   type cfg = {
-    rules : rule list;  (** sorted by priority at [run] *)
+    rules : rule list;  (** indexed by priority and head at [run] *)
     tactics : string list;  (** named solvers enabled ([rc::tactics]) *)
   }
+
+  (* ---------------------------------------------------------------- *)
+  (* Rule index                                                        *)
+  (* ---------------------------------------------------------------- *)
+
+  (** A compiled rule set: the priority sort and the head buckets are
+      computed once and shared by every subsequent [run_indexed] — and,
+      read-only from then on, safely shared across checker domains.
+      Looking up the rules for a basic goal is O(bucket) instead of
+      O(all rules). *)
+  type index = {
+    idx_buckets : (string, rule list) Hashtbl.t;
+        (** head ↦ rules declaring that head plus the wildcard rules,
+            in priority order — exactly the subsequence of the sorted
+            rule list that can fire on this head *)
+    idx_wild : rule list;
+        (** priority-sorted wildcard rules: the bucket for heads no rule
+            declares explicitly *)
+    idx_fingerprint : string;
+        (** digest of (name, priority, heads) of every rule in order —
+            a component of the verification-cache key *)
+  }
+
+  let index_rules (rules : rule list) : index =
+    let sorted =
+      List.stable_sort (fun a b -> compare a.prio b.prio) rules
+    in
+    let declared =
+      List.concat_map (fun r -> Option.value ~default:[] r.heads) sorted
+      |> List.sort_uniq compare
+    in
+    let bucket_for h =
+      List.filter
+        (fun r ->
+          match r.heads with None -> true | Some hs -> List.mem h hs)
+        sorted
+    in
+    let idx_buckets = Hashtbl.create (List.length declared * 2) in
+    List.iter (fun h -> Hashtbl.replace idx_buckets h (bucket_for h)) declared;
+    let idx_fingerprint =
+      Digest.to_hex
+        (Digest.string
+           (String.concat ";"
+              (List.map
+                 (fun r ->
+                   Printf.sprintf "%s:%d:%s" r.rname r.prio
+                     (match r.heads with
+                     | None -> "*"
+                     | Some hs -> String.concat "," hs))
+                 sorted)))
+    in
+    {
+      idx_buckets;
+      idx_wild = List.filter (fun r -> r.heads = None) sorted;
+      idx_fingerprint;
+    }
+
+  let rules_for (idx : index) (head : string) : rule list =
+    match Hashtbl.find_opt idx.idx_buckets head with
+    | Some bucket -> bucket
+    | None -> idx.idx_wild
 
   (* ---------------------------------------------------------------- *)
   (* Interpreter state                                                 *)
@@ -103,7 +169,8 @@ module Make (L : LANG) = struct
     evars : Evar.t;
     stats : Stats.t;
     gen : Rc_util.Gensym.t;
-    cfg : cfg;
+    index : index;
+    tactics : string list;
     budget : Rc_util.Budget.t;
     mutable cur_loc : Rc_util.Srcloc.t option;
     mutable cur_head : string option;  (** head of the last basic goal *)
@@ -182,7 +249,7 @@ module Make (L : LANG) = struct
         end
         else
           let verdict =
-            Registry.solve ~tactics:st.cfg.tactics ~hyps:ctx.props phi
+            Registry.solve ~tactics:st.tactics ~hyps:ctx.props phi
           in
           (match verdict with
           | Registry.Unsolved ->
@@ -236,7 +303,8 @@ module Make (L : LANG) = struct
     (* case 5 *)
     | Goal.Basic f -> begin
         (match L.loc_of_f f with Some l -> st.cur_loc <- Some l | None -> ());
-        st.cur_head <- Some (L.head_of_f f);
+        let head = L.head_of_f f in
+        st.cur_head <- Some head;
         Rc_util.Faultsim.point "rule_lookup";
         let ri = rule_input st ctx in
         let rec try_rules = function
@@ -253,7 +321,7 @@ module Make (L : LANG) = struct
                     ("rule:" ^ r.rname) [ d ]
               | None -> try_rules rest)
         in
-        try_rules st.cfg.rules
+        try_rules (rules_for st.index head)
       end
     (* case 6 *)
     | Goal.Star (h, g') -> begin
@@ -269,7 +337,7 @@ module Make (L : LANG) = struct
               { ctx with props = List.map fst side @ ctx.props }
             in
             let d = solve ctx g' in
-            Deriv.make ~side ~hyps:ctx.props ~tactics:st.cfg.tactics
+            Deriv.make ~side ~hyps:ctx.props ~tactics:st.tactics
               ?loc:st.cur_loc "side-condition" [ d ]
         | Goal.LAtom a ->
             let a = resolve_atom st a in
@@ -359,14 +427,16 @@ module Make (L : LANG) = struct
     stats : Stats.t;
   }
 
-  let run (cfg : cfg) ?(budget = Rc_util.Budget.unlimited) ?(ctx = empty_ctx)
-      (g : goal) : (result, Report.t) Stdlib.result =
+  let run_indexed (index : index) ~(tactics : string list)
+      ?(budget = Rc_util.Budget.unlimited) ?(ctx = empty_ctx) (g : goal) :
+      (result, Report.t) Stdlib.result =
     let st =
       {
         evars = Evar.create ();
         stats = Stats.create ();
         gen = Rc_util.Gensym.create ();
-        cfg = { cfg with rules = List.sort (fun a b -> compare a.prio b.prio) cfg.rules };
+        index;
+        tactics;
         budget = Rc_util.Budget.start budget;
         cur_loc = None;
         cur_head = None;
@@ -383,4 +453,11 @@ module Make (L : LANG) = struct
         Error
           (Report.make ?loc:st.cur_loc
              (Report.Checker_fault "Stack_overflow during proof search"))
+
+  (** One-shot entry point: indexes [cfg.rules] and runs.  Callers that
+      check many functions against the same rule set should build the
+      {!index} once ({!index_rules}) and use {!run_indexed}. *)
+  let run (cfg : cfg) ?budget ?ctx (g : goal) :
+      (result, Report.t) Stdlib.result =
+    run_indexed (index_rules cfg.rules) ~tactics:cfg.tactics ?budget ?ctx g
 end

@@ -246,6 +246,18 @@ let try_lemma ~hyps goal (l : lemma) =
     baseline. *)
 let ablation_default_only = ref false
 
+(** A digest of everything that can change the registry's verdicts: the
+    registered solvers and lemmas (in registration order) and the
+    ablation switch.  A component of the verification-cache key — two
+    runs with different registries must not share cached verdicts. *)
+let fingerprint () : string =
+  Digest.to_hex
+    (Digest.string
+       (String.concat ";"
+          (List.map (fun s -> "solver:" ^ s.name) !solvers
+          @ List.map (fun l -> "lemma:" ^ l.lname) !lemmas
+          @ [ "default_only:" ^ string_of_bool !ablation_default_only ])))
+
 let solve ?(tactics = []) ~hyps goal : verdict =
   Rc_util.Faultsim.point "solver";
   let tactics = if !ablation_default_only then [] else tactics in

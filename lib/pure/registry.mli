@@ -49,4 +49,8 @@ val clear_lemmas : unit -> unit
 val ablation_default_only : bool ref
 (** benchmark switch: ignore named solvers and lemmas *)
 
+val fingerprint : unit -> string
+(** digest of the registered solvers, lemmas and ablation state — a
+    component of the verification-cache key *)
+
 val solve : ?tactics:string list -> hyps:Term.prop list -> Term.prop -> verdict

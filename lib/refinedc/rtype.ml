@@ -285,6 +285,27 @@ let pp_hres ppf = function
 let rtype_to_string t = Fmt.str "%a" pp_rtype t
 let atom_to_string a = Fmt.str "%a" pp_atom a
 
+(** A deterministic printed form of a function specification covering
+    every field that can influence a check (the source location is
+    deliberately excluded — it moves with unrelated edits and affects
+    only diagnostics).  Used as a component of the verification-cache
+    key, so it must change whenever the spec meaningfully changes. *)
+let spec_signature (s : fn_spec) : string =
+  let binder ppf (x, srt) = Fmt.pf ppf "%s:%a" x Sort.pp srt in
+  Fmt.str "%s|params:%a|args:%a|pre:%a|exists:%a|ret:%a|post:%a|tactics:%s"
+    s.fs_name
+    Fmt.(list ~sep:comma binder)
+    s.fs_params
+    Fmt.(list ~sep:comma pp_rtype)
+    s.fs_args
+    Fmt.(list ~sep:comma pp_hres)
+    s.fs_pre
+    Fmt.(list ~sep:comma binder)
+    s.fs_exists pp_rtype s.fs_ret
+    Fmt.(list ~sep:comma pp_hres)
+    s.fs_post
+    (String.concat "," s.fs_tactics)
+
 (* ------------------------------------------------------------------ *)
 (* Atom subjects and relatedness (engine plumbing)                     *)
 (* ------------------------------------------------------------------ *)

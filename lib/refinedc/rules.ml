@@ -4,18 +4,50 @@
     200 typing rules" (§7); this reproduction's library covers the rules
     the case-study corpus exercises.  New rules can be registered at any
     time ([register]) — extensibility is the point of the Lithium
-    architecture (§5, "Extensibility"). *)
+    architecture (§5, "Extensibility").
+
+    The engine dispatches rules through a head-indexed {!Lang.E.index}
+    built once per rule-set generation and shared by every function
+    check (and, being read-only, by every checker domain): re-sorting
+    and re-scanning the full rule list per function was measurable
+    overhead on the corpus.  [register]/[reset_extra] bump {!generation},
+    invalidating the memoized index. *)
 
 let extra : Lang.E.rule list ref = ref []
 
-(** Register additional (user/expert) typing rules. *)
-let register (rs : Lang.E.rule list) = extra := !extra @ rs
+(** Bumped whenever the rule set changes; {!index} is memoized against
+    it, and it participates in the verification-cache fingerprint. *)
+let generation = ref 0
 
-let reset_extra () = extra := []
+(** Register additional (user/expert) typing rules. *)
+let register (rs : Lang.E.rule list) =
+  extra := !extra @ rs;
+  incr generation
+
+let reset_extra () =
+  extra := [];
+  incr generation
 
 let all () : Lang.E.rule list =
   Rules_stmt.all @ Rules_expr.all @ Rules_binop.all @ Rules_mem.all
   @ Rules_call.all @ Rules_subsume.all @ !extra
+
+(* The memoized index.  Rebuilt only when the generation moves; callers
+   running checks in parallel must force it once before fanning out
+   (the driver does), after which it is shared read-only. *)
+let indexed : (int * Lang.E.index) option ref = ref None
+
+let index () : Lang.E.index =
+  match !indexed with
+  | Some (gen, idx) when gen = !generation -> idx
+  | _ ->
+      let idx = Lang.E.index_rules (all ()) in
+      indexed := Some (!generation, idx);
+      idx
+
+(** Digest of the rule set (names, priorities, head declarations, in
+    order) — a component of the verification-cache key. *)
+let fingerprint () : string = (index ()).Lang.E.idx_fingerprint
 
 (** Number of rules in the standard library (for the Figure-7 style
     summary line in the benchmark harness). *)

@@ -11,7 +11,7 @@ open Rtype
 open Lang
 open Rule_aux
 
-let mk name prio apply : E.rule = { E.rname = name; prio; apply }
+let mk name prio apply : E.rule = { E.rname = name; prio; heads = Some [ "binop" ]; apply }
 
 let in_range it r =
   conj [ PLe (Num (Int_type.min_val it), r); PLe (r, Num (Int_type.max_val it)) ]

@@ -9,14 +9,14 @@ open Lang
 open Convert
 open Rule_aux
 
-let mk name prio apply : E.rule = { E.rname = name; prio; apply }
+let mk ~heads name prio apply : E.rule = { E.rname = name; prio; heads = Some heads; apply }
 
 (* T-CALL: instantiate the callee's parameters with (sealed) evars, check
    the arguments left to right, then the preconditions — the order §5
    relies on for predictable evar instantiation — and assume the
    postcondition for fresh universals. *)
 let t_call =
-  mk "T-CALL" 5 (fun ri j ->
+  mk ~heads:[ "call" ] "T-CALL" 5 (fun ri j ->
       match j with
       | FCall { spec; args; cont; _ } ->
           if List.length args <> List.length spec.fs_args then None
@@ -83,7 +83,7 @@ let const_bool (ty : rtype) : bool option =
 (* If the CAS target is still folded inside a named type (e.g. a lock
    struct), unfold it in Δ first, then retry. *)
 let t_cas_unfold =
-  mk "CAS-UNFOLD" 4 (fun ri j ->
+  mk ~heads:[ "cas" ] "CAS-UNFOLD" 4 (fun ri j ->
       match j with
       | FCas ({ vobj; _ } as r) -> (
           let vobj = Simp.simp_term (ri.E.ri_resolve vobj) in
@@ -124,7 +124,7 @@ let t_cas_unfold =
       | _ -> None)
 
 let t_cas =
-  mk "CAS-BOOL" 5 (fun _ri j ->
+  mk ~heads:[ "cas" ] "CAS-BOOL" 5 (fun _ri j ->
       match j with
       | FCas { it; vobj; vexp; tdes; cont; _ } -> (
           match const_bool tdes with

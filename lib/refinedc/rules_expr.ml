@@ -10,14 +10,14 @@ open Rtype
 open Lang
 open Rule_aux
 
-let mk name prio apply : E.rule = { E.rname = name; prio; apply }
+let mk ~heads name prio apply : E.rule = { E.rname = name; prio; heads = Some heads; apply }
 
 (** The location denoted by a typed value (pointer singletons carry it). *)
 let loc_of (v : term) (ty : rtype) : term =
   match ty with TPtrV l -> l | TNull -> NullLoc | _ -> v
 
 let expr_rule =
-  mk "T-EXPR" 5 (fun _ri j ->
+  mk ~heads:[ "expr" ] "T-EXPR" 5 (fun _ri j ->
       match j with
       | FExpr { sigma; expr; cont } -> (
           match expr with
@@ -126,7 +126,7 @@ let expr_rule =
 (* Integer casts: the value must fit the target type (RefinedC emits an
    in-range side condition rather than allowing wrapping). *)
 let cast_int =
-  mk "T-CAST-INT" 5 (fun _ri j ->
+  mk ~heads:[ "cast" ] "T-CAST-INT" 5 (fun _ri j ->
       match j with
       | FCast { to_; v = _; ty = TInt (_, n); cont; _ } ->
           Some
@@ -144,7 +144,7 @@ let cast_int =
 
 let unop_rules =
   [
-    mk "O-NEG-INT" 10 (fun _ri j ->
+    mk ~heads:[ "unop" ] "O-NEG-INT" 10 (fun _ri j ->
         match j with
         | FUnop { op = Syntax.NegOp; v = _; ty = TInt (it, n); cont; _ } ->
             let r = Simp.simp_term (Sub (Num 0, n)) in
@@ -158,7 +158,7 @@ let unop_rules =
                         ]),
                    cont r (TInt (it, r)) ))
         | _ -> None);
-    mk "O-NOT-INT" 11 (fun _ri j ->
+    mk ~heads:[ "unop" ] "O-NOT-INT" 11 (fun _ri j ->
         match j with
         | FUnop { op = Syntax.LogNotOp; ty = TInt (_, n); cont; _ } ->
             let phi = PEq (n, Num 0) in
@@ -167,7 +167,7 @@ let unop_rules =
             Some (cont (bool_term (PNot phi)) (TBool (it, PNot phi)))
         | _ -> None);
     (* !p on a pointer: the optional case split of §6 *)
-    mk "O-NOT-OPTIONAL" 12 (fun ri j ->
+    mk ~heads:[ "unop" ] "O-NOT-OPTIONAL" 12 (fun ri j ->
         match j with
         | FUnop { op = Syntax.LogNotOp; ot = Syntax.OPtr; v; ty; cont; _ } ->
             optional_cases ri v ty

@@ -18,7 +18,7 @@ open Lang
 open Convert
 open Rule_aux
 
-let mk name prio apply : E.rule = { E.rname = name; prio; apply }
+let mk ~heads name prio apply : E.rule = { E.rname = name; prio; heads = Some heads; apply }
 
 (** Find-predicate: does the atom cover the accessed location?  Besides
     exact matches, an access may fall inside an array, an uninitialized
@@ -99,7 +99,7 @@ let unpack_packed_at ri (base : term) (retry : goal) : goal option =
            })
 
 let read_loc =
-  mk "READ-LOC" 10 (fun ri j ->
+  mk ~heads:[ "read-loc" ] "READ-LOC" 10 (fun ri j ->
       match j with
       | FReadLoc ({ loc_term; layout; atomic; cont; src } as r) -> (
           let found = ri.E.ri_peek (fun a -> covers loc_term a) in
@@ -129,7 +129,7 @@ let read_loc =
 
 (* READ-INT: the place keeps its type; the read value is the refinement. *)
 let read_int =
-  mk "READ-INT" 20 (fun _ri j ->
+  mk ~heads:[ "read" ] "READ-INT" 20 (fun _ri j ->
       match j with
       | FReadTy
           { loc_term; sub_l; ty = TInt (it, n) as ty; layout = Layout.Int it';
@@ -139,7 +139,7 @@ let read_int =
       | _ -> None)
 
 let read_bool =
-  mk "READ-BOOL" 21 (fun _ri j ->
+  mk ~heads:[ "read" ] "READ-BOOL" 21 (fun _ri j ->
       match j with
       | FReadTy
           { loc_term; sub_l; ty = TBool (it, phi) as ty;
@@ -150,7 +150,7 @@ let read_bool =
 
 (* READ-PTR: a pointer-value snapshot (or NULL). *)
 let read_ptr =
-  mk "READ-PTR" 22 (fun _ri j ->
+  mk ~heads:[ "read" ] "READ-PTR" 22 (fun _ri j ->
       match j with
       | FReadTy { loc_term; sub_l; ty = TPtrV l' as ty; layout; cont; _ }
         when is_ptr_layout layout && equal_term loc_term sub_l ->
@@ -163,7 +163,7 @@ let read_ptr =
 (* READ-OPTIONAL / READ-NAMED: move the packed ownership into a value
    atom for a fresh value [v]; the place remembers it stores [v]. *)
 let read_packed =
-  mk "READ-PACKED" 23 (fun ri j ->
+  mk ~heads:[ "read" ] "READ-PACKED" 23 (fun ri j ->
       match j with
       | FReadTy
           { loc_term; sub_l; ty = (TOptional _ | TNamed _ | TFnPtr _) as ty;
@@ -179,7 +179,7 @@ let read_packed =
 
 (* READ-EXISTS / READ-CONSTR: open, then re-dispatch. *)
 let read_unpack =
-  mk "READ-UNPACK" 15 (fun _ri j ->
+  mk ~heads:[ "read" ] "READ-UNPACK" 15 (fun _ri j ->
       match j with
       | FReadTy ({ ty = TExists (x, s, f); _ } as r) ->
           Some
@@ -195,7 +195,7 @@ let read_unpack =
    not read it as a whole pointer value (struct-bodied types, or reads at
    an interior offset). *)
 let read_unfold =
-  mk "READ-UNFOLD" 16 (fun _ri j ->
+  mk ~heads:[ "read" ] "READ-UNFOLD" 16 (fun _ri j ->
       match j with
       | FReadTy ({ loc_term; sub_l; ty = TNamed (n, args); layout; _ } as r)
         when (not (is_ptr_layout layout)) || not (equal_term loc_term sub_l)
@@ -208,7 +208,7 @@ let read_unfold =
 (* READ-DECOMPOSE: struct/padded blocks split into per-field atoms in Δ;
    the read is then retried and finds the field. *)
 let read_decompose =
-  mk "READ-DECOMPOSE" 17 (fun _ri j ->
+  mk ~heads:[ "read" ] "READ-DECOMPOSE" 17 (fun _ri j ->
       match j with
       | FReadTy
           { loc_term; sub_l; ty = (TStruct _ | TPadded _) as ty; layout;
@@ -221,7 +221,7 @@ let read_decompose =
 
 (* READ-ARRAY: reading cell [i] of an integer array. *)
 let read_array =
-  mk "READ-ARRAY" 24 (fun ri j ->
+  mk ~heads:[ "read" ] "READ-ARRAY" 24 (fun ri j ->
       match j with
       | FReadTy
           { loc_term; sub_l; ty = TArrayInt (it, len, xs) as ty;
@@ -251,7 +251,7 @@ let read_array =
    the single-waiter, one-shot protocols we verify (the paper uses a
    ghost token for the same purpose). *)
 let read_atomic_bool =
-  mk "READ-ATOMIC-BOOL" 25 (fun ri j ->
+  mk ~heads:[ "read" ] "READ-ATOMIC-BOOL" 25 (fun ri j ->
       match j with
       | FReadTy
           { loc_term; sub_l; ty = TAtomicBool (it, _phi, ht, hf);
@@ -284,7 +284,7 @@ let read_atomic_bool =
 (* ------------------------------------------------------------------ *)
 
 let write_loc =
-  mk "WRITE-LOC" 10 (fun ri j ->
+  mk ~heads:[ "write-loc" ] "WRITE-LOC" 10 (fun ri j ->
       match j with
       | FWriteLoc ({ loc_term; layout; atomic; v; vty; cont; src } as r) -> (
           match ri.E.ri_peek (fun a -> covers loc_term a) with
@@ -314,7 +314,7 @@ let write_loc =
       | _ -> None)
 
 let write_unpack =
-  mk "WRITE-UNPACK" 15 (fun _ri j ->
+  mk ~heads:[ "write" ] "WRITE-UNPACK" 15 (fun _ri j ->
       match j with
       | FWriteTy ({ ty = TExists (x, s, f); _ } as r) ->
           Some
@@ -325,7 +325,7 @@ let write_unpack =
 
 (* WRITE-UNFOLD / WRITE-DECOMPOSE: mirror the read side. *)
 let write_unfold =
-  mk "WRITE-UNFOLD" 16 (fun _ri j ->
+  mk ~heads:[ "write" ] "WRITE-UNFOLD" 16 (fun _ri j ->
       match j with
       | FWriteTy ({ loc_term; sub_l; ty = TNamed (n, args); layout; _ } as r)
         when (not (is_ptr_layout layout)) || not (equal_term loc_term sub_l)
@@ -336,7 +336,7 @@ let write_unfold =
       | _ -> None)
 
 let write_decompose =
-  mk "WRITE-DECOMPOSE" 17 (fun _ri j ->
+  mk ~heads:[ "write" ] "WRITE-DECOMPOSE" 17 (fun _ri j ->
       match j with
       | FWriteTy
           { loc_term; sub_l; ty = (TStruct _ | TPadded _) as ty; layout;
@@ -354,7 +354,7 @@ let write_decompose =
    packed optional/named value).  The new place type is the stored
    value's type, with packed ownership left in the value atom. *)
 let write_scalar =
-  mk "WRITE-SCALAR" 20 (fun _ri j ->
+  mk ~heads:[ "write" ] "WRITE-SCALAR" 20 (fun _ri j ->
       match j with
       | FWriteTy
           { loc_term; sub_l;
@@ -373,7 +373,7 @@ let write_scalar =
    complement (on either side) stays uninitialized.  Together with O-ADD
    this is the write-side of O-ADD-UNINIT (Figure 6). *)
 let write_uninit =
-  mk "WRITE-UNINIT" 21 (fun _ri j ->
+  mk ~heads:[ "write" ] "WRITE-UNINIT" 21 (fun _ri j ->
       match j with
       | FWriteTy
           { loc_term; sub_l; ty = TUninit m; layout; atomic = false; v; vty;
@@ -402,7 +402,7 @@ let write_uninit =
 (* WRITE-ARRAY: strong update of one cell; the list refinement gains a
    list update. *)
 let write_array =
-  mk "WRITE-ARRAY" 22 (fun _ri j ->
+  mk ~heads:[ "write" ] "WRITE-ARRAY" 22 (fun _ri j ->
       match j with
       | FWriteTy
           { loc_term; sub_l; ty = TArrayInt (it, len, xs);
@@ -431,7 +431,7 @@ let write_array =
    corresponding resource into the atomic cell (§6: the spinlock release
    stores false, giving H back). *)
 let write_atomic_bool =
-  mk "WRITE-ATOMIC-BOOL" 23 (fun _ri j ->
+  mk ~heads:[ "write" ] "WRITE-ATOMIC-BOOL" 23 (fun _ri j ->
       match j with
       | FWriteTy
           { loc_term; sub_l; ty = TAtomicBool (it, _phi, ht, hf);

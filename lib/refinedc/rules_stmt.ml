@@ -12,7 +12,7 @@ open Lang
 open Convert
 open Rule_aux
 
-let mk name prio apply : E.rule = { E.rname = name; prio; apply }
+let mk ~heads name prio apply : E.rule = { E.rname = name; prio; heads = Some heads; apply }
 
 let loc_of (v : term) (ty : rtype) : term =
   match ty with TPtrV l -> l | TNull -> NullLoc | _ -> v
@@ -35,7 +35,7 @@ let direct_callee sigma (fn : Syntax.expr) : fn_spec option =
 (* ------------------------------------------------------------------ *)
 
 let t_block =
-  mk "T-STMT" 5 (fun _ri j ->
+  mk ~heads:[ "stmt" ] "T-STMT" 5 (fun _ri j ->
       match j with
       | FBlock { sigma; label; idx } -> (
           match Syntax.find_block sigma.fc_func label with
@@ -388,7 +388,7 @@ let t_block =
 (* ------------------------------------------------------------------ *)
 
 let t_goto =
-  mk "T-GOTO" 5 (fun _ri j ->
+  mk ~heads:[ "goto" ] "T-GOTO" 5 (fun _ri j ->
       match j with
       | FGoto { sigma; target } -> (
           match List.assoc_opt target sigma.fc_invs with
@@ -439,7 +439,7 @@ let t_goto =
 (* ------------------------------------------------------------------ *)
 
 let t_if =
-  mk "IF-BOOL" 10 (fun _ri j ->
+  mk ~heads:[ "if" ] "IF-BOOL" 10 (fun _ri j ->
       match j with
       | FIf { ty = TBool (_, phi); gthen; gelse; lbl_then; lbl_else; _ } ->
           Some
@@ -451,7 +451,7 @@ let t_if =
       | _ -> None)
 
 let t_if_int =
-  mk "IF-INT" 11 (fun _ri j ->
+  mk ~heads:[ "if" ] "IF-INT" 11 (fun _ri j ->
       match j with
       | FIf { ty = TInt (_, n); gthen; gelse; lbl_then; lbl_else; _ } ->
           Some
@@ -464,7 +464,7 @@ let t_if_int =
 
 (* if (p) on a pointer: the optional split again *)
 let t_if_ptr =
-  mk "IF-PTR" 12 (fun ri j ->
+  mk ~heads:[ "if" ] "IF-PTR" 12 (fun ri j ->
       match j with
       | FIf { v; ty = (TPtrV _ | TNull | TOptional _ | TNamed _) as ty;
               gthen; gelse; lbl_then; lbl_else; _ } ->
@@ -480,7 +480,7 @@ let t_if_ptr =
       | _ -> None)
 
 let t_switch =
-  mk "SWITCH-INT" 10 (fun _ri j ->
+  mk ~heads:[ "switch" ] "SWITCH-INT" 10 (fun _ri j ->
       match j with
       | FSwitchJ { ty = TInt (_, n); cases; dflt; _ } ->
           let branches =

@@ -14,7 +14,7 @@ open Convert
 
 type rule = E.rule
 
-let mk name prio apply : rule = { E.rname = name; prio; apply }
+let mk name prio apply : rule = { E.rname = name; prio; heads = Some [ "subsume" ]; apply }
 
 let ty_equiv_side = Rtype.ty_equiv_side
 

@@ -150,8 +150,79 @@ let check_fn ?(globals = []) ?(budget = Rc_util.Budget.unlimited)
                inv_branch (label, inv) ))
            ftc.invs)
   in
-  let cfg = { E.rules = Rules.all (); tactics = spec.fs_tactics } in
-  E.run cfg ~budget goal
+  E.run_indexed (Rules.index ()) ~tactics:spec.fs_tactics ~budget goal
+
+(* ------------------------------------------------------------------ *)
+(* Verification-cache keys                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* A check's outcome is a pure function of the function body, its spec,
+   the loop invariants, the specs it may call, the rule set + solver
+   registry + type definitions + ablation switches, and the resource
+   budget.  Everything below prints those deterministically; the driver
+   digests the concatenation into the on-disk cache key. *)
+
+let type_defs_signature () : string =
+  (* definition *content* via a one-step unfold at canonical arguments,
+     so editing a registered type invalidates entries that may use it *)
+  Hashtbl.fold (fun name td acc -> (name, td) :: acc) Rtype.type_defs []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.map (fun (name, (td : Rtype.type_def)) ->
+         let args =
+           List.map (fun (x, s) -> Term.Var (x, s)) td.Rtype.td_params
+         in
+         name ^ "="
+         ^ (try Rtype.rtype_to_string (td.Rtype.td_unfold args)
+            with _ -> "<unfold-error>"))
+  |> String.concat ";"
+
+(** Everything global to the toolchain that can change verdicts. *)
+let toolchain_fingerprint () : string =
+  Rc_util.Vercache.fingerprint
+    [
+      "refinedc-check-v1";
+      Sys.ocaml_version;
+      Rules.fingerprint ();
+      Registry.fingerprint ();
+      type_defs_signature ();
+      "no_goal_simp:" ^ string_of_bool !Rc_lithium.Evar.ablation_no_goal_simp;
+    ]
+
+let budget_signature (b : Rc_util.Budget.limits) : string =
+  let num pp = Fmt.(option ~none:(any "none") pp) in
+  Fmt.str "fuel:%a|timeout:%a|depth:%a" (num Fmt.int) b.Rc_util.Budget.fuel
+    (num Fmt.float) b.Rc_util.Budget.timeout (num Fmt.int)
+    b.Rc_util.Budget.max_depth
+
+let invs_signature (invs : (string * loop_inv) list) : string =
+  let binder ppf (x, srt) = Fmt.pf ppf "%s:%a" x Sort.pp srt in
+  let var ppf (x, ty) = Fmt.pf ppf "%s:%a" x Rtype.pp_rtype ty in
+  let inv ppf (label, (i : loop_inv)) =
+    Fmt.pf ppf "%s{ex:%a|vars:%a|cstr:%a}" label
+      Fmt.(list ~sep:comma binder)
+      i.li_exists
+      Fmt.(list ~sep:comma var)
+      i.li_vars
+      Fmt.(list ~sep:comma Term.pp_prop)
+      i.li_constraints
+  in
+  Fmt.str "%a" Fmt.(list ~sep:semi inv) invs
+
+(** The cache key for one function's check.  [specs_digest] covers the
+    specifications of *all* functions in the file: a call's premise
+    depends on the callee's spec, so any spec edit conservatively
+    invalidates the whole file's entries (bodies of siblings do not). *)
+let cache_key ~(budget : Rc_util.Budget.limits) ~(specs_digest : string)
+    (ftc : fn_to_check) : string =
+  String.concat "\x00"
+    [
+      toolchain_fingerprint ();
+      specs_digest;
+      Syntax.show_func ftc.func;
+      Rtype.spec_signature ftc.spec;
+      invs_signature ftc.invs;
+      budget_signature budget;
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* Whole-program checking                                              *)

@@ -1,0 +1,25 @@
+(** A deterministic fork/join worker pool.
+
+    The implementation is selected at build time ([dune] copies the
+    matching [pool_*.ml.in] into [pool.ml]): on OCaml 5 the pool fans
+    work out across [Domain]s; on OCaml 4.x it degrades to a sequential
+    [List.map] with the same API, so callers need no version
+    conditionals.  Both implementations return results in input order —
+    parallelism never changes what a caller observes, only how long it
+    waits. *)
+
+val parallelism_available : bool
+(** [true] iff this build can actually run work items concurrently. *)
+
+val default_jobs : unit -> int
+(** A sensible worker count: the runtime's recommended domain count on
+    OCaml 5, [1] otherwise. *)
+
+val map : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs f items] applies [f] to every item and returns the
+    results in input order.  With [jobs <= 1] (or a sequential build)
+    this is exactly [List.map f items] — same order of side effects,
+    same exception behaviour.  With [jobs > 1] items are claimed from a
+    shared counter by [min jobs (length items)] workers; if any [f]
+    raises, the first raising item (in input order) has its exception
+    re-raised after all workers have joined. *)

@@ -1,0 +1,93 @@
+(** Content-addressed on-disk verification cache.
+
+    The checker's results are a pure function of (function body, its
+    specification, the sibling specifications it may call, the rule-set
+    and solver fingerprint, the resource budget).  The driver digests all
+    of that into a [key] string; this module maps keys to opaque byte
+    payloads on disk so an unchanged function can be verdict-replayed
+    instead of re-proved — the Foundational-VeriFast-style "certify once,
+    re-check cheaply" economy, applied at the toolchain level.
+
+    Entries are write-once: a file named by the MD5 of its key, written
+    to a temp file and [Sys.rename]d into place, so concurrent writers
+    (checker domains) cannot expose a torn entry.  The full key is stored
+    inside the entry and compared on read, so a digest collision degrades
+    to a miss, never to a wrong verdict.
+
+    The hit/miss counters are only maintained by {!find}/{!store} calls
+    made from a single domain; parallel drivers count hits from their own
+    per-item results instead. *)
+
+type t = {
+  dir : string;
+  mutable hits : int;
+  mutable misses : int;
+  mutable stores : int;
+}
+
+(** Bump when the entry layout (or the meaning of payloads) changes. *)
+let format_version = "rc-vercache-1"
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755
+    with Sys_error _ when Sys.file_exists dir -> ()
+  end
+
+let create (dir : string) : t =
+  mkdir_p dir;
+  { dir; hits = 0; misses = 0; stores = 0 }
+
+let entry_path t (key : string) =
+  Filename.concat t.dir (Digest.to_hex (Digest.string key) ^ ".vc")
+
+(** [find t ~key] returns the stored payload for [key], or [None].  Any
+    unreadable, truncated or mismatched entry is a miss. *)
+let find (t : t) ~(key : string) : string option =
+  let path = entry_path t key in
+  let entry =
+    if not (Sys.file_exists path) then None
+    else
+      match
+        In_channel.with_open_bin path (fun ic ->
+            (Marshal.from_channel ic : string * string * string))
+      with
+      | v, k, payload when v = format_version && k = key -> Some payload
+      | _ -> None
+      | exception _ -> None
+  in
+  (match entry with
+  | Some _ -> t.hits <- t.hits + 1
+  | None -> t.misses <- t.misses + 1);
+  entry
+
+(** [store t ~key payload] persists the entry atomically.  I/O errors are
+    swallowed: a cache that cannot write is merely cold, never fatal. *)
+let store (t : t) ~(key : string) (payload : string) : unit =
+  match
+    let path = entry_path t key in
+    let tmp = Filename.temp_file ~temp_dir:t.dir "entry" ".tmp" in
+    Out_channel.with_open_bin tmp (fun oc ->
+        Marshal.to_channel oc (format_version, key, payload) []);
+    Sys.rename tmp path
+  with
+  | () -> t.stores <- t.stores + 1
+  | exception Sys_error _ -> ()
+
+(** Number of entries currently on disk. *)
+let entries (t : t) : int =
+  match Sys.readdir t.dir with
+  | files ->
+      Array.fold_left
+        (fun n f -> if Filename.check_suffix f ".vc" then n + 1 else n)
+        0 files
+  | exception Sys_error _ -> 0
+
+let hit_rate (t : t) : float =
+  let total = t.hits + t.misses in
+  if total = 0 then 0. else float_of_int t.hits /. float_of_int total
+
+(** Digest a list of fingerprint components into a stable hex string. *)
+let fingerprint (parts : string list) : string =
+  Digest.to_hex (Digest.string (String.concat "\x00" parts))

@@ -1,0 +1,43 @@
+(** String helpers used across the code base.
+
+    These replace the [Str] dependency in contexts that must be
+    thread-safe: [Str] keeps its match state in global mutable storage,
+    so two domains searching concurrently corrupt each other's results.
+    Everything here is pure. *)
+
+(** [find_sub s ~sub] is the index of the first occurrence of [sub] in
+    [s], if any.  Naive scan — our inputs are source lines, not genomes. *)
+let find_sub (s : string) ~(sub : string) : int option =
+  let n = String.length s and m = String.length sub in
+  if m = 0 then Some 0
+  else if m > n then None
+  else begin
+    let limit = n - m in
+    let rec at i j = j >= m || (s.[i + j] = sub.[j] && at i (j + 1)) in
+    let rec go i =
+      if i > limit then None else if at i 0 then Some i else go (i + 1)
+    in
+    go 0
+  end
+
+(** [contains_sub s ~sub]: does [sub] occur in [s]? *)
+let contains_sub (s : string) ~(sub : string) : bool =
+  find_sub s ~sub <> None
+
+let starts_with ~(prefix : string) (s : string) : bool =
+  let m = String.length prefix in
+  String.length s >= m && String.sub s 0 m = prefix
+
+let ends_with ~(suffix : string) (s : string) : bool =
+  let m = String.length suffix and n = String.length s in
+  n >= m && String.sub s (n - m) m = suffix
+
+(** [replace_first s ~sub ~by] replaces the first occurrence of [sub]
+    in [s] with [by]; [s] unchanged if [sub] does not occur. *)
+let replace_first (s : string) ~(sub : string) ~(by : string) : string =
+  match find_sub s ~sub with
+  | None -> s
+  | Some i ->
+      String.sub s 0 i ^ by
+      ^ String.sub s (i + String.length sub)
+          (String.length s - i - String.length sub)

@@ -1,0 +1,155 @@
+(* Correctness of the content-addressed verification cache: a cached run
+   replays verdicts only when *nothing* the verdict depends on changed.
+   Each test drives [Driver.check_source] against a fresh cache directory
+   and inspects the (hits, misses) counters.
+
+   The cache key covers: the function's Caesium body, its own spec, its
+   loop invariants, the specs of every function in the file (a call's
+   premise reads the callee's spec), the rule-set fingerprint, the solver
+   and lemma registry, registered type definitions, ablation switches,
+   and the resource budget. *)
+
+module Driver = Rc_frontend.Driver
+
+let () = Rc_studies.Studies.register_all ()
+
+let fresh_cache_dir =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    let base = Filename.temp_file "rc-vercache-test" "" in
+    Sys.remove base;
+    (* distinct directory per test even within one process *)
+    base ^ "-" ^ string_of_int !n
+
+let src =
+  {|
+[[rc::parameters("x: int", "y: int")]]
+[[rc::args("x @ int<int>", "y @ int<int>")]]
+[[rc::returns("(x <= y ? x : y) @ int<int>")]]
+int imin(int a, int b) {
+  if (a <= b) return a;
+  return b;
+}
+
+[[rc::parameters("x: nat")]]
+[[rc::args("x @ int<int>")]]
+[[rc::requires("{x <= 1000}")]]
+[[rc::returns("(x + 1) @ int<int>")]]
+int incr_small(int n) {
+  return n + 1;
+}
+|}
+
+(* the same program with one function *body* edited (still verifies) *)
+let src_body_edit =
+  Rc_util.Xstring.replace_first src ~sub:"if (a <= b) return a;\n  return b;"
+    ~by:"if (b < a) return b;\n  return a;"
+
+(* the same program with one *spec* edited (bodies untouched) *)
+let src_spec_edit =
+  Rc_util.Xstring.replace_first src ~sub:{|"{x <= 1000}"|} ~by:{|"{x <= 999}"|}
+
+let check ?budget ~cache src =
+  Driver.check_source ?budget ~cache ~file:"cache_test.c" src
+
+let counters (t : Driver.t) =
+  match t.Driver.cache_stats with
+  | Some hm -> hm
+  | None -> Alcotest.fail "expected cache statistics"
+
+let all_ok (t : Driver.t) =
+  Driver.errors t = [] && t.Driver.skipped = []
+
+let expect name ~hits ~misses t =
+  if not (all_ok t) then Alcotest.failf "%s: verification failed" name;
+  Alcotest.(check (pair int int)) name (hits, misses) (counters t)
+
+let cache_tests =
+  [
+    Alcotest.test_case "unchanged input hits" `Quick (fun () ->
+        let cache = Rc_util.Vercache.create (fresh_cache_dir ()) in
+        expect "cold run misses" ~hits:0 ~misses:2 (check ~cache src);
+        expect "warm run hits" ~hits:2 ~misses:0 (check ~cache src);
+        Alcotest.(check int) "entries on disk" 2 (Rc_util.Vercache.entries cache));
+    Alcotest.test_case "cached verdicts equal fresh verdicts" `Quick (fun () ->
+        let cache = Rc_util.Vercache.create (fresh_cache_dir ()) in
+        let fresh = check ~cache src in
+        let warm = check ~cache src in
+        let sig_of (t : Driver.t) =
+          List.map
+            (fun (r : Driver.check_result) ->
+              match r.outcome with
+              | Ok res ->
+                  let s = res.Rc_refinedc.Lang.E.stats in
+                  Fmt.str "%s:ok:%d:%d" r.name s.Rc_lithium.Stats.rule_apps
+                    s.Rc_lithium.Stats.evar_insts
+              | Error e ->
+                  Fmt.str "%s:error:%s" r.name (Rc_lithium.Report.to_string e))
+            t.Driver.results
+        in
+        Alcotest.(check (list string)) "verdicts" (sig_of fresh) (sig_of warm);
+        Alcotest.(check int) "exit codes" (Driver.exit_code fresh)
+          (Driver.exit_code warm));
+    Alcotest.test_case "body edit misses" `Quick (fun () ->
+        Alcotest.(check bool) "fixture differs" true (src <> src_body_edit);
+        let cache = Rc_util.Vercache.create (fresh_cache_dir ()) in
+        expect "cold" ~hits:0 ~misses:2 (check ~cache src);
+        (* the edited function misses; its sibling's body and all specs
+           are unchanged, so the sibling still hits *)
+        expect "after body edit" ~hits:1 ~misses:1
+          (check ~cache src_body_edit));
+    Alcotest.test_case "spec-only edit misses everything" `Quick (fun () ->
+        Alcotest.(check bool) "fixture differs" true (src <> src_spec_edit);
+        let cache = Rc_util.Vercache.create (fresh_cache_dir ()) in
+        expect "cold" ~hits:0 ~misses:2 (check ~cache src);
+        (* any spec edit conservatively invalidates the whole file:
+           callers' proofs read callee specs *)
+        expect "after spec edit" ~hits:0 ~misses:2
+          (check ~cache src_spec_edit));
+    Alcotest.test_case "rule-set change misses" `Quick (fun () ->
+        let cache = Rc_util.Vercache.create (fresh_cache_dir ()) in
+        expect "cold" ~hits:0 ~misses:2 (check ~cache src);
+        (* registering a rule bumps the rule-set fingerprint even if the
+           rule never fires (it only serves a head no goal has) *)
+        Rc_refinedc.Rules.register
+          [
+            {
+              Rc_refinedc.Lang.E.rname = "TEST-NEVER-FIRES";
+              prio = 1000;
+              heads = Some [ "no-such-judgment-head" ];
+              apply = (fun _ _ -> None);
+            };
+          ];
+        Fun.protect
+          ~finally:(fun () -> Rc_refinedc.Rules.reset_extra ())
+          (fun () ->
+            expect "after register" ~hits:0 ~misses:2 (check ~cache src));
+        (* resetting restores the original fingerprint: hits again *)
+        expect "after reset" ~hits:2 ~misses:0 (check ~cache src));
+    Alcotest.test_case "budget change misses" `Quick (fun () ->
+        let cache = Rc_util.Vercache.create (fresh_cache_dir ()) in
+        let b fuel = { Rc_util.Budget.unlimited with fuel = Some fuel } in
+        expect "cold, fuel 100k" ~hits:0 ~misses:2
+          (check ~budget:(b 100_000) ~cache src);
+        expect "same fuel hits" ~hits:2 ~misses:0
+          (check ~budget:(b 100_000) ~cache src);
+        (* a verdict under one budget must not stand in for another *)
+        expect "different fuel misses" ~hits:0 ~misses:2
+          (check ~budget:(b 50_000) ~cache src);
+        expect "no budget misses" ~hits:0 ~misses:2 (check ~cache src));
+    Alcotest.test_case "corrupt entry degrades to miss" `Quick (fun () ->
+        let dir = fresh_cache_dir () in
+        let cache = Rc_util.Vercache.create dir in
+        expect "cold" ~hits:0 ~misses:2 (check ~cache src);
+        Array.iter
+          (fun f ->
+            if Filename.check_suffix f ".vc" then
+              Out_channel.with_open_bin (Filename.concat dir f) (fun oc ->
+                  Out_channel.output_string oc "garbage"))
+          (Sys.readdir dir);
+        expect "corrupt entries re-prove" ~hits:0 ~misses:2
+          (check ~cache src));
+  ]
+
+let () = Alcotest.run "vercache" [ ("cache", cache_tests) ]

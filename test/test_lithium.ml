@@ -38,6 +38,7 @@ let rules : E.rule list =
     {
       E.rname = "SUB-EQ";
       prio = 10;
+      heads = None;
       apply =
         (fun _ri j ->
           match j with
@@ -48,6 +49,7 @@ let rules : E.rule list =
     {
       E.rname = "LOOP";
       prio = 10;
+      heads = None;
       apply =
         (fun _ri j ->
           match j with

@@ -1,0 +1,90 @@
+(* Determinism of the parallel checking pipeline: for every corpus case
+   study, a [-j 4] run must be observably identical to the sequential
+   [-j 1] run — same per-function verdicts in the same order, the same
+   Figure-7 statistics, the same exit code.  On an OCaml 4.x build the
+   domain pool degrades to [List.map], which makes these tests trivially
+   true; they skip rather than pretend to have tested parallelism. *)
+
+module Driver = Rc_frontend.Driver
+module Stats = Rc_lithium.Stats
+
+let () = Rc_studies.Studies.register_all ()
+
+let case_dir =
+  List.find Sys.file_exists
+    [
+      "case_studies"; "../case_studies"; "../../case_studies";
+      "../../../case_studies";
+    ]
+
+let corpus =
+  [
+    "linked_list.c"; "queue.c"; "binary_search.c"; "talloc.c";
+    "page_alloc.c"; "bst_layered.c"; "bst_direct.c"; "hashmap.c";
+    "mpool.c"; "spinlock.c"; "barrier.c";
+  ]
+
+(* The observable outcome of one function's check: everything the CLI
+   reports except wall-clock time. *)
+let outcome_signature (r : Driver.check_result) : string =
+  match r.outcome with
+  | Ok res ->
+      let s = res.Rc_refinedc.Lang.E.stats in
+      Fmt.str "%s:ok:apps=%d:distinct=%d:evars=%d:side=%d/%d" r.name
+        s.Stats.rule_apps (Stats.distinct_rules s) s.Stats.evar_insts
+        s.Stats.side_auto s.Stats.side_manual
+  | Error e -> Fmt.str "%s:error:%s" r.name (Rc_lithium.Report.to_string e)
+
+let run_signature (t : Driver.t) : string list =
+  List.map outcome_signature t.Driver.results
+  @ List.map (fun fn -> fn ^ ":skipped") t.Driver.skipped
+
+let determinism_tests =
+  List.map
+    (fun file ->
+      Alcotest.test_case file `Quick (fun () ->
+          if not Rc_util.Pool.parallelism_available then
+            Alcotest.skip ();
+          let path = Filename.concat case_dir file in
+          let seq = Driver.check_file ~jobs:1 path in
+          let par = Driver.check_file ~jobs:4 path in
+          Alcotest.(check (list string))
+            "per-function outcomes" (run_signature seq) (run_signature par);
+          let agg t =
+            let s = Driver.stats t in
+            Fmt.str "apps=%d evars=%d side=%d/%d" s.Stats.rule_apps
+              s.Stats.evar_insts s.Stats.side_auto s.Stats.side_manual
+          in
+          Alcotest.(check string)
+            "aggregate Figure-7 statistics" (agg seq) (agg par);
+          Alcotest.(check int)
+            "exit code" (Driver.exit_code seq) (Driver.exit_code par)))
+    corpus
+
+let pool_tests =
+  [
+    Alcotest.test_case "map preserves input order" `Quick (fun () ->
+        let xs = List.init 100 Fun.id in
+        Alcotest.(check (list int))
+          "order" (List.map succ xs)
+          (Rc_util.Pool.map ~jobs:4 succ xs));
+    Alcotest.test_case "map re-raises worker exceptions" `Quick (fun () ->
+        match
+          Rc_util.Pool.map ~jobs:4
+            (fun i -> if i = 37 then failwith "boom" else i)
+            (List.init 100 Fun.id)
+        with
+        | _ -> Alcotest.fail "expected Failure"
+        | exception Failure msg -> Alcotest.(check string) "msg" "boom" msg);
+    Alcotest.test_case "jobs=1 is exactly List.map" `Quick (fun () ->
+        let xs = [ 3; 1; 4; 1; 5 ] in
+        Alcotest.(check (list int))
+          "same" (List.map (( * ) 2) xs)
+          (Rc_util.Pool.map ~jobs:1 (( * ) 2) xs));
+    Alcotest.test_case "default_jobs is positive" `Quick (fun () ->
+        Alcotest.(check bool) "positive" true (Rc_util.Pool.default_jobs () > 0));
+  ]
+
+let () =
+  Alcotest.run "parallel"
+    [ ("determinism", determinism_tests); ("pool", pool_tests) ]
