@@ -22,6 +22,13 @@
 
 module Driver = Rc_frontend.Driver
 module Stats = Rc_lithium.Stats
+module Api = Rc_session.Refinedc_api
+
+(* Each checked file gets a fresh case-study session: elaboration adds
+   the file's C-declared named types to the session's own type
+   environment, so sessions must not be shared between files. *)
+let studies_session ?default_only ?no_goal_simp () =
+  Api.create_session ~case_studies:true ?default_only ?no_goal_simp ()
 
 let case_dir =
   List.find Sys.file_exists
@@ -149,7 +156,7 @@ let check_study (s : study) : row =
     with _ ->
       { impl = 0; spec = 0; annot_ds = 0; annot_loop = 0; annot_other = 0 }
   in
-  match Driver.check_file path with
+  match Driver.check_file ~session:(studies_session ()) path with
   | t ->
       let note =
         match Driver.errors t with
@@ -201,9 +208,10 @@ let print_table (rows : row list) =
   Fmt.pr
     "Pure: registered manual lemmas (stand-in for manual Coq proofs).  Ovh = \
      (Annot+Pure)/Impl.@.";
+  let s = studies_session () in
   Fmt.pr "Standard library: %d typing rules, %d named types registered.@."
-    (Rc_refinedc.Rules.count ())
-    (Hashtbl.length Rc_refinedc.Rtype.type_defs)
+    (Rc_refinedc.Rules.count s.Rc_refinedc.Session.index)
+    (Hashtbl.length s.Rc_refinedc.Session.tenv)
 
 (* ------------------------------------------------------------------ *)
 (* Timing (Bechamel)                                                   *)
@@ -222,7 +230,9 @@ let time_studies (rows : row list) =
            let src = read path in
            Test.make ~name:r.study.file
              (Staged.stage (fun () ->
-                  ignore (Driver.check_source ~file:path src))))
+                  ignore
+                    (Driver.check_source ~session:(studies_session ())
+                       ~file:path src))))
          rows)
   in
   let instances = Instance.[ monotonic_clock ] in
@@ -252,13 +262,14 @@ let time_studies (rows : row list) =
 
 let ablations (rows : row list) =
   Fmt.pr "@.== Ablations (design decisions of DESIGN.md par.5) ==@.";
-  let run_with setter desc =
-    setter true;
+  (* each ablation is just a differently-configured session — no global
+     switches to flip and restore *)
+  let run_with mk_session desc =
     Fmt.pr "@.%s:@." desc;
     List.iter
       (fun r ->
         let path = Filename.concat case_dir r.study.file in
-        match Driver.check_file path with
+        match Driver.check_file ~session:(mk_session ()) path with
         | t ->
             let errs = Driver.errors t in
             if errs = [] then Fmt.pr "  %-20s still verifies@." r.study.file
@@ -266,14 +277,13 @@ let ablations (rows : row list) =
               Fmt.pr "  %-20s FAILS (%s)@." r.study.file
                 (String.concat ", " (List.map fst errs))
         | exception _ -> Fmt.pr "  %-20s FAILS (frontend)@." r.study.file)
-      rows;
-    setter false
+      rows
   in
   run_with
-    (fun b -> Rc_lithium.Evar.ablation_no_goal_simp := b)
+    (fun () -> studies_session ~no_goal_simp:true ())
     "(a) evar goal-simplification rules disabled (heuristic 2 of paper par.5)";
   run_with
-    (fun b -> Rc_pure.Registry.ablation_default_only := b)
+    (fun () -> studies_session ~default_only:true ())
     "(b) named solvers and manual lemmas disabled (default solver only)";
   Fmt.pr "@.(c) layered vs direct BST (the paper's #3 comparison):@.";
   let get file = List.find (fun r -> r.study.file = file) rows in
@@ -292,8 +302,7 @@ let ablations (rows : row list) =
 (* ------------------------------------------------------------------ *)
 
 (* One corpus pass under a given configuration.  Studies are checked in
-   corpus order (elaboration registers type definitions globally, so
-   files must not elaborate concurrently); [jobs] fans the *functions*
+   corpus order, each under a fresh session; [jobs] fans the *functions*
    of each study across the domain pool. *)
 
 type jstudy = {
@@ -309,7 +318,7 @@ type jstudy = {
 let measure_study ~jobs ?cache (s : study) : jstudy =
   let path = Filename.concat case_dir s.file in
   let watch = Rc_util.Budget.stopwatch () in
-  match Driver.check_file ~jobs ?cache path with
+  match Driver.check_file ~session:(studies_session ()) ~jobs ?cache path with
   | t ->
       let hits, misses =
         match t.Driver.cache_stats with Some hm -> hm | None -> (0, 0)
@@ -407,11 +416,13 @@ let json_record ~jobs ~cache_dir ~out () =
         ("corpus_studies", Int (List.length corpus));
         ( "stdlib",
           Obj
-            [
-              ("typing_rules", Int (Rc_refinedc.Rules.count ()));
-              ( "named_types",
-                Int (Hashtbl.length Rc_refinedc.Rtype.type_defs) );
-            ] );
+            (let s = studies_session () in
+             [
+               ( "typing_rules",
+                 Int (Rc_refinedc.Rules.count s.Rc_refinedc.Session.index) );
+               ( "named_types",
+                 Int (Hashtbl.length s.Rc_refinedc.Session.tenv) );
+             ]) );
         ("runs", List [ seq; par; cold; warm ]);
         ( "speedup",
           Obj
@@ -453,7 +464,6 @@ let opt_value args name default =
 
 let () =
   let args = Array.to_list Sys.argv in
-  Rc_studies.Studies.register_all ();
   if List.mem "--json" args then begin
     let jobs =
       match int_of_string_opt (opt_value args "-j" "") with

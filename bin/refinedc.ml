@@ -14,8 +14,7 @@
 
 open Cmdliner
 module Driver = Rc_frontend.Driver
-
-let setup () = Rc_studies.Studies.register_all ()
+module Api = Rc_session.Refinedc_api
 
 let check_cmd =
   let file = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
@@ -105,10 +104,27 @@ let check_cmd =
              them.  Ignored under $(b,--cert), which must re-check real \
              derivations.")
   in
+  let default_only =
+    Arg.(
+      value & flag
+      & info [ "default-only" ]
+          ~doc:
+            "Ablation: discharge side conditions with the default solver \
+             only (no named solvers, no registered lemmas).")
+  in
+  let no_goal_simp =
+    Arg.(
+      value & flag
+      & info [ "no-goal-simp" ]
+          ~doc:"Ablation: disable goal simplification before solving.")
+  in
   let run file deriv stats cert semtest fuel timeout max_depth fail_fast json
-      jobs cache =
-    setup ();
+      jobs cache default_only no_goal_simp =
     let budget = { Rc_util.Budget.fuel; timeout; max_depth } in
+    let session =
+      Api.create_session ~case_studies:true ~default_only ~no_goal_simp
+        ~budget ()
+    in
     let jobs = if jobs <= 0 then Rc_util.Pool.default_jobs () else jobs in
     let cache =
       match cache with
@@ -120,7 +136,7 @@ let check_cmd =
       | Some dir -> Some (Rc_util.Vercache.create dir)
       | None -> None
     in
-    match Driver.check_file ~budget ~fail_fast ~jobs ?cache file with
+    match Driver.check_file ~session ~fail_fast ~jobs ?cache file with
     | exception Sys_error msg ->
         if json then
           Fmt.pr "%s@."
@@ -173,7 +189,7 @@ let check_cmd =
                 end;
                 if cert then begin
                   let rep =
-                    Rc_cert.Checker.check res.Rc_refinedc.Lang.E.deriv
+                    Rc_cert.Checker.check ~session res.Rc_refinedc.Lang.E.deriv
                   in
                   say "  %a@." Rc_cert.Checker.pp_report rep;
                   if not (Rc_cert.Checker.ok rep) then incr failed
@@ -192,7 +208,7 @@ let check_cmd =
                       t.elaborated.Rc_frontend.Elab.to_check
                   in
                   match
-                    Rc_sem.Semtest.check_fn ~impls
+                    Rc_sem.Semtest.check_fn ~impls ~session
                       t.elaborated.Rc_frontend.Elab.program spec.spec
                   with
                   | Rc_sem.Semtest.Passed n ->
@@ -234,15 +250,16 @@ let check_cmd =
   Cmd.v (Cmd.info "check" ~doc:"Verify the specified functions of FILE.")
     Term.(
       const run $ file $ deriv $ stats $ cert $ semtest $ fuel $ timeout
-      $ max_depth $ fail_fast $ json $ jobs $ cache)
+      $ max_depth $ fail_fast $ json $ jobs $ cache $ default_only
+      $ no_goal_simp)
 
 let run_cmd =
   let file = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
   let fn = Arg.(required & pos 1 (some string) None & info [] ~docv:"FN") in
   let args = Arg.(value & pos_right 1 int [] & info [] ~docv:"ARGS") in
   let run file fn args =
-    setup ();
-    match Driver.check_file file with
+    let session = Api.create_session ~case_studies:true () in
+    match Driver.check_file ~session file with
     | exception Driver.Frontend_error msg ->
         Fmt.epr "%s@." msg;
         1
@@ -272,8 +289,11 @@ let run_cmd =
 let cfg_cmd =
   let file = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
   let run file =
-    setup ();
-    match Driver.parse_and_elab ~file (In_channel.with_open_bin file In_channel.input_all) with
+    let session = Api.create_session ~case_studies:true () in
+    match
+      Driver.parse_and_elab ~session ~file
+        (In_channel.with_open_bin file In_channel.input_all)
+    with
     | exception Driver.Frontend_error msg ->
         Fmt.epr "%s@." msg;
         1

@@ -18,7 +18,7 @@ let verified name (t : Rc_frontend.Driver.t) =
       exit 1
 
 let () =
-  let t = Util.check "free_list.c" in
+  let _session, t = Util.check "free_list.c" in
   verified "free_list.c" t;
   let prog = t.elaborated.Rc_frontend.Elab.program in
   let m = Rc_caesium.Eval.create ~detect_races:false prog in

@@ -55,8 +55,10 @@ void racy_bump(struct lock* l, int* counter) {
 |}
 
 let () =
-  Rc_studies.Studies.register_all ();
-  let t = Rc_frontend.Driver.check_source ~file:"spinlock_demo.c" lock_src in
+  let session = Util.session () in
+  let t =
+    Rc_frontend.Driver.check_source ~session ~file:"spinlock_demo.c" lock_src
+  in
   (match Rc_frontend.Driver.errors t with
   | [] -> Fmt.pr "✔ spinlock, unlock and the critical section verified@."
   | (fn, e) :: _ ->

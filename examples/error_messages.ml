@@ -25,9 +25,12 @@ void* alloc(struct mem_t* d, size_t sz) {
 |}
 
 let () =
-  Rc_studies.Studies.register_all ();
+  let session = Util.session () in
   Fmt.pr "Verifying alloc against the buggy specification (n < a):@.@.";
-  let t = Rc_frontend.Driver.check_source ~file:"mem_alloc_bug.c" buggy_src in
+  let t =
+    Rc_frontend.Driver.check_source ~session ~file:"mem_alloc_bug.c"
+      buggy_src
+  in
   match Rc_frontend.Driver.errors t with
   | [] -> Fmt.pr "unexpectedly verified?!@."
   | (fn, e) :: _ ->

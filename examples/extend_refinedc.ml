@@ -8,8 +8,11 @@
      2. a new pure solver ("parity") for the divisibility side conditions
         the type generates, and
      3. a new simplification lemma,
-   then verifies a C function against a specification using the new type
-   — without touching a line of the engine or the standard rule library.
+   then builds a *session* carrying all three and verifies a C function
+   against a specification using the new type — without touching a line
+   of the engine or the standard rule library, and without mutating any
+   global state: a second, stock session in the same process would not
+   even see even_t.
 
    Run with:  dune exec examples/extend_refinedc.exe *)
 
@@ -21,24 +24,23 @@ module Int_type = Rc_caesium.Int_type
 (* 1. The new type: an even int<int>, defined by unfolding into the
    existing grammar (a constrained integer).  Recursive or genuinely new
    semantic types would instead come with their own subsumption rules —
-   registered through exactly the same Rules.register hook. *)
-let register_even_t () =
-  register_type_def
-    {
-      td_name = "even_t";
-      td_params = [ ("n", Sort.Int) ];
-      td_layout = Some (Rc_caesium.Layout.Int Int_type.i32);
-      td_unfold =
-        (function
-        | [ n ] ->
-            TConstr (TInt (Int_type.i32, n), PEq (Mod (n, Num 2), Num 0))
-        | _ -> invalid_arg "even_t arity");
-    }
+   passed to the session through exactly the same [~rules] hook. *)
+let even_t : type_def =
+  {
+    td_name = "even_t";
+    td_params = [ ("n", Sort.Int) ];
+    td_layout = Some (Rc_caesium.Layout.Int Int_type.i32);
+    td_unfold =
+      (function
+      | [ n ] ->
+          TConstr (TInt (Int_type.i32, n), PEq (Mod (n, Num 2), Num 0))
+      | _ -> invalid_arg "even_t arity");
+  }
 
 (* 2. A tiny decision procedure for the parity facts the type generates:
    (2k) mod 2 = 0, (a+b) mod 2 = 0 when both are even, and so on.  It is
    enabled per-function with rc::tactics("all: parity."). *)
-let register_parity_solver () =
+let parity_solver : Registry.solver =
   let rec even (hyps : prop list) (t : term) : bool =
     match Simp.simp_term t with
     | Num k -> k mod 2 = 0
@@ -53,15 +55,14 @@ let register_parity_solver () =
             | _ -> false)
           hyps
   in
-  Registry.register_solver
-    {
-      Registry.name = "parity";
-      run =
-        (fun ~hyps g ->
-          match Simp.simp_prop g with
-          | PEq (Mod (t, Num 2), Num 0) -> even hyps t
-          | _ -> false);
-    }
+  {
+    Registry.name = "parity";
+    run =
+      (fun _reg ~hyps g ->
+        match Simp.simp_prop g with
+        | PEq (Mod (t, Num 2), Num 0) -> even hyps t
+        | _ -> false);
+  }
 
 (* 3. The program: doubling anything is even, and adding two evens stays
    even.  The spec uses the new type exactly like a built-in. *)
@@ -86,11 +87,12 @@ int add_even(int x, int y) {
 |}
 
 let () =
-  Rc_studies.Studies.register_all ();
-  register_even_t ();
-  register_parity_solver ();
-  Fmt.pr "Registered: type even_t, solver \"parity\".@.";
-  let t = Rc_frontend.Driver.check_source ~file:"even.c" src in
+  let session =
+    Rc_session.Refinedc_api.create_session ~case_studies:true
+      ~type_defs:[ even_t ] ~solvers:[ parity_solver ] ()
+  in
+  Fmt.pr "Session carries: type even_t, solver \"parity\".@.";
+  let t = Rc_frontend.Driver.check_source ~session ~file:"even.c" src in
   List.iter
     (fun (r : Rc_frontend.Driver.check_result) ->
       match r.outcome with
@@ -110,5 +112,5 @@ let () =
   Fmt.pr
     "@.The engine, the standard rule library and the frontend were not \
      modified:@.the new type unfolds through the existing subsumption rules \
-     and the new@.solver plugs into the rc::tactics registry — the \
+     and the new@.solver plugs into the session's registry — the \
      extensibility story of paper par.5.@."

@@ -10,7 +10,7 @@ module Int_type = Rc_caesium.Int_type
 
 let () =
   (* 1. Parse, elaborate and verify every specified function. *)
-  let t = Util.check "mem_alloc.c" in
+  let session, t = Util.check "mem_alloc.c" in
   List.iter
     (fun (r : Driver.check_result) ->
       match r.outcome with
@@ -18,7 +18,7 @@ let () =
           Fmt.pr "✔ %-12s verified: %a@." r.name Rc_lithium.Stats.pp
             res.Rc_refinedc.Lang.E.stats;
           (* 2. Independently re-check the emitted certificate. *)
-          let rep = Rc_cert.Checker.check res.Rc_refinedc.Lang.E.deriv in
+          let rep = Rc_cert.Checker.check ~session res.Rc_refinedc.Lang.E.deriv in
           Fmt.pr "  %a@." Rc_cert.Checker.pp_report rep
       | Error e ->
           Fmt.pr "✘ %s failed:@.%s@." r.name (Rc_lithium.Report.to_string e))

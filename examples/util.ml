@@ -9,6 +9,11 @@ let case_dir () =
 
 let case_file name = Filename.concat (case_dir ()) name
 
+(** A fresh session carrying the case-study expert library. *)
+let session () = Rc_session.Refinedc_api.create_session ~case_studies:true ()
+
+(** Check one case study under a fresh case-study session; returns the
+    session alongside the results (the certificate checker needs it). *)
 let check name =
-  Rc_studies.Studies.register_all ();
-  Rc_frontend.Driver.check_file (case_file name)
+  let s = session () in
+  (s, Rc_frontend.Driver.check_file ~session:s (case_file name))

@@ -51,13 +51,22 @@ let pp_report ppf r =
   List.iter (fun i -> Fmt.pf ppf "@.  - %a" pp_issue i) r.issues
 
 (** The declarative rule table the checker validates against: the names
-    of the registered standard library (computed independently of any
-    particular search run). *)
-let rule_table () : string list =
-  List.map (fun r -> r.Rc_refinedc.Lang.E.rname) (Rc_refinedc.Rules.all ())
+    of the session's rule library (computed independently of any
+    particular search run — the session's *declared* rules, not the
+    search engine's trace). *)
+let rule_table (session : Rc_refinedc.Session.t) : string list =
+  List.map
+    (fun r -> r.Rc_refinedc.Lang.E.rname)
+    (Rc_refinedc.Rules.builtin () @ session.Rc_refinedc.Session.extra_rules)
 
-let check (d : Deriv.node) : report =
-  let table = rule_table () in
+(** Re-validate a derivation against [session]'s rule library and solver
+    registry.  The session must be the one (or be configured identically
+    to the one) that produced the derivation: certificates are only
+    meaningful relative to a rule library and registry, exactly as the
+    paper's derivations are only meaningful relative to the Iris-proven
+    rule statements. *)
+let check ~(session : Rc_refinedc.Session.t) (d : Deriv.node) : report =
+  let table = rule_table session in
   let nodes = ref 0 in
   let apps = ref 0 in
   let sides = ref 0 in
@@ -81,7 +90,8 @@ let check (d : Deriv.node) : report =
         if Term.has_evars_prop p then flag (Evars_remain p)
         else
           match
-            Registry.solve ~tactics:n.Deriv.d_tactics ~hyps:n.Deriv.d_hyps p
+            Registry.solve session.Rc_refinedc.Session.registry
+              ~tactics:n.Deriv.d_tactics ~hyps:n.Deriv.d_hyps p
           with
           | Registry.Unsolved -> flag (Side_condition_failed p)
           | _ -> ())

@@ -26,7 +26,11 @@ type report = {
 val ok : report -> bool
 val pp_report : Format.formatter -> report -> unit
 
-val rule_table : unit -> string list
-(** the declarative rule table the checker validates against *)
+val rule_table : Rc_refinedc.Session.t -> string list
+(** the declarative rule table the checker validates against: the
+    session's standard library plus its extra rules *)
 
-val check : Rc_lithium.Deriv.node -> report
+val check : session:Rc_refinedc.Session.t -> Rc_lithium.Deriv.node -> report
+(** re-validate a derivation against [session]'s rule library and
+    solver registry (the session that produced it, or one configured
+    identically) *)

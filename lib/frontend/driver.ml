@@ -18,6 +18,7 @@
 
 module Syntax = Rc_caesium.Syntax
 module Report = Rc_lithium.Report
+module Session = Rc_refinedc.Session
 
 type check_result = {
   name : string;
@@ -38,7 +39,8 @@ type t = {
 
 exception Frontend_error of string
 
-let parse_and_elab ~file (src : string) : Elab.elaborated =
+let parse_and_elab ~(session : Session.t) ~file (src : string) :
+    Elab.elaborated =
   match Cparser.parse_file ~file src with
   | exception Cparser.Parse_error (msg, loc) ->
       raise
@@ -50,7 +52,7 @@ let parse_and_elab ~file (src : string) : Elab.elaborated =
            (Fmt.str "%a: lexical error: %s" Rc_util.Srcloc.pp loc msg))
   | ast -> (
       let extra_warnings = Warn.check_file ast in
-      match Elab.elab_file ast with
+      match Elab.elab_file ~tenv:session.Session.tenv ast with
       | exception Elab.Elab_error (msg, loc) ->
           raise
             (Frontend_error
@@ -66,9 +68,9 @@ let parse_and_elab ~file (src : string) : Elab.elaborated =
 (** Run one function's check, converting any escaping exception into a
     structured checker-fault diagnostic.  Asynchronous exceptions are
     re-raised: masking [Out_of_memory] or Ctrl-C would be dishonest. *)
-let check_fn_isolated ~budget ~specs (f : Rc_refinedc.Typecheck.fn_to_check)
+let check_fn_isolated ~session ~specs (f : Rc_refinedc.Typecheck.fn_to_check)
     : (Rc_refinedc.Lang.E.result, Report.t) result =
-  match Rc_refinedc.Typecheck.check_fn ~budget ~specs f with
+  match Rc_refinedc.Typecheck.check_fn ~session ~specs f with
   | outcome -> outcome
   | exception Report.Error e -> Error e
   | exception ((Out_of_memory | Sys.Break) as e) -> raise e
@@ -113,9 +115,11 @@ let replay_result (data : string) :
 (** Verify every specified function of an already-elaborated file.
 
     [~jobs] fans the per-function checks across a domain pool; results
-    come back in source order regardless.  When the fault simulator is
-    armed the check is forced sequential — injection draws from a global
-    stream whose replay order must match the arming site's expectation.
+    come back in source order regardless — the workers share the
+    session read-only, so parallelism is race-free by construction.
+    When the session carries a fault campaign the check is forced
+    sequential: injection draws from the campaign's seeded stream, whose
+    replay order must match the arming site's expectation.
 
     [~cache] replays previously-proved verdicts (see the cache-key
     definition in {!Rc_refinedc.Typecheck.cache_key}).
@@ -124,9 +128,8 @@ let replay_result (data : string) :
     (and listed in {!field-skipped}); under [jobs > 1] they may already
     have been checked speculatively, but their results are discarded so
     the output is identical to the sequential run. *)
-let check_elaborated ?(budget = Rc_util.Budget.unlimited)
-    ?(fail_fast = false) ?(jobs = 1) ?cache ~file
-    (elaborated : Elab.elaborated) : t =
+let check_elaborated ?(fail_fast = false) ?(jobs = 1) ?cache
+    ~(session : Session.t) ~file (elaborated : Elab.elaborated) : t =
   let specs =
     List.map
       (fun (f : Rc_refinedc.Typecheck.fn_to_check) ->
@@ -136,10 +139,7 @@ let check_elaborated ?(budget = Rc_util.Budget.unlimited)
   let fn_name (f : Rc_refinedc.Typecheck.fn_to_check) =
     f.spec.Rc_refinedc.Rtype.fs_name
   in
-  let jobs = if Rc_util.Faultsim.active () then 1 else max 1 jobs in
-  (* build the shared rule index before any fan-out, so worker domains
-     only ever read it *)
-  let _ = Rc_refinedc.Rules.index () in
+  let jobs = if Session.fault session <> None then 1 else max 1 jobs in
   let specs_digest =
     match cache with
     | None -> ""
@@ -154,7 +154,7 @@ let check_elaborated ?(budget = Rc_util.Budget.unlimited)
     let watch = Rc_util.Budget.stopwatch () in
     let name = fn_name f in
     let fresh vc_key =
-      let outcome = check_fn_isolated ~budget ~specs f in
+      let outcome = check_fn_isolated ~session ~specs f in
       (match (vc_key, outcome) with
       | Some (vc, key), Ok res ->
           Rc_util.Vercache.store vc ~key
@@ -166,7 +166,7 @@ let check_elaborated ?(budget = Rc_util.Budget.unlimited)
     | None -> fresh None
     | Some vc -> (
         let key =
-          Rc_refinedc.Typecheck.cache_key ~budget ~specs_digest f
+          Rc_refinedc.Typecheck.cache_key ~session ~specs_digest f
         in
         match Rc_util.Vercache.find vc ~key with
         | None -> fresh (Some (vc, key))
@@ -215,14 +215,23 @@ let check_elaborated ?(budget = Rc_util.Budget.unlimited)
   in
   { file; elaborated; results; skipped; jobs; cache_stats }
 
-(** Verify every specified function of a source string. *)
-let check_source ?budget ?fail_fast ?jobs ?cache ~file (src : string) : t =
-  let elaborated = parse_and_elab ~file src in
-  check_elaborated ?budget ?fail_fast ?jobs ?cache ~file elaborated
+(** Resolve the session for one check invocation: the caller's session,
+    optionally with a one-shot budget override (a CLI convenience — the
+    flags set a budget without the caller building a session by hand). *)
+let resolve_session ?session ?budget () : Session.t =
+  let s = match session with Some s -> s | None -> Session.create () in
+  match budget with Some b -> Session.with_budget s b | None -> s
 
-let check_file ?budget ?fail_fast ?jobs ?cache (path : string) : t =
+(** Verify every specified function of a source string. *)
+let check_source ?session ?budget ?fail_fast ?jobs ?cache ~file
+    (src : string) : t =
+  let session = resolve_session ?session ?budget () in
+  let elaborated = parse_and_elab ~session ~file src in
+  check_elaborated ?fail_fast ?jobs ?cache ~session ~file elaborated
+
+let check_file ?session ?budget ?fail_fast ?jobs ?cache (path : string) : t =
   let src = In_channel.with_open_bin path In_channel.input_all in
-  check_source ?budget ?fail_fast ?jobs ?cache ~file:path src
+  check_source ?session ?budget ?fail_fast ?jobs ?cache ~file:path src
 
 (* ------------------------------------------------------------------ *)
 (* Outcome queries                                                     *)
@@ -268,12 +277,12 @@ let stats (t : t) : Rc_lithium.Stats.t =
 (* JSON diagnostics (--json)                                           *)
 (* ------------------------------------------------------------------ *)
 
-let result_to_json (r : check_result) : Rc_util.Jsonout.t =
+let result_to_json ?(timings = true) (r : check_result) : Rc_util.Jsonout.t =
   let open Rc_util.Jsonout in
   let base =
     [
       ("name", Str r.name);
-      ("time_s", Float r.time_s);
+      ("time_s", Float (if timings then r.time_s else 0.));
       ("cached", Bool r.cached);
     ]
   in
@@ -301,14 +310,18 @@ let result_to_json (r : check_result) : Rc_util.Jsonout.t =
             ("diagnostic", Report.to_json e);
           ])
 
-let to_json (t : t) : Rc_util.Jsonout.t =
+(** The report is a pure function of the session configuration and the
+    source: run-environment inputs (the [-j N] worker count) are not
+    echoed, and [~timings:false] zeroes the wall-clock fields — the only
+    nondeterministic part — so [-j 1] and [-j 4] runs serialize to
+    byte-identical JSON. *)
+let to_json ?(timings = true) (t : t) : Rc_util.Jsonout.t =
   let open Rc_util.Jsonout in
   Obj
     [
       ("file", Str t.file);
       ("ok", Bool (all_ok t));
       ("exit_code", Int (exit_code t));
-      ("jobs", Int t.jobs);
       ( "cache",
         match t.cache_stats with
         | None -> Null
@@ -323,7 +336,7 @@ let to_json (t : t) : Rc_util.Jsonout.t =
                      else float_of_int hits /. float_of_int (hits + misses))
                 );
               ] );
-      ("functions", List (List.map result_to_json t.results));
+      ("functions", List (List.map (result_to_json ~timings) t.results));
       ("skipped", List (List.map (fun s -> Str s) t.skipped));
       ( "warnings",
         List (List.map (fun w -> Str w) t.elaborated.Elab.warnings) );

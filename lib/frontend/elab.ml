@@ -34,9 +34,22 @@ type genv = {
   mutable structs : (string * Layout.struct_layout) list;
   mutable fn_sigs : (string * (ctype list * ctype)) list;
   mutable fn_specs : (string * fn_spec) list;
+  tenv : Rc_refinedc.Rtype.tenv;
+      (** the session's named-type environment; elaboration registers
+          [rc::refined_by] definitions here *)
+  mutable field_types : (string * ctype) list;
+      (** side table: "struct.field" ↦ surface C type of the field *)
 }
 
-let new_genv () = { typedefs = []; structs = []; fn_sigs = []; fn_specs = [] }
+let new_genv ~tenv () =
+  {
+    typedefs = [];
+    structs = [];
+    fn_sigs = [];
+    fn_specs = [];
+    tenv;
+    field_types = [];
+  }
 
 let rec resolve_ctype (g : genv) (t : ctype) : ctype =
   match t with
@@ -45,9 +58,6 @@ let rec resolve_ctype (g : genv) (t : ctype) : ctype =
       | Some t' -> resolve_ctype g t'
       | None -> t)
   | t -> t
-
-(** side table: "struct.field" ↦ surface C type of the field *)
-let field_types : (string * ctype) list ref = ref []
 
 let layout_of_ctype ?(loc = Rc_util.Srcloc.dummy) (g : genv) (t : ctype) :
     Layout.t =
@@ -91,7 +101,8 @@ let attr_joined name (atts : attr list) : string list =
     atts
 
 let spec_env (g : genv) vars : Specparse.env =
-  { Specparse.vars; structs = g.structs; fn_specs = g.fn_specs }
+  { Specparse.vars; structs = g.structs; fn_specs = g.fn_specs;
+    tenv = g.tenv }
 
 let elab_struct (g : genv) (sd : struct_decl) : unit =
   with_spec_loc sd.sd_loc @@ fun () ->
@@ -104,8 +115,8 @@ let elab_struct (g : genv) (sd : struct_decl) : unit =
   g.structs <- (sd.sd_name, sl) :: g.structs;
   List.iter
     (fun fd ->
-      field_types :=
-        (sd.sd_name ^ "." ^ fd.fd_name, fd.fd_type) :: !field_types)
+      g.field_types <-
+        (sd.sd_name ^ "." ^ fd.fd_name, fd.fd_type) :: g.field_types)
     sd.sd_fields;
   (* RefinedC annotations *)
   let refined_by =
@@ -142,7 +153,7 @@ let elab_struct (g : genv) (sd : struct_decl) : unit =
       | None -> Layout.Struct sl
     in
     (* register a stub first so recursive references parse *)
-    register_type_def
+    register_type_def g.tenv
       {
         td_name;
         td_params = refined_by;
@@ -226,7 +237,7 @@ let elab_struct (g : genv) (sd : struct_decl) : unit =
             in
             replace parsed
     in
-    register_type_def
+    register_type_def g.tenv
       { td_name; td_params = refined_by; td_layout = Some td_layout;
         td_unfold = unfold }
   end
@@ -266,7 +277,7 @@ let field_ctype (fe : fenv) loc (t : ctype) (f : string) : ctype =
         | _ -> err loc "expected struct pointer")
     | _ -> err loc "expected struct"
   in
-  match List.assoc_opt (s ^ "." ^ f) !field_types with
+  match List.assoc_opt (s ^ "." ^ f) fe.g.field_types with
   | Some t -> t
   | None -> err loc "unknown field %s.%s" s f
 
@@ -1017,8 +1028,9 @@ type elaborated = {
   warnings : string list;
 }
 
-let elab_file (file : Cabs.file) : elaborated =
-  let g = new_genv () in
+let elab_file ~(tenv : Rc_refinedc.Rtype.tenv) (file : Cabs.file) :
+    elaborated =
+  let g = new_genv ~tenv () in
   let warnings = ref [] in
   (* pass 1: structs, typedefs, function signatures and specs *)
   List.iter

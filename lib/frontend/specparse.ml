@@ -110,9 +110,16 @@ type env = {
   vars : (string * Sort.t) list;  (** in-scope logical variables *)
   structs : (string * Layout.struct_layout) list;
   fn_specs : (string * fn_spec) list;  (** for fnptr<f> *)
+  tenv : Rc_refinedc.Rtype.tenv;  (** session named-type definitions *)
 }
 
-let empty_env = { vars = []; structs = []; fn_specs = [] }
+let empty_env () =
+  {
+    vars = [];
+    structs = [];
+    fn_specs = [];
+    tenv = Rc_refinedc.Rtype.create_tenv ();
+  }
 
 type pstate = { mutable toks : tok list; env : env }
 
@@ -659,7 +666,7 @@ and parse_base_type st ~refn : rtype =
       advance st;
       (* a named (user-defined) type; the refinement becomes the last
          argument *)
-      match Rc_refinedc.Rtype.find_type_def name with
+      match Rc_refinedc.Rtype.find_type_def st.env.tenv name with
       | None -> fail "unknown type %s" name
       | Some td ->
           let sort_of_last =

@@ -32,6 +32,11 @@ module type LANG = sig
   type f
   type atom
 
+  type env
+  (** language-level immutable environment threaded to rules (RefinedC
+      uses it for the session's named-type definitions); [unit] for
+      languages that need none *)
+
   val pp_f : Format.formatter -> f -> unit
   val pp_atom : Format.formatter -> atom -> unit
 
@@ -62,6 +67,7 @@ module Make (L : LANG) = struct
   (* ---------------------------------------------------------------- *)
 
   type rule_input = {
+    ri_env : L.env;  (** the session's language environment *)
     ri_fresh : ?hint:string -> Sort.t -> term;
     ri_evar : ?hint:string -> Sort.t -> term;
     ri_resolve : term -> term;
@@ -111,6 +117,7 @@ module Make (L : LANG) = struct
     idx_fingerprint : string;
         (** digest of (name, priority, heads) of every rule in order —
             a component of the verification-cache key *)
+    idx_size : int;  (** number of rules in the set *)
   }
 
   let index_rules (rules : rule list) : index =
@@ -145,6 +152,7 @@ module Make (L : LANG) = struct
       idx_buckets;
       idx_wild = List.filter (fun r -> r.heads = None) sorted;
       idx_fingerprint;
+      idx_size = List.length sorted;
     }
 
   let rules_for (idx : index) (head : string) : rule list =
@@ -170,6 +178,9 @@ module Make (L : LANG) = struct
     stats : Stats.t;
     gen : Rc_util.Gensym.t;
     index : index;
+    registry : Registry.t;  (** side-condition discharge configuration *)
+    gs : Evar.simp_cfg;  (** goal-simplification configuration *)
+    env : L.env;  (** language environment handed to rules *)
     tactics : string list;
     budget : Rc_util.Budget.t;
     mutable cur_loc : Rc_util.Srcloc.t option;
@@ -182,6 +193,7 @@ module Make (L : LANG) = struct
 
   let rule_input st ctx =
     {
+      ri_env = st.env;
       ri_fresh =
         (fun ?hint s ->
           Var (Rc_util.Gensym.fresh ?hint st.gen, s));
@@ -189,7 +201,10 @@ module Make (L : LANG) = struct
       ri_resolve = resolve st;
       ri_resolve_prop = resolve_prop st;
       ri_props = ctx.props;
-      ri_prove = (fun p -> Registry.default_prove ~hyps:ctx.props (resolve_prop st p));
+      ri_prove =
+        (fun p ->
+          Registry.default_prove st.registry ~hyps:ctx.props
+            (resolve_prop st p));
       ri_peek =
         (fun pred -> List.find_opt (fun a -> pred (resolve_atom st a)) ctx.delta);
     }
@@ -226,7 +241,9 @@ module Make (L : LANG) = struct
     (* the simplification/unification heuristics recurse too: they burn
        budget so a divergent simp loop cannot hang the checker *)
     check_budget st ctx;
-    let phi = Simp.simp_prop (resolve_prop st phi) in
+    let phi =
+      Simp.simp_prop ~hooks:st.registry.Registry.hooks (resolve_prop st phi)
+    in
     match phi with
     | PTrue -> []
     | PAnd (a, b) -> discharge st ctx a @ discharge st ctx b
@@ -239,17 +256,22 @@ module Make (L : LANG) = struct
             | PEq (a, b) -> Evar.unify ~unseal:true st.evars a b
             | _ -> false
           in
-          if unified then [ (Simp.simp_prop (resolve_prop st phi), Registry.Auto) ]
+          if unified then
+            [
+              ( Simp.simp_prop ~hooks:st.registry.Registry.hooks
+                  (resolve_prop st phi),
+                Registry.Auto );
+            ]
           else
             (* Heuristic 2: goal simplification rules. *)
-            match Evar.apply_goal_simp st.evars phi with
+            match Evar.apply_goal_simp ~cfg:st.gs st.evars phi with
             | Evar.Progress phi' -> discharge st ctx phi'
             | Evar.NoProgress ->
                 fail st ctx (Report.Evar_stuck phi)
         end
         else
           let verdict =
-            Registry.solve ~tactics:st.tactics ~hyps:ctx.props phi
+            Registry.solve st.registry ~tactics:st.tactics ~hyps:ctx.props phi
           in
           (match verdict with
           | Registry.Unsolved ->
@@ -305,7 +327,7 @@ module Make (L : LANG) = struct
         (match L.loc_of_f f with Some l -> st.cur_loc <- Some l | None -> ());
         let head = L.head_of_f f in
         st.cur_head <- Some head;
-        Rc_util.Faultsim.point "rule_lookup";
+        Rc_util.Faultsim.point st.registry.Registry.fault "rule_lookup";
         let ri = rule_input st ctx in
         let rec try_rules = function
           | [] ->
@@ -373,8 +395,9 @@ module Make (L : LANG) = struct
         | Goal.LEx (x, s, body) ->
             solve ctx (Goal.All (x, s, fun t -> Goal.Wand (body t, g')))
         | Goal.LProp phi -> begin
-            let phi = Simp.simp_prop (resolve_prop st phi) in
-            match Simp.destruct_hyp phi with
+            let hooks = st.registry.Registry.hooks in
+            let phi = Simp.simp_prop ~hooks (resolve_prop st phi) in
+            match Simp.destruct_hyp ~hooks phi with
             | None ->
                 (* contradictory hypothesis: goal holds vacuously *)
                 Deriv.make ~info:(prop_to_string phi) "vacuous" []
@@ -427,15 +450,19 @@ module Make (L : LANG) = struct
     stats : Stats.t;
   }
 
-  let run_indexed (index : index) ~(tactics : string list)
+  let run_indexed (index : index) ?(registry = Registry.default)
+      ?(gs = Evar.default_simp_cfg) ~(env : L.env) ~(tactics : string list)
       ?(budget = Rc_util.Budget.unlimited) ?(ctx = empty_ctx) (g : goal) :
       (result, Report.t) Stdlib.result =
     let st =
       {
-        evars = Evar.create ();
+        evars = Evar.create ?fault:registry.Registry.fault ();
         stats = Stats.create ();
         gen = Rc_util.Gensym.create ();
         index;
+        registry;
+        gs;
+        env;
         tactics;
         budget = Rc_util.Budget.start budget;
         cur_loc = None;
@@ -457,7 +484,8 @@ module Make (L : LANG) = struct
   (** One-shot entry point: indexes [cfg.rules] and runs.  Callers that
       check many functions against the same rule set should build the
       {!index} once ({!index_rules}) and use {!run_indexed}. *)
-  let run (cfg : cfg) ?budget ?ctx (g : goal) :
+  let run (cfg : cfg) ?registry ?gs ~(env : L.env) ?budget ?ctx (g : goal) :
       (result, Report.t) Stdlib.result =
-    run_indexed (index_rules cfg.rules) ~tactics:cfg.tactics ?budget ?ctx g
+    run_indexed (index_rules cfg.rules) ?registry ?gs ~env ~tactics:cfg.tactics
+      ?budget ?ctx g
 end

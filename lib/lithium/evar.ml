@@ -24,10 +24,17 @@ type t = {
   entries : (int, entry) Hashtbl.t;
   gen : Rc_util.Gensym.t;
   mutable instantiations : int;  (** Figure 7's ∃ column *)
+  fault : Rc_util.Faultsim.t option;
+      (** the owning session's fault campaign, for the evar_resolve site *)
 }
 
-let create () =
-  { entries = Hashtbl.create 64; gen = Rc_util.Gensym.create (); instantiations = 0 }
+let create ?fault () =
+  {
+    entries = Hashtbl.create 64;
+    gen = Rc_util.Gensym.create ();
+    instantiations = 0;
+    fault;
+  }
 
 let fresh ?(hint = "x") (st : t) (sort : Sort.t) : term =
   let id = Rc_util.Gensym.fresh_int st.gen in
@@ -42,11 +49,11 @@ let lookup (st : t) (id : int) : term option =
 
 (** Resolve all instantiated evars inside a term / proposition. *)
 let resolve (st : t) (t : term) : term =
-  Rc_util.Faultsim.point "evar_resolve";
+  Rc_util.Faultsim.point st.fault "evar_resolve";
   subst_evars_term (lookup st) t
 
 let resolve_prop (st : t) (p : prop) : prop =
-  Rc_util.Faultsim.point "evar_resolve";
+  Rc_util.Faultsim.point st.fault "evar_resolve";
   subst_evars_prop (lookup st) p
 
 let set (st : t) (id : int) (t : term) : unit =
@@ -148,15 +155,21 @@ type simp_outcome =
 
 type goal_simp_rule = t -> prop -> simp_outcome
 
-let user_rules : (string * goal_simp_rule) list ref = ref []
+(** Per-session goal-simplification configuration: the user-extensible
+    rule list ("user-extensible rewriting rules and equivalences", §5)
+    plus the ablation switch disabling heuristic 2 altogether.  A value,
+    not a registry: concurrent sessions carry their own. *)
+type simp_cfg = {
+  gs_rules : (string * goal_simp_rule) list;
+  gs_no_goal_simp : bool;
+}
 
-(** Ablation switch: disable heuristic 2 (the goal-simplification rules
-    of §5) to measure how much of the automation depends on it. *)
-let ablation_no_goal_simp = ref false
+let default_simp_cfg = { gs_rules = []; gs_no_goal_simp = false }
 
-(** Extend the evar-elimination simplification rules ("user-extensible
-    rewriting rules and equivalences", §5). *)
-let register_goal_simp name r = user_rules := !user_rules @ [ (name, r) ]
+(** Rule names in registration order, for configuration fingerprints. *)
+let simp_cfg_names cfg =
+  (if cfg.gs_no_goal_simp then [ "no_goal_simp" ] else [])
+  @ List.map fst cfg.gs_rules
 
 let builtin_simp (st : t) (p : prop) : simp_outcome =
   match p with
@@ -209,15 +222,18 @@ let builtin_simp (st : t) (p : prop) : simp_outcome =
       Progress (PEq (a, b))
   | _ -> NoProgress
 
-let apply_goal_simp (st : t) (p : prop) : simp_outcome =
-  if !ablation_no_goal_simp then NoProgress
+let apply_goal_simp ?(cfg = default_simp_cfg) (st : t) (p : prop) :
+    simp_outcome =
+  if cfg.gs_no_goal_simp then NoProgress
   else
-  match builtin_simp st p with
-  | Progress p' -> Progress p'
-  | NoProgress ->
-      let rec go = function
-        | [] -> NoProgress
-        | (_, r) :: rest -> (
-            match r st p with Progress p' -> Progress p' | NoProgress -> go rest)
-      in
-      go !user_rules
+    match builtin_simp st p with
+    | Progress p' -> Progress p'
+    | NoProgress ->
+        let rec go = function
+          | [] -> NoProgress
+          | (_, r) :: rest -> (
+              match r st p with
+              | Progress p' -> Progress p'
+              | NoProgress -> go rest)
+        in
+        go cfg.gs_rules

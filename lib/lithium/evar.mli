@@ -15,6 +15,8 @@ type t = {
   entries : (int, entry) Hashtbl.t;
   gen : Rc_util.Gensym.t;
   mutable instantiations : int;  (** Figure 7's ∃ column *)
+  fault : Rc_util.Faultsim.t option;
+      (** the owning session's fault campaign, for the evar_resolve site *)
 }
 
 and entry = {
@@ -24,7 +26,7 @@ and entry = {
   mutable sealed : bool;
 }
 
-val create : unit -> t
+val create : ?fault:Rc_util.Faultsim.t -> unit -> t
 val fresh : ?hint:string -> t -> Sort.t -> Term.term
 val lookup : t -> int -> Term.term option
 val resolve : t -> Term.term -> Term.term
@@ -41,11 +43,18 @@ val unify_prop : ?unseal:bool -> t -> Term.prop -> Term.prop -> bool
 type simp_outcome = Progress of Term.prop | NoProgress
 type goal_simp_rule = t -> Term.prop -> simp_outcome
 
-val register_goal_simp : string -> goal_simp_rule -> unit
-(** extend the evar-elimination rules ("user-extensible rewriting rules
-    and equivalences", §5) *)
+(** Per-session goal-simplification configuration: the user-extensible
+    evar-elimination rules ("user-extensible rewriting rules and
+    equivalences", §5) plus the ablation switch disabling heuristic 2. *)
+type simp_cfg = {
+  gs_rules : (string * goal_simp_rule) list;
+  gs_no_goal_simp : bool;
+}
 
-val ablation_no_goal_simp : bool ref
-(** benchmark switch: disable heuristic 2 *)
+val default_simp_cfg : simp_cfg
+(** no extra rules, heuristic 2 enabled *)
 
-val apply_goal_simp : t -> Term.prop -> simp_outcome
+val simp_cfg_names : simp_cfg -> string list
+(** rule names (plus the ablation flag) for configuration fingerprints *)
+
+val apply_goal_simp : ?cfg:simp_cfg -> t -> Term.prop -> simp_outcome

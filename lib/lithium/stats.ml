@@ -57,6 +57,49 @@ let merge a b =
   a.side_manual <- a.side_manual + b.side_manual;
   a.manual_detail <- a.manual_detail @ b.manual_detail
 
+(** Deterministic JSON rendering: [rules_used] is emitted in sorted
+    order and [manual_detail] in chronological order, so two runs that
+    performed the same proof work — e.g. a [-j 1] and a [-j 4] run over
+    the same corpus, merged in source order — serialize byte-identically
+    regardless of hashtable iteration order or domain scheduling. *)
+let to_json t : string =
+  let b = Buffer.create 256 in
+  let esc s =
+    let eb = Buffer.create (String.length s) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string eb "\\\""
+        | '\\' -> Buffer.add_string eb "\\\\"
+        | '\n' -> Buffer.add_string eb "\\n"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string eb (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char eb c)
+      s;
+    Buffer.contents eb
+  in
+  Buffer.add_string b
+    (Printf.sprintf
+       "{\"rule_apps\":%d,\"distinct_rules\":%d,\"evar_insts\":%d,\"side_auto\":%d,\"side_manual\":%d,\"rules_used\":{"
+       t.rule_apps (distinct_rules t) t.evar_insts t.side_auto t.side_manual);
+  let rules =
+    List.sort compare (Hashtbl.fold (fun k v l -> (k, v) :: l) t.rules_used [])
+  in
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (Printf.sprintf "\"%s\":%d" (esc k) v))
+    rules;
+  Buffer.add_string b "},\"manual\":[";
+  List.iteri
+    (fun i (who, what) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf "[\"%s\",\"%s\"]" (esc who) (esc what)))
+    (List.rev t.manual_detail);
+  Buffer.add_string b "]}";
+  Buffer.contents b
+
 let pp ppf t =
   Fmt.pf ppf "rules %d/%d, ∃ %d, ⌜φ⌝ %d/%d" (distinct_rules t) t.rule_apps
     t.evar_insts t.side_auto t.side_manual

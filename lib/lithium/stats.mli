@@ -22,4 +22,8 @@ val distinct_rules : t -> int
 val merge : t -> t -> unit
 (** [merge acc x] adds [x]'s counters into [acc] *)
 
+val to_json : t -> string
+(** deterministic rendering: sorted [rules_used], chronological
+    [manual_detail] — byte-identical across [-j N] for the same work *)
+
 val pp : Format.formatter -> t -> unit

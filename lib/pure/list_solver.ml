@@ -39,7 +39,7 @@ let list_substs hyps =
 let rec rewrite_term (pat, rhs) t =
   if equal_term t pat then rhs else map_term (rewrite_term (pat, rhs)) t
 
-let rec apply_substs n substs t =
+let rec apply_substs ?(hooks = Simp.no_hooks) n substs t =
   if n = 0 then t
   else
     let t' =
@@ -53,8 +53,8 @@ let rec apply_substs n substs t =
         t substs
     in
     (* re-simplify: substitution may expose defining equations (rev …) *)
-    let t' = Simp.simp_term t' in
-    if equal_term t t' then t else apply_substs (n - 1) substs t'
+    let t' = Simp.simp_term ~hooks t' in
+    if equal_term t t' then t else apply_substs ~hooks (n - 1) substs t'
 
 let seg_eq ~eq a b =
   match (a, b) with
@@ -75,10 +75,11 @@ let cancel ~eq l1 l2 =
   let a', b' = front (List.rev a) (List.rev b) in
   (List.rev a', List.rev b')
 
-let rec prove ~(prove_pure : hyps:prop list -> prop -> bool) ~hyps goal =
-  let goal = Simp.simp_prop goal in
+let rec prove ?(hooks = Simp.no_hooks)
+    ~(prove_pure : hyps:prop list -> prop -> bool) ~hyps goal =
+  let goal = Simp.simp_prop ~hooks goal in
   let substs = list_substs hyps in
-  let norm t = segs (apply_substs 8 substs (Simp.simp_term t)) in
+  let norm t = segs (apply_substs ~hooks 8 substs (Simp.simp_term ~hooks t)) in
   let eq a b = equal_term a b || prove_pure ~hyps (PEq (a, b)) in
   let listish t =
     match sort_of t with
@@ -93,7 +94,7 @@ let rec prove ~(prove_pure : hyps:prop list -> prop -> bool) ~hyps goal =
   in
   match goal with
   | PTrue -> true
-  | PAnd (a, b) -> prove ~prove_pure ~hyps a && prove ~prove_pure ~hyps b
+  | PAnd (a, b) -> prove ~hooks ~prove_pure ~hyps a && prove ~hooks ~prove_pure ~hyps b
   | PEq (l1, l2) when listish l1 || listish l2 -> (
       let s1 = norm l1 and s2 = norm l2 in
       match cancel ~eq s1 s2 with

@@ -97,8 +97,9 @@ let gather_facts hyps =
     { members = []; bounded = []; nonempty = [] }
     hyps
 
-let rec prove ~(prove_pure : hyps:prop list -> prop -> bool) ~hyps goal =
-  let goal = Simp.simp_prop goal in
+let rec prove ?(hooks = Simp.no_hooks)
+    ~(prove_pure : hyps:prop list -> prop -> bool) ~hyps goal =
+  let goal = Simp.simp_prop ~hooks goal in
   (* saturation: every known membership k ∈ S instantiates every bounded
      fact ∀x∈S. φ(x), enriching the pure context (one round suffices for
      the case studies) *)
@@ -123,7 +124,7 @@ let rec prove ~(prove_pure : hyps:prop list -> prop -> bool) ~hyps goal =
     insts @ hyps
   in
   let substs = mset_substs hyps in
-  let norm t = sort_nf (flatten (apply_substs 8 substs (Simp.simp_term t))) in
+  let norm t = sort_nf (flatten (apply_substs 8 substs (Simp.simp_term ~hooks t))) in
   let eq_elem a b =
     equal_term a b || prove_pure ~hyps (PEq (a, b))
   in
@@ -131,25 +132,25 @@ let rec prove ~(prove_pure : hyps:prop list -> prop -> bool) ~hyps goal =
   match goal with
   | PTrue -> true
   | PAnd (a, b) ->
-      prove ~prove_pure ~hyps a && prove ~prove_pure ~hyps b
-  | POr (a, b) -> prove ~prove_pure ~hyps a || prove ~prove_pure ~hyps b
+      prove ~hooks ~prove_pure ~hyps a && prove ~hooks ~prove_pure ~hyps b
+  | POr (a, b) -> prove ~hooks ~prove_pure ~hyps a || prove ~hooks ~prove_pure ~hyps b
   | PImp (a, b) -> (
-      match Simp.destruct_hyp a with
+      match Simp.destruct_hyp ~hooks a with
       | None -> true
-      | Some hs -> prove ~prove_pure ~hyps:(hs @ hyps) b)
+      | Some hs -> prove ~hooks ~prove_pure ~hyps:(hs @ hyps) b)
   (* Decompose universals whose premise was split by the simplifier. *)
   | PForall (x, s, PImp (POr (p, q), phi)) ->
-      prove ~prove_pure ~hyps (PForall (x, s, PImp (p, phi)))
-      && prove ~prove_pure ~hyps (PForall (x, s, PImp (q, phi)))
+      prove ~hooks ~prove_pure ~hyps (PForall (x, s, PImp (p, phi)))
+      && prove ~hooks ~prove_pure ~hyps (PForall (x, s, PImp (q, phi)))
   | PForall (x, s, PAnd (p, q)) ->
-      prove ~prove_pure ~hyps (PForall (x, s, p))
-      && prove ~prove_pure ~hyps (PForall (x, s, q))
+      prove ~hooks ~prove_pure ~hyps (PForall (x, s, p))
+      && prove ~hooks ~prove_pure ~hyps (PForall (x, s, q))
   | PForall (x, _, PImp (PEq (Var (x', _), e), phi))
     when x = x' && not (SS.mem x (free_vars_term e)) ->
-      prove ~prove_pure ~hyps (subst_prop [ (x, e) ] phi)
+      prove ~hooks ~prove_pure ~hyps (subst_prop [ (x, e) ] phi)
   | PForall (x, _, PImp (PEq (e, Var (x', _)), phi))
     when x = x' && not (SS.mem x (free_vars_term e)) ->
-      prove ~prove_pure ~hyps (subst_prop [ (x, e) ] phi)
+      prove ~hooks ~prove_pure ~hyps (subst_prop [ (x, e) ] phi)
   | PEq (s1, s2) when sort_of s1 = Sort.Mset || sort_of s2 = Sort.Mset ->
       let n1 = norm s1 and n2 = norm s2 in
       let left_e, rest_e = cancel_all ~eq:eq_elem n1.elems n2.elems in

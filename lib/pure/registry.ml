@@ -40,7 +40,7 @@ let is_manual = function Via_solver _ | Via_lemma _ -> true | _ -> false
 
 (** Resolve [Ite] terms whose condition the hypotheses decide (e.g. the
     refinement [(n ≤ a ? a - n : a)] under the branch fact [n ≤ a]). *)
-let resolve_ites ~hyps (p : prop) : prop =
+let resolve_ites ?(hooks = Simp.no_hooks) ~hyps (p : prop) : prop =
   let rec rt (t : term) : term =
     let t = map_term rt t in
     match t with
@@ -50,75 +50,101 @@ let resolve_ites ~hyps (p : prop) : prop =
         else t
     | t -> t
   in
-  Simp.simp_prop (map_prop rt p)
+  Simp.simp_prop ~hooks (map_prop rt p)
 
 (* ------------------------------------------------------------------ *)
 (* Default solver                                                      *)
 (* ------------------------------------------------------------------ *)
 
-let rec default_prove ~hyps goal =
-  let goal = resolve_ites ~hyps (Simp.simp_prop goal) in
-  match goal with
-  | PTrue -> true
-  | PAnd (a, b) -> default_prove ~hyps a && default_prove ~hyps b
-  | PForall (x, s, q) ->
-      (* fresh universal: safe because parser makes names unique *)
-      default_prove ~hyps (subst_prop [ (x, Var (x ^ "!", s)) ] q)
-  | PImp (a, b) -> (
-      match Simp.destruct_hyp a with
-      | None -> true
-      | Some hs -> default_prove ~hyps:(hs @ hyps) b)
-  | _ ->
-      List.exists (fun h -> equal_prop (Simp.simp_prop h) goal) hyps
-      || Linarith.prove ~hyps goal
-      || List_solver.prove ~prove_pure:(fun ~hyps g -> Linarith.prove ~hyps g)
-           ~hyps goal
+(** The registry value: everything a session configures about
+    side-condition discharge.  Immutable — "registration" builds a new
+    value, so sessions never share mutable tables. *)
+type t = {
+  solvers : solver list;
+  lemmas : lemma list;
+  default_only : bool;
+  hooks : Simp.hooks;
+  fault : Rc_util.Faultsim.t option;
+}
 
-(* ------------------------------------------------------------------ *)
-(* Named solvers                                                        *)
-(* ------------------------------------------------------------------ *)
+and solver = { name : string; run : t -> hyps:prop list -> prop -> bool }
 
-type solver = { name : string; run : hyps:prop list -> prop -> bool }
-
-let builtin_solvers () =
-  [
-    {
-      name = "multiset_solver";
-      run = (fun ~hyps g -> Mset_solver.prove ~prove_pure:default_prove ~hyps g);
-    };
-    {
-      name = "set_solver";
-      run = (fun ~hyps g -> Set_solver.prove ~prove_pure:default_prove ~hyps g);
-    };
-    {
-      name = "list_solver";
-      run =
-        (fun ~hyps g -> List_solver.prove ~prove_pure:default_prove ~hyps g);
-    };
-    { name = "lia"; run = (fun ~hyps g -> Linarith.prove ~hyps g) };
-  ]
-
-let solvers : solver list ref = ref (builtin_solvers ())
-
-let register_solver s = solvers := !solvers @ [ s ]
-
-let find_solver name =
-  List.find_opt (fun s -> s.name = name) !solvers
-
-(* ------------------------------------------------------------------ *)
-(* Lemma library (manual Coq proofs)                                    *)
-(* ------------------------------------------------------------------ *)
-
-type lemma = {
+and lemma = {
   lname : string;
   vars : (string * Sort.t) list;  (** universally quantified metavars *)
   premises : prop list;
   concl : prop;
 }
 
-let lemmas : lemma list ref = ref []
-let register_lemma l = lemmas := !lemmas @ [ l ]
-let clear_lemmas () = lemmas := []
+let rec default_prove (reg : t) ~hyps goal =
+  let simp = Simp.simp_prop ~hooks:reg.hooks in
+  let goal = resolve_ites ~hooks:reg.hooks ~hyps (simp goal) in
+  match goal with
+  | PTrue -> true
+  | PAnd (a, b) -> default_prove reg ~hyps a && default_prove reg ~hyps b
+  | PForall (x, s, q) ->
+      (* fresh universal: safe because parser makes names unique *)
+      default_prove reg ~hyps (subst_prop [ (x, Var (x ^ "!", s)) ] q)
+  | PImp (a, b) -> (
+      match Simp.destruct_hyp ~hooks:reg.hooks a with
+      | None -> true
+      | Some hs -> default_prove reg ~hyps:(hs @ hyps) b)
+  | _ ->
+      List.exists (fun h -> equal_prop (simp h) goal) hyps
+      || Linarith.prove ~hyps goal
+      || List_solver.prove ~hooks:reg.hooks
+           ~prove_pure:(fun ~hyps g -> Linarith.prove ~hyps g)
+           ~hyps goal
+
+(* ------------------------------------------------------------------ *)
+(* Named solvers                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let builtin_solvers : solver list =
+  [
+    {
+      name = "multiset_solver";
+      run =
+        (fun reg ~hyps g ->
+          Mset_solver.prove ~hooks:reg.hooks ~prove_pure:(default_prove reg)
+            ~hyps g);
+    };
+    {
+      name = "set_solver";
+      run =
+        (fun reg ~hyps g ->
+          Set_solver.prove ~hooks:reg.hooks ~prove_pure:(default_prove reg)
+            ~hyps g);
+    };
+    {
+      name = "list_solver";
+      run =
+        (fun reg ~hyps g ->
+          List_solver.prove ~hooks:reg.hooks ~prove_pure:(default_prove reg)
+            ~hyps g);
+    };
+    { name = "lia"; run = (fun _reg ~hyps g -> Linarith.prove ~hyps g) };
+  ]
+
+let default : t =
+  {
+    solvers = builtin_solvers;
+    lemmas = [];
+    default_only = false;
+    hooks = Simp.no_hooks;
+    fault = None;
+  }
+
+let create ?(solvers = []) ?(lemmas = []) ?(default_only = false)
+    ?(hooks = Simp.no_hooks) ?fault () : t =
+  { solvers = builtin_solvers @ solvers; lemmas; default_only; hooks; fault }
+
+let add_solver reg s = { reg with solvers = reg.solvers @ [ s ] }
+let add_lemma reg l = { reg with lemmas = reg.lemmas @ [ l ] }
+let with_fault reg fault = { reg with fault }
+
+let find_solver reg name =
+  List.find_opt (fun s -> s.name = name) reg.solvers
 
 (* one-way syntactic matching: instantiate lemma vars against the goal *)
 exception No_match
@@ -199,7 +225,7 @@ let binds_ok l binds =
       || match t with Var (y, _) -> y = x | _ -> false)
     binds
 
-let try_lemma ~hyps goal (l : lemma) =
+let try_lemma (reg : t) ~hyps goal (l : lemma) =
   try
     let binds = match_prop [] l.concl goal in
     if not (binds_ok l binds) then false
@@ -218,13 +244,17 @@ let try_lemma ~hyps goal (l : lemma) =
                   List.mem_assoc x l.vars && not (List.mem_assoc x binds))
                 (free_vars_prop prem)
             in
-            if (not unbound) && default_prove ~hyps inst then prems binds rest
+            if (not unbound) && default_prove reg ~hyps inst then
+              prems binds rest
             else
               (* find a hypothesis the premise pattern matches *)
               let rec try_hyps = function
                 | [] -> false
                 | h :: hs -> (
-                    match match_prop binds prem (Simp.simp_prop h) with
+                    match
+                      match_prop binds prem
+                        (Simp.simp_prop ~hooks:reg.hooks h)
+                    with
                     | binds' when binds_ok l binds' -> prems binds' rest
                     | _ -> try_hyps hs
                     | exception No_match -> try_hyps hs)
@@ -238,37 +268,36 @@ let try_lemma ~hyps goal (l : lemma) =
 (* Entry point                                                          *)
 (* ------------------------------------------------------------------ *)
 
-(** [solve ~tactics ~hyps goal] discharges a side condition, returning
-    how.  [tactics] is the list of named solvers enabled by the current
-    function's [rc::tactics] annotations. *)
-(** Ablation switch: ignore [rc::tactics] (named solvers and lemmas),
-    leaving only the default solver — the paper's "one default solver"
-    baseline. *)
-let ablation_default_only = ref false
-
 (** A digest of everything that can change the registry's verdicts: the
-    registered solvers and lemmas (in registration order) and the
-    ablation switch.  A component of the verification-cache key — two
-    runs with different registries must not share cached verdicts. *)
-let fingerprint () : string =
+    registered solvers, lemmas and simplifier hooks (in registration
+    order) and the ablation switch.  A component of the
+    verification-cache key — two sessions with different registries must
+    not share cached verdicts.  The fault campaign is excluded: it
+    perturbs control flow, never the meaning of a verdict, and faulted
+    runs are not cached. *)
+let fingerprint (reg : t) : string =
   Digest.to_hex
     (Digest.string
        (String.concat ";"
-          (List.map (fun s -> "solver:" ^ s.name) !solvers
-          @ List.map (fun l -> "lemma:" ^ l.lname) !lemmas
-          @ [ "default_only:" ^ string_of_bool !ablation_default_only ])))
+          (List.map (fun s -> "solver:" ^ s.name) reg.solvers
+          @ List.map (fun l -> "lemma:" ^ l.lname) reg.lemmas
+          @ List.map (fun h -> "hook:" ^ h) (Simp.hook_names reg.hooks)
+          @ [ "default_only:" ^ string_of_bool reg.default_only ])))
 
-let solve ?(tactics = []) ~hyps goal : verdict =
-  Rc_util.Faultsim.point "solver";
-  let tactics = if !ablation_default_only then [] else tactics in
-  if default_prove ~hyps goal then Auto
+(** [solve reg ~tactics ~hyps goal] discharges a side condition,
+    returning how.  [tactics] is the list of named solvers enabled by
+    the current function's [rc::tactics] annotations. *)
+let solve (reg : t) ?(tactics = []) ~hyps goal : verdict =
+  Rc_util.Faultsim.point reg.fault "solver";
+  let tactics = if reg.default_only then [] else tactics in
+  if default_prove reg ~hyps goal then Auto
   else
-    let goal = resolve_ites ~hyps goal in
+    let goal = resolve_ites ~hooks:reg.hooks ~hyps goal in
     let named =
       List.find_opt
         (fun name ->
-          match find_solver name with
-          | Some s -> s.run ~hyps goal
+          match find_solver reg name with
+          | Some s -> s.run reg ~hyps goal
           | None -> false)
         tactics
     in
@@ -276,20 +305,8 @@ let solve ?(tactics = []) ~hyps goal : verdict =
     | Some name -> Via_solver name
     | None -> (
         match
-          if !ablation_default_only then None
-          else List.find_opt (try_lemma ~hyps goal) !lemmas
+          if reg.default_only then None
+          else List.find_opt (try_lemma reg ~hyps goal) reg.lemmas
         with
         | Some l -> Via_lemma l.lname
-        | None ->
-            (if Sys.getenv_opt "RC_DEBUG_SOLVE" <> None then begin
-               let oc = open_out_gen [ Open_append; Open_creat ] 0o644
-                   "/tmp/rc_solve_debug.txt" in
-               Printf.fprintf oc "GOAL: %s
-" (Term.show_prop goal);
-               List.iter (fun h -> Printf.fprintf oc "  HYP: %s
-" (Term.show_prop h)) hyps;
-               Printf.fprintf oc "---
-";
-               close_out oc
-             end);
-            Unsolved)
+        | None -> Unsolved)

@@ -5,7 +5,12 @@
     (simplifier + syntactic lookup + {!Linarith} + {!List_solver}), the
     named solvers enabled by [rc::tactics], and the registered manual
     lemmas.  The verdict records which — the basis of Figure 7's
-    auto/manual split. *)
+    auto/manual split.
+
+    The registry is an immutable *value* owned by a verification
+    session, not a process-global table: two concurrent sessions can
+    solve under different solver sets, lemma libraries, simplifier
+    hooks and ablation configs without observing each other. *)
 
 type verdict =
   | Auto  (** proved by the default solver *)
@@ -16,23 +21,34 @@ type verdict =
 val pp_verdict : Format.formatter -> verdict -> unit
 val is_manual : verdict -> bool
 
-val resolve_ites : hyps:Term.prop list -> Term.prop -> Term.prop
+val resolve_ites :
+  ?hooks:Simp.hooks -> hyps:Term.prop list -> Term.prop -> Term.prop
 (** resolve conditionals whose condition the hypotheses decide, e.g. the
     refinement [(n ≤ a ? a - n : a)] under the branch fact [n ≤ a] *)
 
-val default_prove : hyps:Term.prop list -> Term.prop -> bool
-(** the default solver *)
+(** {1 The registry value} *)
 
-(** {1 Named solvers} *)
+type t = {
+  solvers : solver list;  (** named solvers, in registration order *)
+  lemmas : lemma list;  (** manual lemmas, in registration order *)
+  default_only : bool;
+      (** ablation: ignore named solvers and lemmas — the paper's "one
+          default solver" baseline *)
+  hooks : Simp.hooks;  (** expert simplifier extensions *)
+  fault : Rc_util.Faultsim.t option;
+      (** this session's fault-injection campaign, if any *)
+}
 
-type solver = { name : string; run : hyps:Term.prop list -> Term.prop -> bool }
-
-val register_solver : solver -> unit
-val find_solver : string -> solver option
+and solver = {
+  name : string;
+  run : t -> hyps:Term.prop list -> Term.prop -> bool;
+      (** a named solver receives the registry so it can call back into
+          {!default_prove} for its pure subgoals *)
+}
 
 (** {1 Manual lemmas (the stand-in for manual Coq proofs)} *)
 
-type lemma = {
+and lemma = {
   lname : string;
   vars : (string * Sort.t) list;  (** universally quantified metavars *)
   premises : Term.prop list;
@@ -41,16 +57,36 @@ type lemma = {
   concl : Term.prop;
 }
 
-val register_lemma : lemma -> unit
-val clear_lemmas : unit -> unit
+val builtin_solvers : solver list
+(** multiset_solver, set_solver, list_solver, lia *)
 
-(** {1 Entry point} *)
+val default : t
+(** builtin solvers, no lemmas, no hooks, no ablation, no faults *)
 
-val ablation_default_only : bool ref
-(** benchmark switch: ignore named solvers and lemmas *)
+val create :
+  ?solvers:solver list ->
+  ?lemmas:lemma list ->
+  ?default_only:bool ->
+  ?hooks:Simp.hooks ->
+  ?fault:Rc_util.Faultsim.t ->
+  unit ->
+  t
+(** [create ()] = {!default}; [?solvers] are appended after the builtin
+    ones *)
 
-val fingerprint : unit -> string
-(** digest of the registered solvers, lemmas and ablation state — a
-    component of the verification-cache key *)
+val add_solver : t -> solver -> t
+val add_lemma : t -> lemma -> t
+val with_fault : t -> Rc_util.Faultsim.t option -> t
+val find_solver : t -> string -> solver option
 
-val solve : ?tactics:string list -> hyps:Term.prop list -> Term.prop -> verdict
+val default_prove : t -> hyps:Term.prop list -> Term.prop -> bool
+(** the default solver (under the registry's simplifier hooks) *)
+
+val fingerprint : t -> string
+(** digest of the registry's solvers, lemmas, hooks and ablation state —
+    a component of the verification-cache key.  The fault-injection
+    campaign is deliberately excluded: faults perturb control flow, not
+    the meaning of a verdict (and faulted runs are never cached). *)
+
+val solve :
+  t -> ?tactics:string list -> hyps:Term.prop list -> Term.prop -> verdict

@@ -15,24 +15,32 @@ open Term
 type term_rule = term -> term option
 type prop_rule = prop -> prop option
 
-let term_rules : (string * term_rule) list ref = ref []
-let prop_rules : (string * prop_rule) list ref = ref []
+(** Expert-registered rewriting equivalences (RefinedC lets experts
+    extend the simplifier; we expose the same hook).  Hooks are an
+    immutable *value* carried by the verification session's solver
+    registry — not a process-global table — so two concurrent sessions
+    can simplify under different equational theories. *)
+type hooks = {
+  h_term : (string * term_rule) list;
+  h_prop : (string * prop_rule) list;
+}
 
-(** Register an extra term-rewriting equivalence (RefinedC lets experts
-    extend the simplifier; we expose the same hook). *)
-let register_term_rule name r = term_rules := !term_rules @ [ (name, r) ]
+let no_hooks = { h_term = []; h_prop = [] }
 
-let register_prop_rule name r = prop_rules := !prop_rules @ [ (name, r) ]
+let hooks ?(term_rules = []) ?(prop_rules = []) () =
+  { h_term = term_rules; h_prop = prop_rules }
 
-let reset_rules () =
-  term_rules := [];
-  prop_rules := []
+let add_term_rule h name r = { h with h_term = h.h_term @ [ (name, r) ] }
+let add_prop_rule h name r = { h with h_prop = h.h_prop @ [ (name, r) ] }
+
+(** Registration-order hook names, for configuration fingerprints. *)
+let hook_names h = List.map fst h.h_term @ List.map fst h.h_prop
 
 (* -------------------------------------------------------------------- *)
 (* Built-in term simplification                                          *)
 (* -------------------------------------------------------------------- *)
 
-let rec step_term (t : term) : term option =
+let rec step_term (hooks : hooks) (t : term) : term option =
   match t with
   | Add (Num a, Num b) -> Some (Num (a + b))
   | Add (Num 0, x) | Add (x, Num 0) -> Some x
@@ -94,7 +102,7 @@ let rec step_term (t : term) : term option =
   | SetListInsert (Num 0, x, Cons (_, l)) -> Some (Cons (x, l))
   | SetListInsert (Num i, x, Cons (y, l)) when i > 0 ->
       Some (Cons (y, SetListInsert (Num (i - 1), x, l)))
-  | _ -> first_rule !term_rules t
+  | _ -> first_rule hooks.h_term t
 
 and first_rule rules t =
   match rules with
@@ -105,7 +113,7 @@ and first_rule rules t =
 (* Built-in proposition simplification                                   *)
 (* -------------------------------------------------------------------- *)
 
-let rec step_prop (p : prop) : prop option =
+let rec step_prop (hooks : hooks) (p : prop) : prop option =
   match p with
   | PEq (a, b) when equal_term a b -> Some PTrue
   | PEq (Num a, Num b) -> Some (if a = b then PTrue else PFalse)
@@ -149,7 +157,7 @@ let rec step_prop (p : prop) : prop option =
   | PIn (x, Append (a, b)) -> Some (POr (PIn (x, a), PIn (x, b)))
   | PForall (_, _, PTrue) -> Some PTrue
   | PExists (_, _, PFalse) -> Some PFalse
-  | _ -> first_prop_rule !prop_rules p
+  | _ -> first_prop_rule hooks.h_prop p
 
 and first_prop_rule rules p =
   match rules with
@@ -163,45 +171,52 @@ and first_prop_rule rules p =
 
 let fuel = 10_000
 
-let rec simp_term (t : term) : term =
-  let t = map_term simp_term (map_prop_in_term t) in
-  match step_term t with
-  | Some t' -> simp_term_fuel (fuel - 1) t'
+let rec simp_term_h (h : hooks) (t : term) : term =
+  let t = map_term (simp_term_h h) (map_prop_in_term h t) in
+  match step_term h t with
+  | Some t' -> simp_term_fuel h (fuel - 1) t'
   | None -> t
 
-and simp_term_fuel n t =
+and simp_term_fuel h n t =
   if n <= 0 then t
   else
-    let t = map_term simp_term (map_prop_in_term t) in
-    match step_term t with Some t' -> simp_term_fuel (n - 1) t' | None -> t
+    let t = map_term (simp_term_h h) (map_prop_in_term h t) in
+    match step_term h t with
+    | Some t' -> simp_term_fuel h (n - 1) t'
+    | None -> t
 
-and map_prop_in_term t =
+and map_prop_in_term h t =
   match t with
-  | Ite (c, a, b) -> Ite (simp_prop c, a, b)
-  | TProp p -> TProp (simp_prop p)
+  | Ite (c, a, b) -> Ite (simp_prop_h h c, a, b)
+  | TProp p -> TProp (simp_prop_h h p)
   | _ -> t
 
-and simp_prop (p : prop) : prop =
-  let p = map_children p in
-  match step_prop p with
-  | Some p' -> simp_prop_fuel (fuel - 1) p'
+and simp_prop_h (h : hooks) (p : prop) : prop =
+  let p = map_children h p in
+  match step_prop h p with
+  | Some p' -> simp_prop_fuel h (fuel - 1) p'
   | None -> p
 
-and simp_prop_fuel n p =
+and simp_prop_fuel h n p =
   if n <= 0 then p
   else
-    let p = map_children p in
-    match step_prop p with Some p' -> simp_prop_fuel (n - 1) p' | None -> p
+    let p = map_children h p in
+    match step_prop h p with
+    | Some p' -> simp_prop_fuel h (n - 1) p'
+    | None -> p
 
-and map_children p =
+and map_children h p =
   match p with
-  | PAnd (a, b) -> PAnd (simp_prop a, simp_prop b)
-  | POr (a, b) -> POr (simp_prop a, simp_prop b)
-  | PImp (a, b) -> PImp (simp_prop a, simp_prop b)
-  | PNot a -> PNot (simp_prop a)
-  | PForall (x, s, q) -> PForall (x, s, simp_prop q)
-  | PExists (x, s, q) -> PExists (x, s, simp_prop q)
-  | _ -> map_prop simp_term p
+  | PAnd (a, b) -> PAnd (simp_prop_h h a, simp_prop_h h b)
+  | POr (a, b) -> POr (simp_prop_h h a, simp_prop_h h b)
+  | PImp (a, b) -> PImp (simp_prop_h h a, simp_prop_h h b)
+  | PNot a -> PNot (simp_prop_h h a)
+  | PForall (x, s, q) -> PForall (x, s, simp_prop_h h q)
+  | PExists (x, s, q) -> PExists (x, s, simp_prop_h h q)
+  | _ -> map_prop (simp_term_h h) p
+
+let simp_term ?(hooks = no_hooks) t = simp_term_h hooks t
+let simp_prop ?(hooks = no_hooks) p = simp_prop_h hooks p
 
 (* -------------------------------------------------------------------- *)
 (* Hypothesis normalization (Lithium goal case (7c))                     *)
@@ -212,8 +227,9 @@ and map_children p =
     [xs ++ ys = [] ↦ xs = []; ys = []], conjunctions split, trivial
     hypotheses dropped.  Returns [None] if the hypothesis is
     contradictory (so the goal holds vacuously). *)
-let rec destruct_hyp (p : prop) : prop list option =
-  match simp_prop p with
+let rec destruct_hyp ?(hooks = no_hooks) (p : prop) : prop list option =
+  let destruct_hyp p = destruct_hyp ~hooks p in
+  match simp_prop_h hooks p with
   | PTrue -> Some []
   | PFalse -> None
   | PAnd (a, b) -> (

@@ -4,14 +4,14 @@
     that Lithium's syntactic matching (goal case (6d)) finds atoms
     deterministically:
 
-    - *Introduction* ([intro_loc]/[intro_val]) decomposes assumed types
+    - *Introduction* ([intro_loc te]/[intro_val te]) decomposes assumed types
       into canonical atoms: structs split into per-field atoms (plus
       padding as [uninit]), definite [&own] pointers split into a thin
       address singleton plus a separate location atom for the pointee,
       existentials open, constraints move to Γ.  Conditional ownership
       ([optional]) and folded recursive types ([TNamed]) stay packed.
 
-    - *Elimination* ([require_loc]/[require_val]) builds the dual goals:
+    - *Elimination* ([require_loc te]/[require_val te]) builds the dual goals:
       composite types are required field by field; scalar-ish types
       become goal atoms that case (6d) matches against Δ and discharges
       through the subsumption rules of {!Rules_subsume}. *)
@@ -50,13 +50,13 @@ let int_bounds_props (it : Int_type.t) (n : term) : prop list =
 (* Introduction                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let rec intro_loc (l : term) (ty : rtype) : left =
+let rec intro_loc te (l : term) (ty : rtype) : left =
   match ty with
   | TManaged _ -> G.LTrue
   | TStruct (sl, tys) ->
       let fields =
         List.map2
-          (fun fd fty -> intro_loc (ofs l fd.Layout.fld_ofs) fty)
+          (fun fd fty -> intro_loc te (ofs l fd.Layout.fld_ofs) fty)
           sl.Layout.sl_fields tys
       in
       let pads =
@@ -66,19 +66,19 @@ let rec intro_loc (l : term) (ty : rtype) : left =
       in
       G.lstars (fields @ pads)
   | TOwn (Some l', t') ->
-      G.LStar (intro_loc_scalar l (TPtrV l'), intro_loc l' t')
+      G.LStar (intro_loc_scalar l (TPtrV l'), intro_loc te l' t')
   | TOwn (None, t') ->
       G.LEx
         ( "ℓ",
           Sort.Loc,
-          fun l' -> G.LStar (intro_loc_scalar l (TPtrV l'), intro_loc l' t') )
-  | TExists (x, s, f) -> G.LEx (x, s, fun t -> intro_loc l (f t))
-  | TConstr (t, phi) -> G.LStar (G.LProp phi, intro_loc l t)
+          fun l' -> G.LStar (intro_loc_scalar l (TPtrV l'), intro_loc te l' t') )
+  | TExists (x, s, f) -> G.LEx (x, s, fun t -> intro_loc te l (f t))
+  | TConstr (t, phi) -> G.LStar (G.LProp phi, intro_loc te l t)
   | TPadded (t, n) -> (
-      match ty_size t with
+      match ty_size te t with
       | Some sz ->
           G.LStar
-            ( intro_loc l t,
+            ( intro_loc te l t,
               G.LStar
                 ( G.LAtom
                     (LocTy
@@ -101,7 +101,7 @@ and intro_loc_scalar l ty =
           G.LProp (PAnd (PEq (Length xs, len), PLe (Num 0, len))) )
   | _ -> G.LAtom (LocTy (l, ty))
 
-and intro_val (v : term) (ty : rtype) : left =
+and intro_val te (v : term) (ty : rtype) : left =
   match ty with
   | TInt (it, n) ->
       G.LStar
@@ -114,21 +114,21 @@ and intro_val (v : term) (ty : rtype) : left =
         ( G.LAtom (ValTy (v, ty)),
           G.LProp (PAnd (PEq (v, l'), p_ne l' NullLoc)) )
   | TOwn (Some l', t') ->
-      G.LStar (intro_val v (TPtrV l'), intro_loc l' t')
+      G.LStar (intro_val te v (TPtrV l'), intro_loc te l' t')
   | TOwn (None, t') ->
       (* treat the value itself as the pointee location *)
-      G.LStar (intro_val v (TPtrV v), intro_loc v t')
-  | TExists (x, s, f) -> G.LEx (x, s, fun t -> intro_val v (f t))
-  | TConstr (t, phi) -> G.LStar (G.LProp phi, intro_val v t)
+      G.LStar (intro_val te v (TPtrV v), intro_loc te v t')
+  | TExists (x, s, f) -> G.LEx (x, s, fun t -> intro_val te v (f t))
+  | TConstr (t, phi) -> G.LStar (G.LProp phi, intro_val te v t)
   | _ -> G.LAtom (ValTy (v, ty))
 
-let intro_hres (h : hres) : left =
+let intro_hres te (h : hres) : left =
   match h with
   | HProp p -> G.LProp p
-  | HAtom (LocTy (l, t)) -> intro_loc l t
-  | HAtom (ValTy (v, t)) -> intro_val v t
+  | HAtom (LocTy (l, t)) -> intro_loc te l t
+  | HAtom (ValTy (v, t)) -> intro_val te v t
 
-let intro_hres_list hs = G.lstars (List.map intro_hres hs)
+let intro_hres_list te hs = G.lstars (List.map (intro_hres te) hs)
 
 (* ------------------------------------------------------------------ *)
 (* Elimination (goal construction)                                     *)
@@ -136,10 +136,10 @@ let intro_hres_list hs = G.lstars (List.map intro_hres hs)
 
 (** Is the one-level unfolding of this type a composite that the intro
     side decomposed into several atoms (so the goal must be field-wise)? *)
-let rec unfolds_to_composite (ty : rtype) : rtype option =
+let rec unfolds_to_composite te (ty : rtype) : rtype option =
   match ty with
   | TNamed (n, args) -> (
-      match unfold_named n args with
+      match unfold_named te n args with
       | Some body -> (
           match strip body with
           | TStruct _ | TPadded _ -> Some body
@@ -152,7 +152,7 @@ and strip = function
   | TExists (x, s, f) -> strip (f (Var (x, s)))
   | t -> t
 
-let rec require_loc (l : term) (ty : rtype) (g : goal) : goal =
+let rec require_loc te (l : term) (ty : rtype) (g : goal) : goal =
   match ty with
   | TManaged _ -> g
   | TStruct (sl, tys) ->
@@ -160,8 +160,8 @@ let rec require_loc (l : term) (ty : rtype) (g : goal) : goal =
         match (fs, tys) with
         | [], [] -> g
         | fd :: fs', fty :: tys' ->
-            require_loc (ofs l fd.Layout.fld_ofs) fty (fields fs' tys' g)
-        | _ -> invalid_arg "require_loc: struct arity"
+            require_loc te (ofs l fd.Layout.fld_ofs) fty (fields fs' tys' g)
+        | _ -> invalid_arg "require_loc te: struct arity"
       in
       let pads g =
         List.fold_right
@@ -171,19 +171,19 @@ let rec require_loc (l : term) (ty : rtype) (g : goal) : goal =
       in
       fields sl.Layout.sl_fields tys (pads g)
   | TOwn (Some l', t') ->
-      G.Star (G.LAtom (LocTy (l, TPtrV l')), require_loc l' t' g)
+      G.Star (G.LAtom (LocTy (l, TPtrV l')), require_loc te l' t' g)
   | TOwn (None, t') ->
       G.Ex
         ( "ℓ",
           Sort.Loc,
           fun l' ->
-            G.Star (G.LAtom (LocTy (l, TPtrV l')), require_loc l' t' g) )
-  | TExists (x, s, f) -> G.Ex (x, s, fun t -> require_loc l (f t) g)
-  | TConstr (t, phi) -> require_loc l t (G.Star (G.LProp phi, g))
+            G.Star (G.LAtom (LocTy (l, TPtrV l')), require_loc te l' t' g) )
+  | TExists (x, s, f) -> G.Ex (x, s, fun t -> require_loc te l (f t) g)
+  | TConstr (t, phi) -> require_loc te l t (G.Star (G.LProp phi, g))
   | TPadded (t, n) -> (
-      match ty_size t with
+      match ty_size te t with
       | Some sz ->
-          require_loc l t
+          require_loc te l t
             (G.Star
                ( G.LAtom
                    (LocTy
@@ -192,7 +192,7 @@ let rec require_loc (l : term) (ty : rtype) (g : goal) : goal =
                  g ))
       | None -> G.Star (G.LAtom (LocTy (l, ty)), g))
   | TNamed (n, _) -> (
-      match unfolds_to_composite ty with
+      match unfolds_to_composite te ty with
       | None -> G.Star (G.LAtom (LocTy (l, ty)), g)
       | Some body ->
           (* dispatch on Δ: if the location still holds the folded named
@@ -211,7 +211,7 @@ let rec require_loc (l : term) (ty : rtype) (g : goal) : goal =
                 | Some a ->
                     G.Basic
                       (FSubsume { sub = a; super = LocTy (l, ty); cont = g })
-                | None -> require_loc l body g);
+                | None -> require_loc te l body g);
             })
   | TWand (hole, out) ->
       (* A magic wand is proved either by adapting an existing wand for
@@ -243,14 +243,14 @@ let rec require_loc (l : term) (ty : rtype) (g : goal) : goal =
         }
   | _ -> G.Star (G.LAtom (LocTy (l, ty)), g)
 
-let rec require_val (v : term) (ty : rtype) (g : goal) : goal =
+let rec require_val te (v : term) (ty : rtype) (g : goal) : goal =
   match ty with
-  | TExists (x, s, f) -> G.Ex (x, s, fun t -> require_val v (f t) g)
-  | TConstr (t, phi) -> require_val v t (G.Star (G.LProp phi, g))
+  | TExists (x, s, f) -> G.Ex (x, s, fun t -> require_val te v (f t) g)
+  | TConstr (t, phi) -> require_val te v t (G.Star (G.LProp phi, g))
   | TOwn (Some l', t') ->
-      G.Star (G.LProp (PEq (v, l')), require_loc l' t' g)
+      G.Star (G.LProp (PEq (v, l')), require_loc te l' t' g)
   | TOwn (None, t') ->
-      G.Star (G.LProp (p_ne v NullLoc), require_loc v t' g)
+      G.Star (G.LProp (p_ne v NullLoc), require_loc te v t' g)
   | _ -> G.Star (G.LAtom (ValTy (v, ty)), g)
 
 (** Variables not listed in a loop invariant keep the type they had at
@@ -280,10 +280,10 @@ let unlisted_frame (sigma : Lang.fn_ctx) (listed : string list) :
   |> List.filter_map (fun (x, ty) ->
          Option.map (fun l -> (l, ty)) (List.assoc_opt x sigma.fc_env))
 
-let require_hres (h : hres) (g : goal) : goal =
+let require_hres te (h : hres) (g : goal) : goal =
   match h with
   | HProp p -> G.Star (G.LProp p, g)
-  | HAtom (LocTy (l, t)) -> require_loc l t g
-  | HAtom (ValTy (v, t)) -> require_val v t g
+  | HAtom (LocTy (l, t)) -> require_loc te l t g
+  | HAtom (ValTy (v, t)) -> require_val te v t g
 
-let require_hres_list hs g = List.fold_right require_hres hs g
+let require_hres_list te hs g = List.fold_right (require_hres te) hs g

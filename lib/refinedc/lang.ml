@@ -236,6 +236,10 @@ module L = struct
   type nonrec f = f
   type atom = Rtype.atom
 
+  (* the language environment handed to rules is the session's
+     named-type definitions *)
+  type env = Rtype.tenv
+
   let pp_f = pp_f
   let pp_atom = Rtype.pp_atom
   let head_of_f = head_of_f

@@ -77,18 +77,37 @@ type type_def = {
   td_layout : Layout.t option;  (** layout of the unfolded type, if fixed *)
 }
 
-let type_defs : (string, type_def) Hashtbl.t = Hashtbl.create 16
+(** The named-type environment: every [rc::refined_by]-style definition
+    visible to one verification session.  Built while elaborating (or by
+    a case study's OCaml companion) and read-only during checking, so a
+    session can be shared across checker domains; two sessions have two
+    environments, never a common global table. *)
+type tenv = (string, type_def) Hashtbl.t
 
-let register_type_def td = Hashtbl.replace type_defs td.td_name td
+let create_tenv () : tenv = Hashtbl.create 16
 
-let find_type_def name = Hashtbl.find_opt type_defs name
+let register_type_def (te : tenv) td = Hashtbl.replace te td.td_name td
+let find_type_def (te : tenv) name = Hashtbl.find_opt te name
 
-let unfold_named name args =
-  match find_type_def name with
+let unfold_named (te : tenv) name args =
+  match find_type_def te name with
   | Some td -> Some (td.td_unfold args)
   | None -> None
 
-let clear_type_defs () = Hashtbl.reset type_defs
+(** Stable digest of the environment (names, parameters, layouts) for
+    the verification-cache key.  The unfold function itself cannot be
+    digested; definitions are keyed by name + arity + layout, which the
+    frontend derives deterministically from the source. *)
+let tenv_signature (te : tenv) : string =
+  Hashtbl.fold (fun name td acc -> (name, td) :: acc) te []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.map (fun (name, td) ->
+         Printf.sprintf "%s/%d/%s" name
+           (List.length td.td_params)
+           (match td.td_layout with
+           | Some l -> Rc_caesium.Layout.show l
+           | None -> "?"))
+  |> String.concat ";"
 
 (* ------------------------------------------------------------------ *)
 (* Misc helpers                                                        *)
@@ -122,7 +141,7 @@ let rec implied_props (v : term) (ty : rtype) : prop list =
   | _ -> []
 
 (** Size in bytes of the values inhabiting a type, when determined. *)
-let rec ty_size (ty : rtype) : term option =
+let rec ty_size (te : tenv) (ty : rtype) : term option =
   match ty with
   | TInt (it, _) | TBool (it, _) | TAnyInt it | TAtomicBool (it, _, _, _) ->
       Some (Num it.Int_type.size)
@@ -131,12 +150,12 @@ let rec ty_size (ty : rtype) : term option =
   | TManaged n -> Some (Num n)
   | TStruct (sl, _) -> Some (Num sl.Layout.sl_size)
   | TArrayInt (it, len, _) -> Some (Mul (Num it.Int_type.size, len))
-  | TConstr (t, _) -> ty_size t
+  | TConstr (t, _) -> ty_size te t
   | TPadded (_, n) -> Some n
-  | TWand (_, t) -> ty_size t
+  | TWand (_, t) -> ty_size te t
   | TExists _ -> None
   | TNamed (name, _) -> (
-      match find_type_def name with
+      match find_type_def te name with
       | Some { td_layout = Some l; _ } -> Some (Num (Layout.size l))
       | _ -> None)
 

@@ -81,8 +81,8 @@ let is_ptr_layout = function
 
 (** [size_matches layout ty]: side condition that [ty] occupies exactly
     the bytes of [layout] (used by read/write rules). *)
-let size_matches (layout : Layout.t) (ty : rtype) : prop =
-  match ty_size ty with
+let size_matches (te : tenv) (layout : Layout.t) (ty : rtype) : prop =
+  match ty_size te ty with
   | Some sz -> PEq (sz, Num (Layout.size layout))
   | None -> PFalse
 
@@ -119,10 +119,11 @@ let optional_cases (ri : ri) (v : Rc_pure.Term.term) (ty : Rtype.rtype)
     ~(on_own : unit -> Lang.goal) ~(on_null : unit -> Lang.goal) :
     Lang.goal option =
   let open Rtype in
+  let te = ri.Lang.E.ri_env in
   let rec unfold_to_opt t =
     match t with
     | TOptional (phi, t1, t2) -> Some (phi, t1, t2)
-    | TNamed (n, args) -> Option.bind (unfold_named n args) unfold_to_opt
+    | TNamed (n, args) -> Option.bind (unfold_named te n args) unfold_to_opt
     | TConstr (t, _) -> unfold_to_opt t
     | _ -> None
   in
@@ -149,12 +150,12 @@ let optional_cases (ri : ri) (v : Rc_pure.Term.term) (ty : Rtype.rtype)
                              ( Some "case: the pointer is owned (non-NULL)",
                                G.Wand
                                  ( G.LProp phi,
-                                   G.Wand (Convert.intro_val v t1, on_own ())
+                                   G.Wand (Convert.intro_val te v t1, on_own ())
                                  ) );
                              ( Some "case: the pointer is NULL",
                                G.Wand
                                  ( G.LProp (PNot phi),
-                                   G.Wand (Convert.intro_val v t2, on_null ())
+                                   G.Wand (Convert.intro_val te v t2, on_null ())
                                  ) );
                            ]
                      | None ->

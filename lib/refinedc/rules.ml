@@ -2,53 +2,27 @@
 
     The paper's standard library "currently contains around 30 types and
     200 typing rules" (§7); this reproduction's library covers the rules
-    the case-study corpus exercises.  New rules can be registered at any
-    time ([register]) — extensibility is the point of the Lithium
-    architecture (§5, "Extensibility").
+    the case-study corpus exercises.  Extensibility is the point of the
+    Lithium architecture (§5): a session may carry additional
+    (user/expert) rules.  There is no mutable global rule table — a
+    session compiles its own head-indexed {!Lang.E.index} once
+    ({!make}), after which the index is read-only and safely shared by
+    every checker domain of that session. *)
 
-    The engine dispatches rules through a head-indexed {!Lang.E.index}
-    built once per rule-set generation and shared by every function
-    check (and, being read-only, by every checker domain): re-sorting
-    and re-scanning the full rule list per function was measurable
-    overhead on the corpus.  [register]/[reset_extra] bump {!generation},
-    invalidating the memoized index. *)
-
-let extra : Lang.E.rule list ref = ref []
-
-(** Bumped whenever the rule set changes; {!index} is memoized against
-    it, and it participates in the verification-cache fingerprint. *)
-let generation = ref 0
-
-(** Register additional (user/expert) typing rules. *)
-let register (rs : Lang.E.rule list) =
-  extra := !extra @ rs;
-  incr generation
-
-let reset_extra () =
-  extra := [];
-  incr generation
-
-let all () : Lang.E.rule list =
+(** The built-in standard library, in dispatch order. *)
+let builtin () : Lang.E.rule list =
   Rules_stmt.all @ Rules_expr.all @ Rules_binop.all @ Rules_mem.all
-  @ Rules_call.all @ Rules_subsume.all @ !extra
+  @ Rules_call.all @ Rules_subsume.all
 
-(* The memoized index.  Rebuilt only when the generation moves; callers
-   running checks in parallel must force it once before fanning out
-   (the driver does), after which it is shared read-only. *)
-let indexed : (int * Lang.E.index) option ref = ref None
+(** Compile a rule set (standard library plus [extra] session rules)
+    into the engine's head-indexed dispatch structure. *)
+let make ?(extra = []) () : Lang.E.index =
+  Lang.E.index_rules (builtin () @ extra)
 
-let index () : Lang.E.index =
-  match !indexed with
-  | Some (gen, idx) when gen = !generation -> idx
-  | _ ->
-      let idx = Lang.E.index_rules (all ()) in
-      indexed := Some (!generation, idx);
-      idx
+(** Digest of a compiled rule set (names, priorities, head declarations,
+    in order) — a component of the verification-cache key. *)
+let fingerprint (idx : Lang.E.index) : string = idx.Lang.E.idx_fingerprint
 
-(** Digest of the rule set (names, priorities, head declarations, in
-    order) — a component of the verification-cache key. *)
-let fingerprint () : string = (index ()).Lang.E.idx_fingerprint
-
-(** Number of rules in the standard library (for the Figure-7 style
-    summary line in the benchmark harness). *)
-let count () = List.length (all ())
+(** Number of rules in a compiled set (for the Figure-7 style summary
+    line in the benchmark harness). *)
+let count (idx : Lang.E.index) : int = idx.Lang.E.idx_size

@@ -30,11 +30,11 @@ let t_call =
               List.fold_right2
                 (fun (v, vty) tspec g ->
                   G.Wand
-                    (intro_val v vty, require_val v (subst_rtype env tspec) g))
+                    (intro_val ri.E.ri_env v vty, require_val ri.E.ri_env v (subst_rtype env tspec) g))
                 args spec.fs_args g
             in
             let pre_goal g =
-              require_hres_list (List.map (subst_hres env) spec.fs_pre) g
+              require_hres_list ri.E.ri_env (List.map (subst_hres env) spec.fs_pre) g
             in
             let post_goal =
               let rec open_exists acc = function
@@ -45,9 +45,9 @@ let t_call =
                       fresh_val ri ~hint:"ret" (value_sort ret_ty)
                     in
                     G.Wand
-                      ( intro_val v_r ret_ty,
+                      ( intro_val ri.E.ri_env v_r ret_ty,
                         G.Wand
-                          ( intro_hres_list
+                          ( intro_hres_list ri.E.ri_env
                               (List.map (subst_hres env') spec.fs_post),
                             cont v_r ret_ty ) )
                 | (x, s) :: rest ->
@@ -97,7 +97,7 @@ let t_cas_unfold =
               | LocTy (l, TNamed (n, _)) -> (
                   equal_term (loc_base l) (loc_base vobj)
                   &&
-                  match find_type_def n with
+                  match find_type_def ri.E.ri_env n with
                   | Some { td_layout = Some _; _ } -> true
                   | _ -> false)
               | _ -> false
@@ -114,17 +114,17 @@ let t_cas_unfold =
                          (fun a ->
                            match a with
                            | LocTy (l, TNamed (n, args)) -> (
-                               match unfold_named n args with
+                               match unfold_named ri.E.ri_env n args with
                                | Some body ->
                                    G.Wand
-                                     (intro_loc l body, G.Basic (FCas r))
+                                     (intro_loc ri.E.ri_env l body, G.Basic (FCas r))
                                | None -> G.Star (G.LProp PFalse, G.True_))
                            | _ -> assert false);
                      }))
       | _ -> None)
 
 let t_cas =
-  mk ~heads:[ "cas" ] "CAS-BOOL" 5 (fun _ri j ->
+  mk ~heads:[ "cas" ] "CAS-BOOL" 5 (fun ri j ->
       match j with
       | FCas { it; vobj; vexp; tdes; cont; _ } -> (
           match const_bool tdes with
@@ -206,11 +206,11 @@ let t_cas =
                                                   state b₁, provide those of
                                                   state b₂ *)
                                                G.Wand
-                                                 ( intro_hres_list
+                                                 ( intro_hres_list ri.E.ri_env
                                                      (if b1 then ht else hf),
                                                    G.Wand
                                                      ( G.LAtom (bool_place b1),
-                                                       require_hres_list
+                                                       require_hres_list ri.E.ri_env
                                                          (if b2 then ht else hf)
                                                          (G.Wand
                                                             ( G.LAtom

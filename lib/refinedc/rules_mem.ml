@@ -24,7 +24,7 @@ let mk ~heads name prio apply : E.rule = { E.rname = name; prio; heads = Some he
     exact matches, an access may fall inside an array, an uninitialized
     block, or a (possibly named) struct whose fields have not been split
     off yet. *)
-let covers (loc_term : term) (a : atom) : bool =
+let covers (te : tenv) (loc_term : term) (a : atom) : bool =
   let within l size_lit =
     equal_term l loc_term
     ||
@@ -49,7 +49,7 @@ let covers (loc_term : term) (a : atom) : bool =
       | None -> false)
   | LocTy (l, TStruct (sl, _)) -> within l (Some sl.Rc_caesium.Layout.sl_size)
   | LocTy (l, TNamed (n, _)) -> (
-      match find_type_def n with
+      match find_type_def te n with
       | Some { td_layout = Some lay; _ } -> within l (Some (Layout.size lay))
       | _ -> equal_term l loc_term)
   | LocTy (l, _) -> equal_term l loc_term
@@ -76,7 +76,7 @@ let unpack_packed_at ri (base : term) (retry : goal) : goal option =
         match t with
         | TOptional (phi, t1, t2) -> Some (phi, t1, t2)
         | TNamed (n, args) ->
-            Option.bind (unfold_named n args) unfold_to_opt
+            Option.bind (unfold_named ri.E.ri_env n args) unfold_to_opt
         | TConstr (t, _) -> unfold_to_opt t
         | _ -> None
       in
@@ -93,7 +93,7 @@ let unpack_packed_at ri (base : term) (retry : goal) : goal option =
                      | Some (phi, t1, _) ->
                          G.Star
                            ( G.LProp phi,
-                             G.Wand (intro_val base t1, retry) )
+                             G.Wand (intro_val ri.E.ri_env base t1, retry) )
                      | None -> G.Wand (G.LAtom a, retry))
                  | LocTy _ -> assert false);
            })
@@ -102,7 +102,7 @@ let read_loc =
   mk ~heads:[ "read-loc" ] "READ-LOC" 10 (fun ri j ->
       match j with
       | FReadLoc ({ loc_term; layout; atomic; cont; src } as r) -> (
-          let found = ri.E.ri_peek (fun a -> covers loc_term a) in
+          let found = ri.E.ri_peek (fun a -> covers ri.E.ri_env loc_term a) in
           match found with
           | Some _ ->
               Some
@@ -111,7 +111,7 @@ let read_loc =
                      descr = Fmt.str "%a ◁ₗ ?" pp_term loc_term;
                      pred =
                        (fun resolve a ->
-                         covers (Simp.simp_term (resolve loc_term)) a);
+                         covers ri.E.ri_env (Simp.simp_term (resolve loc_term)) a);
                      cont =
                        (fun a ->
                          match a with
@@ -195,12 +195,12 @@ let read_unpack =
    not read it as a whole pointer value (struct-bodied types, or reads at
    an interior offset). *)
 let read_unfold =
-  mk ~heads:[ "read" ] "READ-UNFOLD" 16 (fun _ri j ->
+  mk ~heads:[ "read" ] "READ-UNFOLD" 16 (fun ri j ->
       match j with
       | FReadTy ({ loc_term; sub_l; ty = TNamed (n, args); layout; _ } as r)
         when (not (is_ptr_layout layout)) || not (equal_term loc_term sub_l)
         -> (
-          match unfold_named n args with
+          match unfold_named ri.E.ri_env n args with
           | Some body -> Some (G.Basic (FReadTy { r with ty = body }))
           | None -> None)
       | _ -> None)
@@ -208,14 +208,14 @@ let read_unfold =
 (* READ-DECOMPOSE: struct/padded blocks split into per-field atoms in Δ;
    the read is then retried and finds the field. *)
 let read_decompose =
-  mk ~heads:[ "read" ] "READ-DECOMPOSE" 17 (fun _ri j ->
+  mk ~heads:[ "read" ] "READ-DECOMPOSE" 17 (fun ri j ->
       match j with
       | FReadTy
           { loc_term; sub_l; ty = (TStruct _ | TPadded _) as ty; layout;
             atomic; cont; src } ->
           Some
             (G.Wand
-               ( intro_loc sub_l ty,
+               ( intro_loc ri.E.ri_env sub_l ty,
                  G.Basic (FReadLoc { loc_term; layout; atomic; cont; src }) ))
       | _ -> None)
 
@@ -262,7 +262,7 @@ let read_atomic_bool =
             G.Wand
               ( G.LAtom (LocTy (sub_l, TAtomicBool (it, PTrue, [], hf))),
                 G.Wand
-                  ( intro_hres_list ht,
+                  ( intro_hres_list ri.E.ri_env ht,
                     cont (Num 1) (TBool (it, PTrue)) ) )
           in
           let observed_false =
@@ -287,7 +287,7 @@ let write_loc =
   mk ~heads:[ "write-loc" ] "WRITE-LOC" 10 (fun ri j ->
       match j with
       | FWriteLoc ({ loc_term; layout; atomic; v; vty; cont; src } as r) -> (
-          match ri.E.ri_peek (fun a -> covers loc_term a) with
+          match ri.E.ri_peek (fun a -> covers ri.E.ri_env loc_term a) with
           | Some _ ->
               Some
                 (G.Find
@@ -295,7 +295,7 @@ let write_loc =
                      descr = Fmt.str "%a ◁ₗ ?" pp_term loc_term;
                      pred =
                        (fun resolve a ->
-                         covers (Simp.simp_term (resolve loc_term)) a);
+                         covers ri.E.ri_env (Simp.simp_term (resolve loc_term)) a);
                      cont =
                        (fun a ->
                          match a with
@@ -325,25 +325,25 @@ let write_unpack =
 
 (* WRITE-UNFOLD / WRITE-DECOMPOSE: mirror the read side. *)
 let write_unfold =
-  mk ~heads:[ "write" ] "WRITE-UNFOLD" 16 (fun _ri j ->
+  mk ~heads:[ "write" ] "WRITE-UNFOLD" 16 (fun ri j ->
       match j with
       | FWriteTy ({ loc_term; sub_l; ty = TNamed (n, args); layout; _ } as r)
         when (not (is_ptr_layout layout)) || not (equal_term loc_term sub_l)
         -> (
-          match unfold_named n args with
+          match unfold_named ri.E.ri_env n args with
           | Some body -> Some (G.Basic (FWriteTy { r with ty = body }))
           | None -> None)
       | _ -> None)
 
 let write_decompose =
-  mk ~heads:[ "write" ] "WRITE-DECOMPOSE" 17 (fun _ri j ->
+  mk ~heads:[ "write" ] "WRITE-DECOMPOSE" 17 (fun ri j ->
       match j with
       | FWriteTy
           { loc_term; sub_l; ty = (TStruct _ | TPadded _) as ty; layout;
             atomic; v; vty; cont; src } ->
           Some
             (G.Wand
-               ( intro_loc sub_l ty,
+               ( intro_loc ri.E.ri_env sub_l ty,
                  G.Basic
                    (FWriteLoc { loc_term; layout; atomic; v; vty; cont; src })
                ))
@@ -431,7 +431,7 @@ let write_array =
    corresponding resource into the atomic cell (§6: the spinlock release
    stores false, giving H back). *)
 let write_atomic_bool =
-  mk ~heads:[ "write" ] "WRITE-ATOMIC-BOOL" 23 (fun _ri j ->
+  mk ~heads:[ "write" ] "WRITE-ATOMIC-BOOL" 23 (fun ri j ->
       match j with
       | FWriteTy
           { loc_term; sub_l; ty = TAtomicBool (it, _phi, ht, hf);
@@ -440,7 +440,7 @@ let write_atomic_bool =
           let store_branch desired_prop =
             let provide = if desired_prop then ht else hf in
             let newty = TAtomicBool (it, (if desired_prop then PTrue else PFalse), ht, hf) in
-            require_hres_list provide
+            require_hres_list ri.E.ri_env provide
               (G.Wand (G.LAtom (LocTy (sub_l, newty)), cont))
           in
           (match vty with

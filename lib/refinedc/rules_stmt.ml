@@ -35,7 +35,7 @@ let direct_callee sigma (fn : Syntax.expr) : fn_spec option =
 (* ------------------------------------------------------------------ *)
 
 let t_block =
-  mk ~heads:[ "stmt" ] "T-STMT" 5 (fun _ri j ->
+  mk ~heads:[ "stmt" ] "T-STMT" 5 (fun ri j ->
       match j with
       | FBlock { sigma; label; idx } -> (
           match Syntax.find_block sigma.fc_func label with
@@ -359,7 +359,7 @@ let t_block =
                     | None ->
                         Some
                           (wrap_exists (fun env ->
-                               require_hres_list
+                               require_hres_list ri.E.ri_env
                                  (List.map (subst_hres env) spec.fs_post)
                                  G.True_))
                     | Some e ->
@@ -372,11 +372,11 @@ let t_block =
                                   cont =
                                     (fun v vty ->
                                       G.Wand
-                                        ( intro_val v vty,
+                                        ( intro_val ri.E.ri_env v vty,
                                           wrap_exists (fun env ->
-                                              require_val v
+                                              require_val ri.E.ri_env v
                                                 (subst_rtype env spec.fs_ret)
-                                                (require_hres_list
+                                                (require_hres_list ri.E.ri_env
                                                    (List.map (subst_hres env)
                                                       spec.fs_post)
                                                    G.True_)) ));
@@ -388,7 +388,7 @@ let t_block =
 (* ------------------------------------------------------------------ *)
 
 let t_goto =
-  mk ~heads:[ "goto" ] "T-GOTO" 5 (fun _ri j ->
+  mk ~heads:[ "goto" ] "T-GOTO" 5 (fun ri j ->
       match j with
       | FGoto { sigma; target } -> (
           match List.assoc_opt target sigma.fc_invs with
@@ -405,11 +405,11 @@ let t_goto =
                       List.fold_right
                         (fun (x, ty) g ->
                           match List.assoc_opt x sigma.fc_env with
-                          | Some l -> require_loc l (subst_rtype env ty) g
+                          | Some l -> require_loc ri.E.ri_env l (subst_rtype env ty) g
                           | None -> g)
                         inv.li_vars
                         (List.fold_right
-                           (fun (l, ty) g -> require_loc l ty g)
+                           (fun (l, ty) g -> require_loc ri.E.ri_env l ty g)
                            frame
                            (List.fold_right
                               (fun c g ->

@@ -101,7 +101,7 @@ let s_own =
               else (
                 match t1 with
                 | TOwn _ ->
-                    Some (G.Star (G.LProp phi, require_val l t1 p.cont))
+                    Some (G.Star (G.LProp phi, require_val ri.E.ri_env l t1 p.cont))
                 | _ -> None))
       | _ -> None)
 
@@ -116,7 +116,7 @@ let s_ptr_own =
               let loc_eq =
                 match lo with Some l' -> [ PEq (l, l') ] | None -> []
               in
-              Some (sides loc_eq (require_loc l t' p.cont)))
+              Some (sides loc_eq (require_loc ri.E.ri_env l t' p.cont)))
       | _ -> None)
 
 (* A pointer singleton subsuming into a packed conditional/named type
@@ -133,10 +133,10 @@ let s_ptr_lookup =
 
 (* null stored at a place <: optional/named. *)
 let s_null_opt_named =
-  mk "S-NULL-NAMED" 23 (fun _ri j ->
+  mk "S-NULL-NAMED" 23 (fun ri j ->
       match problem j with
       | Some ({ sub_ty = TNull; super_ty = TNamed (n, args); _ } as p) -> (
-          match unfold_named n args with
+          match unfold_named ri.E.ri_env n args with
           | Some body ->
               Some
                 (G.Basic
@@ -162,10 +162,10 @@ let s_named_same =
       | _ -> None)
 
 let s_unfold_l =
-  mk "UNFOLD-L" 30 (fun _ri j ->
+  mk "UNFOLD-L" 30 (fun ri j ->
       match problem j with
       | Some ({ sub_ty = TNamed (n, args); _ } as p) -> (
-          match unfold_named n args with
+          match unfold_named ri.E.ri_env n args with
           | Some body ->
               Some
                 (G.Basic
@@ -179,10 +179,10 @@ let s_unfold_l =
       | _ -> None)
 
 let s_unfold_r =
-  mk "UNFOLD-R" 31 (fun _ri j ->
+  mk "UNFOLD-R" 31 (fun ri j ->
       match problem j with
       | Some ({ super_ty = TNamed (n, args); _ } as p) -> (
-          match unfold_named n args with
+          match unfold_named ri.E.ri_env n args with
           | Some body ->
               Some
                 (G.Basic
@@ -285,14 +285,14 @@ let s_uninit_split =
 
 (* Wand application: provide the hole, obtain the conclusion (§2.2). *)
 let s_wand_apply =
-  mk "S-WAND-APPLY" 35 (fun _ri j ->
+  mk "S-WAND-APPLY" 35 (fun ri j ->
       match problem j with
       | Some ({ sub_ty = TWand (hole, out); super_ty; _ } as p)
         when (match super_ty with TWand _ -> false | _ -> true) ->
           let provide =
             match hole with
-            | LocTy (l, t) -> require_loc l t
-            | ValTy (v, t) -> require_val v t
+            | LocTy (l, t) -> require_loc ri.E.ri_env l t
+            | ValTy (v, t) -> require_val ri.E.ri_env v t
           in
           Some
             (provide
@@ -309,7 +309,7 @@ let s_wand_apply =
    hole, reprove the old hole (consuming the resources accumulated while
    traversing the data structure), and match the conclusions. *)
 let s_wand_wand =
-  mk "S-WAND-WAND" 34 (fun _ri j ->
+  mk "S-WAND-WAND" 34 (fun ri j ->
       match problem j with
       | Some
           ({ sub_ty = TWand (h1, o1); super_ty = TWand (h2, o2); _ } as p) -> (
@@ -317,13 +317,13 @@ let s_wand_wand =
           | Some out_sides ->
               let intro_hole =
                 match h2 with
-                | LocTy (l, t) -> intro_loc l t
-                | ValTy (v, t) -> intro_val v t
+                | LocTy (l, t) -> intro_loc ri.E.ri_env l t
+                | ValTy (v, t) -> intro_val ri.E.ri_env v t
               in
               let require_hole g =
                 match h1 with
-                | LocTy (l, t) -> require_loc l t g
-                | ValTy (v, t) -> require_val v t g
+                | LocTy (l, t) -> require_loc ri.E.ri_env l t g
+                | ValTy (v, t) -> require_val ri.E.ri_env v t g
               in
               Some (G.Wand (intro_hole, require_hole (sides out_sides p.cont)))
           | None -> None)
@@ -398,12 +398,12 @@ let s_int_bool =
    whose first bytes held the free-list link), the remaining bytes are
    consumed from Δ. *)
 let s_to_uninit =
-  mk "S-TO-UNINIT" 45 (fun _ri j ->
+  mk "S-TO-UNINIT" 45 (fun ri j ->
       match problem j with
       | Some ({ sub_ty = TUninit _; _ }) -> None (* S-EQUIV / split rules *)
       | Some ({ super_ty = TUninit n; is_loc = true; _ } as p)
         when equal_term p.sub_subj p.subj -> (
-          match ty_size p.sub_ty with
+          match ty_size ri.E.ri_env p.sub_ty with
           | Some (Num sz)
             when (match p.sub_ty with TWand _ -> false | _ -> true) ->
               let rest = Simp.simp_term (Sub (n, Num sz)) in

@@ -1,0 +1,53 @@
+(** The verification session: one self-contained, immutable checking
+    context.
+
+    Everything that used to live in process-global mutable tables — the
+    compiled typing-rule index, the solver/lemma registry and its
+    simplifier hooks, the goal-simplification rules, the ablation
+    switches, the named-type environment, the fault-injection campaign
+    and the resource budget — is bundled here, built once per [check]
+    invocation and threaded explicitly through driver → typechecker →
+    Lithium engine → pure solvers → certificate checker.
+
+    Consequences, by construction rather than by discipline:
+    - [-j N] checking is race-free: domains share one session read-only;
+    - two sessions with different rule sets, solvers or ablations can
+      run concurrently in one process with independent verdicts/stats;
+    - a long-lived server can hold many sessions without cross-talk. *)
+
+type t = {
+  index : Lang.E.index;  (** compiled typing rules (head-indexed) *)
+  extra_rules : Lang.E.rule list;
+      (** the session rules beyond the standard library (kept so the
+          certificate checker can enumerate the declared rule set) *)
+  registry : Rc_pure.Registry.t;
+      (** named solvers, manual lemmas, simplifier hooks, the
+          default-only ablation, and the fault campaign *)
+  gs : Rc_lithium.Evar.simp_cfg;  (** goal-simplification configuration *)
+  tenv : Rtype.tenv;  (** named-type definitions (rc::refined_by …) *)
+  budget : Rc_util.Budget.limits;  (** per-function resource budget *)
+}
+
+(** Build a session.  Omitted components default to the standard
+    library / empty environments, so [create ()] is the stock RefinedC
+    configuration.  Construction is pure apart from allocating the
+    session's own (initially empty) type environment. *)
+let create ?(rules = []) ?(registry = Rc_pure.Registry.default)
+    ?(gs = Rc_lithium.Evar.default_simp_cfg) ?tenv
+    ?(budget = Rc_util.Budget.unlimited) () : t =
+  {
+    index = Rules.make ~extra:rules ();
+    extra_rules = rules;
+    registry;
+    gs;
+    tenv = (match tenv with Some te -> te | None -> Rtype.create_tenv ());
+    budget;
+  }
+
+let fault (s : t) : Rc_util.Faultsim.t option = s.registry.Rc_pure.Registry.fault
+
+(** Replace the fault campaign (campaigns are per-session by design). *)
+let with_fault (s : t) f : t =
+  { s with registry = Rc_pure.Registry.with_fault s.registry f }
+
+let with_budget (s : t) budget : t = { s with budget }

@@ -38,9 +38,10 @@ let rec pure_facts_of_arg (ty : rtype) : prop list =
   | TArrayInt (_, len, xs) -> [ PEq (Length xs, len); PLe (Num 0, len) ]
   | _ -> []
 
-let check_fn ?(globals = []) ?(budget = Rc_util.Budget.unlimited)
+let check_fn ?(globals = []) ~(session : Session.t)
     ~(specs : (string * fn_spec) list) (ftc : fn_to_check) :
     (E.result, Rc_lithium.Report.t) result =
+  let te = session.Session.tenv in
   let func = ftc.func and spec = ftc.spec in
   let env =
     List.map (fun (x, _) -> (x, slot_term x)) (func.Syntax.args @ func.Syntax.locals)
@@ -88,13 +89,13 @@ let check_fn ?(globals = []) ?(budget = Rc_util.Budget.unlimited)
           let sigma = { sigma with fc_spec = spec'; fc_penv = penv } in
           let args_intro g =
             List.fold_right2
-              (fun (x, _) ty g -> G.Wand (intro_loc (slot_term x) ty, g))
+              (fun (x, _) ty g -> G.Wand (intro_loc te (slot_term x) ty, g))
               func.Syntax.args arg_tys g
           in
           args_intro
             (locals_intro
                (G.Wand
-                  ( intro_hres_list (List.map (subst_hres penv) spec.fs_pre),
+                  ( intro_hres_list te (List.map (subst_hres penv) spec.fs_pre),
                     G.Basic
                       (FBlock { sigma; label = func.Syntax.entry; idx = 0 })
                   ))))
@@ -123,11 +124,12 @@ let check_fn ?(globals = []) ?(budget = Rc_util.Budget.unlimited)
                 List.fold_right
                   (fun (x, ty) g ->
                     match List.assoc_opt x sigma.fc_env with
-                    | Some l -> G.Wand (intro_loc l (subst_rtype env' ty), g)
+                    | Some l ->
+                        G.Wand (intro_loc te l (subst_rtype env' ty), g)
                     | None -> g)
                   inv.li_vars
                   (List.fold_right
-                     (fun (l, ty) g -> G.Wand (intro_loc l ty, g))
+                     (fun (l, ty) g -> G.Wand (intro_loc te l ty, g))
                      frame g)
               in
               G.Wand
@@ -150,7 +152,9 @@ let check_fn ?(globals = []) ?(budget = Rc_util.Budget.unlimited)
                inv_branch (label, inv) ))
            ftc.invs)
   in
-  E.run_indexed (Rules.index ()) ~tactics:spec.fs_tactics ~budget goal
+  E.run_indexed session.Session.index ~registry:session.Session.registry
+    ~gs:session.Session.gs ~env:te ~tactics:spec.fs_tactics
+    ~budget:session.Session.budget goal
 
 (* ------------------------------------------------------------------ *)
 (* Verification-cache keys                                             *)
@@ -162,10 +166,10 @@ let check_fn ?(globals = []) ?(budget = Rc_util.Budget.unlimited)
    budget.  Everything below prints those deterministically; the driver
    digests the concatenation into the on-disk cache key. *)
 
-let type_defs_signature () : string =
+let type_defs_signature (te : Rtype.tenv) : string =
   (* definition *content* via a one-step unfold at canonical arguments,
      so editing a registered type invalidates entries that may use it *)
-  Hashtbl.fold (fun name td acc -> (name, td) :: acc) Rtype.type_defs []
+  Hashtbl.fold (fun name td acc -> (name, td) :: acc) te []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
   |> List.map (fun (name, (td : Rtype.type_def)) ->
          let args =
@@ -176,16 +180,24 @@ let type_defs_signature () : string =
             with _ -> "<unfold-error>"))
   |> String.concat ";"
 
-(** Everything global to the toolchain that can change verdicts. *)
-let toolchain_fingerprint () : string =
+(** Everything in the session's configuration that can change verdicts:
+    the compiled rule set, the solver/lemma registry (with its hooks and
+    the default-only ablation), the type definitions, and the goal-simp
+    configuration.  Keying the cache on the *session* — not on any
+    global state — is what lets two concurrently-live sessions with
+    different configs share one cache directory without ever sharing a
+    verdict. *)
+let toolchain_fingerprint (session : Session.t) : string =
   Rc_util.Vercache.fingerprint
     [
-      "refinedc-check-v1";
+      "refinedc-check-v2";
       Sys.ocaml_version;
-      Rules.fingerprint ();
-      Registry.fingerprint ();
-      type_defs_signature ();
-      "no_goal_simp:" ^ string_of_bool !Rc_lithium.Evar.ablation_no_goal_simp;
+      Rules.fingerprint session.Session.index;
+      Registry.fingerprint session.Session.registry;
+      type_defs_signature session.Session.tenv;
+      "goal_simp:"
+      ^ String.concat ","
+          (Rc_lithium.Evar.simp_cfg_names session.Session.gs);
     ]
 
 let budget_signature (b : Rc_util.Budget.limits) : string =
@@ -212,16 +224,16 @@ let invs_signature (invs : (string * loop_inv) list) : string =
     specifications of *all* functions in the file: a call's premise
     depends on the callee's spec, so any spec edit conservatively
     invalidates the whole file's entries (bodies of siblings do not). *)
-let cache_key ~(budget : Rc_util.Budget.limits) ~(specs_digest : string)
+let cache_key ~(session : Session.t) ~(specs_digest : string)
     (ftc : fn_to_check) : string =
   String.concat "\x00"
     [
-      toolchain_fingerprint ();
+      toolchain_fingerprint session;
       specs_digest;
       Syntax.show_func ftc.func;
       Rtype.spec_signature ftc.spec;
       invs_signature ftc.invs;
-      budget_signature budget;
+      budget_signature session.Session.budget;
     ]
 
 (* ------------------------------------------------------------------ *)
@@ -232,13 +244,13 @@ type program_result = {
   fn_results : (string * (E.result, Rc_lithium.Report.t) result) list;
 }
 
-let check_program ?(globals = []) ?(budget = Rc_util.Budget.unlimited)
+let check_program ?(globals = []) ~(session : Session.t)
     (fns : fn_to_check list) : program_result =
   let specs = List.map (fun f -> (f.spec.fs_name, f.spec)) fns in
   {
     fn_results =
       List.map
-        (fun f -> (f.spec.fs_name, check_fn ~globals ~budget ~specs f))
+        (fun f -> (f.spec.fs_name, check_fn ~globals ~session ~specs f))
         fns;
   }
 

@@ -148,20 +148,31 @@ and eval_prop (va : valuation) (p : prop) : bool =
 (* Constraint-directed existential witnesses                           *)
 (* ------------------------------------------------------------------ *)
 
-let quant_ctr = ref 0
+(** The generation context: everything one [check_fn] invocation needs
+    that used to live in module-level mutable state.  One [gctx] per
+    check; concurrent checks (different sessions, [-j N] domains) each
+    own theirs, so the generator is reentrant by construction. *)
+type gctx = {
+  g_rng : Random.State.t;
+  g_tenv : Rc_refinedc.Rtype.tenv;  (** the session's named types *)
+  g_impls : (string * fn_spec) list;
+      (** implementations available for function-pointer arguments *)
+  g_qc : int ref;  (** fresh-binder counter (unique per check) *)
+}
 
 (** Strip an existential/constraint prefix, collecting binders and
     constraints in front of the underlying type.  Binders are renamed
     apart: recursive types reuse binder names at every unfolding level. *)
-let rec strip_quant (ty : rtype) (binders : (string * Sort.t) list) :
+let rec strip_quant (gx : gctx) (ty : rtype)
+    (binders : (string * Sort.t) list) :
     (string * Sort.t) list * prop list * rtype =
   match ty with
   | TExists (x, s, f) ->
-      incr quant_ctr;
-      let x' = Printf.sprintf "%s!%d" x !quant_ctr in
-      strip_quant (f (Var (x', s))) ((x', s) :: binders)
+      incr gx.g_qc;
+      let x' = Printf.sprintf "%s!%d" x !(gx.g_qc) in
+      strip_quant gx (f (Var (x', s))) ((x', s) :: binders)
   | TConstr (t, phi) ->
-      let bs, ps, t' = strip_quant t binders in
+      let bs, ps, t' = strip_quant gx t binders in
       (bs, phi :: ps, t')
   | t -> (List.rev binders, [], t)
 
@@ -291,30 +302,27 @@ and sample rng (s : Sort.t) : conc =
 (* Generating heap objects from types                                  *)
 (* ------------------------------------------------------------------ *)
 
-(* implementations available for function-pointer arguments: set by the
-   harness to the program's specified functions *)
-let fn_impls : (string * fn_spec) list ref = ref []
-
-let impl_for (spec : fn_spec) : string =
+let impl_for (gx : gctx) (spec : fn_spec) : string =
   match
     List.find_opt
       (fun (_, s) -> Rc_refinedc.Rules_subsume.fn_spec_compatible s spec)
-      !fn_impls
+      gx.g_impls
   with
   | Some (name, _) -> name
   | None -> spec.fs_name
 
 (** Size of a type under the valuation (after witnesses are solved). *)
-let conc_size (va : valuation) (ty : rtype) : int =
-  match ty_size ty with
+let conc_size (gx : gctx) (va : valuation) (ty : rtype) : int =
+  match ty_size gx.g_tenv ty with
   | Some sz -> as_int va sz
   | None -> cannot "cannot size %a" pp_rtype ty
 
 (** Write a value inhabiting [ty] at [l], allocating pointees as needed.
     Unbound [Loc]-sorted parameters are bound by the allocations they
     refine. *)
-let rec gen_at (rng : Random.State.t) (h : Heap.t) (va : valuation)
-    (ty : rtype) (l : Loc.t) : unit =
+let rec gen_at (gx : gctx) (h : Heap.t) (va : valuation) (ty : rtype)
+    (l : Loc.t) : unit =
+  let rng = gx.g_rng in
   match ty with
   | TInt (it, n) -> Heap.store h l (Value.of_int it (as_int va n))
   | TBool (it, phi) ->
@@ -324,22 +332,22 @@ let rec gen_at (rng : Random.State.t) (h : Heap.t) (va : valuation)
   | TManaged _ -> ()
   | TAnyInt it -> Heap.store h l (Value.of_int it (Random.State.int rng 100))
   | TOwn (refn, t') ->
-      let ptr = gen_own rng h va refn t' in
+      let ptr = gen_own gx h va refn t' in
       Heap.store h l (Value.of_loc ptr)
   | TOptional (phi, t1, t2) ->
-      if eval_prop va phi then gen_at rng h va t1 l else gen_at rng h va t2 l
+      if eval_prop va phi then gen_at gx h va t1 l else gen_at gx h va t2 l
   | TStruct (sl, tys) ->
       List.iter2
-        (fun fd fty -> gen_at rng h va fty (Loc.shift l fd.Layout.fld_ofs))
+        (fun fd fty -> gen_at gx h va fty (Loc.shift l fd.Layout.fld_ofs))
         sl.Layout.sl_fields tys
-  | TPadded (t', _) -> gen_at rng h va t' l
+  | TPadded (t', _) -> gen_at gx h va t' l
   | TExists _ | TConstr _ ->
-      let binders, constraints, base = strip_quant ty [] in
+      let binders, constraints, base = strip_quant gx ty [] in
       solve_binders rng va binders constraints;
-      gen_at rng h va base l
+      gen_at gx h va base l
   | TNamed (n, args) -> (
-      match unfold_named n args with
-      | Some body -> gen_at rng h va body l
+      match unfold_named gx.g_tenv n args with
+      | Some body -> gen_at gx h va body l
       | None -> cannot "unknown named type %s" n)
   | TArrayInt (it, len, xs) ->
       let n = as_int va len in
@@ -362,41 +370,41 @@ let rec gen_at (rng : Random.State.t) (h : Heap.t) (va : valuation)
   | TAtomicBool (it, phi, ht, hf) ->
       let state = try eval_prop va phi with Cannot_generate _ -> false in
       Heap.store h l (Value.of_int it (if state then 1 else 0));
-      List.iter (gen_hres rng h va) (if state then ht else hf)
-  | TFnPtr spec -> Heap.store h l (Value.of_fn (impl_for spec))
+      List.iter (gen_hres gx h va) (if state then ht else hf)
+  | TFnPtr spec -> Heap.store h l (Value.of_fn (impl_for gx spec))
   | TWand _ -> cannot "cannot generate a magic wand"
   | TPtrV t -> (
       match eval_term va t with
       | CLoc lc -> Heap.store h l (Value.of_loc lc)
       | _ -> cannot "ptr refinement not a location")
 
-and gen_hres rng h va (hr : hres) : unit =
+and gen_hres gx h va (hr : hres) : unit =
   match hr with
   | HProp p -> if not (eval_prop va p) then cannot "resource proposition fails"
   | HAtom (LocTy (lt, ty)) -> (
       match lt with
       | Var (x, _) when not (bound va x) ->
           (* an unbound protected cell: allocate it *)
-          let binders, constraints, base = strip_quant ty [] in
-          solve_binders rng va binders constraints;
-          let ptr = Heap.alloc h (max (conc_size va base) 1) in
+          let binders, constraints, base = strip_quant gx ty [] in
+          solve_binders gx.g_rng va binders constraints;
+          let ptr = Heap.alloc h (max (conc_size gx va base) 1) in
           va := (x, CLoc ptr) :: !va;
-          gen_at rng h va base ptr
+          gen_at gx h va base ptr
       | _ -> (
           match eval_term va lt with
-          | CLoc lc -> gen_at rng h va ty lc
+          | CLoc lc -> gen_at gx h va ty lc
           | _ -> cannot "resource location not evaluable"))
   | HAtom (ValTy _) -> cannot "cannot generate value resources"
 
-and gen_own rng h va refn t' : Loc.t =
-  let binders, constraints, base = strip_quant t' [] in
-  solve_binders rng va binders constraints;
-  let ptr = Heap.alloc h (max (conc_size va base) 1) in
+and gen_own gx h va refn t' : Loc.t =
+  let binders, constraints, base = strip_quant gx t' [] in
+  solve_binders gx.g_rng va binders constraints;
+  let ptr = Heap.alloc h (max (conc_size gx va base) 1) in
   (match refn with
   | Some (Var (x, _)) when not (bound va x) -> va := (x, CLoc ptr) :: !va
   | Some (Var (x, _)) when bound va x -> ()
   | _ -> ());
-  gen_at rng h va base ptr;
+  gen_at gx h va base ptr;
   ptr
 
 and witness_term x (c : conc) : term =
@@ -413,22 +421,22 @@ and witness_term x (c : conc) : term =
   | CLoc _ -> Var (x, Sort.Loc)
 
 (** Generate a concrete argument value for one argument type. *)
-let rec gen_arg rng h va (ty : rtype) : Value.t =
+let rec gen_arg gx h va (ty : rtype) : Value.t =
   match ty with
   | TInt (it, n) -> Value.of_int it (as_int va n)
   | TBool (it, phi) -> Value.of_int it (if eval_prop va phi then 1 else 0)
   | TNull -> Value.of_loc Loc.Null
-  | TOwn (refn, t') -> Value.of_loc (gen_own rng h va refn t')
+  | TOwn (refn, t') -> Value.of_loc (gen_own gx h va refn t')
   | TOptional (phi, t1, t2) ->
-      if eval_prop va phi then gen_arg rng h va t1 else gen_arg rng h va t2
+      if eval_prop va phi then gen_arg gx h va t1 else gen_arg gx h va t2
   | TExists _ | TConstr _ ->
-      let binders, constraints, base = strip_quant ty [] in
-      solve_binders rng va binders constraints;
-      gen_arg rng h va base
-  | TFnPtr spec -> Value.of_fn (impl_for spec)
+      let binders, constraints, base = strip_quant gx ty [] in
+      solve_binders gx.g_rng va binders constraints;
+      gen_arg gx h va base
+  | TFnPtr spec -> Value.of_fn (impl_for gx spec)
   | TNamed (n, args) -> (
-      match unfold_named n args with
-      | Some body -> gen_arg rng h va body
+      match unfold_named gx.g_tenv n args with
+      | Some body -> gen_arg gx h va body
       | None -> cannot "unknown named type %s" n)
   | ty -> cannot "cannot generate argument %a" pp_rtype ty
 
@@ -442,12 +450,24 @@ type outcome =
   | Ub_found of string  (** a counterexample to semantic soundness! *)
 
 (** Run [fname] on [runs] sampled inputs; any UB is a soundness
-    counterexample (either in the type system or in the spec). *)
-let check_fn ?(runs = 50) ?(seed = 7) ?(impls = []) (prog : Caesium.Syntax.program)
+    counterexample (either in the type system or in the spec).  The
+    session supplies the named-type environment the spec was checked
+    under; the generator owns all of its remaining state per call. *)
+let check_fn ?(runs = 50) ?(seed = 7) ?(impls = [])
+    ~(session : Rc_refinedc.Session.t) (prog : Caesium.Syntax.program)
     (spec : fn_spec) : outcome =
-  fn_impls :=
-    List.filter (fun (n, _) -> Caesium.Syntax.find_func prog n <> None) impls;
   let rng = Random.State.make [| seed |] in
+  let gx =
+    {
+      g_rng = rng;
+      g_tenv = session.Rc_refinedc.Session.tenv;
+      g_impls =
+        List.filter
+          (fun (n, _) -> Caesium.Syntax.find_func prog n <> None)
+          impls;
+      g_qc = ref 0;
+    }
+  in
   let attempt i =
     (* a fresh machine per run; generation happens directly in its heap *)
     let m = Caesium.Eval.create ~detect_races:false prog in
@@ -464,7 +484,7 @@ let check_fn ?(runs = 50) ?(seed = 7) ?(impls = []) (prog : Caesium.Syntax.progr
       spec.fs_params;
     (* check pure preconditions; resample a few times if violated *)
     let args =
-      List.map (fun ty -> gen_arg rng m.Caesium.Eval.heap va ty) spec.fs_args
+      List.map (fun ty -> gen_arg gx m.Caesium.Eval.heap va ty) spec.fs_args
     in
     let pre_ok =
       List.for_all

@@ -1,0 +1,100 @@
+(** The stable embedding API for RefinedC-as-a-library.
+
+    A host (IDE server, build tool, test harness) interacts with the
+    checker through exactly two notions:
+
+    - a {e session} ({!Rc_refinedc.Session.t}): one immutable,
+      self-contained checking configuration — typing rules, solver/lemma
+      registry, simplifier hooks, goal-simp and ablation switches, the
+      named-type environment, the resource budget and (optionally) a
+      fault-injection campaign.  Sessions are values: building one has no
+      side effects on any other session, and any number can coexist in
+      one process — including concurrently, from multiple domains.
+    - the checking entry points {!check_file} / {!check_source} /
+      {!check_function}, each of which takes the session explicitly.
+
+    There is deliberately no [init]/[setup]/[register_*] surface: every
+    piece of configuration travels inside the session argument, which is
+    what makes the pipeline reentrant (see README "Architecture"). *)
+
+module Session = Rc_refinedc.Session
+module Driver = Rc_frontend.Driver
+
+type session = Session.t
+
+(** Build a session.
+
+    [~case_studies:true] pre-loads the expert library of
+    {!Rc_studies.Studies} (spinlock/barrier/allocator/mpool named types,
+    the hashmap and BST lemma sets, the [rev] simplifier hook) — the
+    configuration under which the paper's §7 corpus is checked.  The
+    remaining parameters layer on top of (or, for [?hooks], replace)
+    that base:
+
+    - [rules]: extra typing rules appended to the standard library;
+    - [solvers]: extra named side-condition solvers;
+    - [lemmas]: extra manual lemmas;
+    - [hooks]: simplifier hooks (overrides the case-study hooks);
+    - [default_only]: ablation — disable named solvers and lemmas;
+    - [no_goal_simp]: ablation — disable goal simplification;
+    - [type_defs]: named-type definitions to pre-register;
+    - [budget]: per-function resource limits;
+    - [fault]: a fault-injection campaign (testing only). *)
+let create_session ?(case_studies = false) ?(rules = []) ?(solvers = [])
+    ?(lemmas = []) ?hooks ?(default_only = false) ?(no_goal_simp = false)
+    ?(type_defs = []) ?budget ?fault () : session =
+  let hooks =
+    match hooks with
+    | Some h -> h
+    | None ->
+        if case_studies then Rc_studies.Studies.hooks
+        else Rc_pure.Simp.no_hooks
+  in
+  let lemmas =
+    (if case_studies then Rc_studies.Studies.lemmas else []) @ lemmas
+  in
+  let registry =
+    Rc_pure.Registry.create ~solvers ~lemmas ~default_only ~hooks ?fault ()
+  in
+  let gs =
+    { Rc_lithium.Evar.default_simp_cfg with gs_no_goal_simp = no_goal_simp }
+  in
+  let tenv = Rc_refinedc.Rtype.create_tenv () in
+  if case_studies then Rc_studies.Studies.install_types tenv;
+  List.iter (Rc_refinedc.Rtype.register_type_def tenv) type_defs;
+  Session.create ~rules ~registry ~gs ~tenv ?budget ()
+
+(** Check every specified function of a C file under [session]. *)
+let check_file ?session ?fail_fast ?jobs ?cache (path : string) : Driver.t =
+  Driver.check_file ?session ?fail_fast ?jobs ?cache path
+
+(** Check every specified function of an in-memory C source. *)
+let check_source ?session ?fail_fast ?jobs ?cache ~file (src : string) :
+    Driver.t =
+  Driver.check_source ?session ?fail_fast ?jobs ?cache ~file src
+
+exception Unknown_function of string
+
+(** Check a single function of an in-memory C source, by name.  Raises
+    {!Unknown_function} if [name] has no specification in [src], and
+    {!Driver.Frontend_error} on parse/elaboration errors. *)
+let check_function ?session ~file ~(name : string) (src : string) :
+    (Rc_refinedc.Lang.E.result, Rc_lithium.Report.t) result =
+  let session =
+    match session with Some s -> s | None -> Session.create ()
+  in
+  let elaborated = Driver.parse_and_elab ~session ~file src in
+  let specs =
+    List.map
+      (fun (f : Rc_refinedc.Typecheck.fn_to_check) ->
+        (f.spec.Rc_refinedc.Rtype.fs_name, f.spec))
+      elaborated.Rc_frontend.Elab.to_check
+  in
+  match
+    List.find_opt
+      (fun (f : Rc_refinedc.Typecheck.fn_to_check) ->
+        f.spec.Rc_refinedc.Rtype.fs_name = name)
+      elaborated.Rc_frontend.Elab.to_check
+  with
+  | None -> raise (Unknown_function name)
+  | Some f -> Driver.check_fn_isolated ~session ~specs f

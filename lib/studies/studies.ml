@@ -11,7 +11,11 @@
       function, standing in for the paper's 265 lines of manual Coq
       proofs; each registered lemma is counted in the "Pure" column.
 
-    Every registration is idempotent. *)
+    Everything here is a *value* — type definitions, lemma lists,
+    simplifier hooks — installed into a particular session's type
+    environment and registry by {!install} / {!session}.  Nothing is
+    registered globally: two sessions can disagree about whether the
+    case-study library is loaded. *)
 
 open Rc_pure
 open Rc_pure.Term
@@ -30,9 +34,8 @@ let lock_sl = Layout.mk_struct "lock" [ ("locked", Layout.Int i32) ]
 
 (** [c @ lock_t]: a spinlock whose critical resource is the integer cell
     at location [c] — the atomicbool(True, H) encoding of §6. *)
-let register_lock_t () =
-  register_type_def
-    {
+let lock_t : type_def =
+  {
       td_name = "lock_t";
       td_params = [ ("c", Sort.Loc) ];
       td_layout = Some (Layout.Struct lock_sl);
@@ -49,7 +52,7 @@ let register_lock_t () =
                       [],
                       [ HAtom (LocTy (c, t_int_ex i32)) ] ) )
         | _ -> invalid_arg "lock_t arity");
-    }
+  }
 
 (* ------------------------------------------------------------------ *)
 (* One-time barrier (case study #6b)                                   *)
@@ -59,9 +62,8 @@ let barrier_sl = Layout.mk_struct "barrier" [ ("released", Layout.Int i32) ]
 
 (** [c @ barrier_t]: a one-shot barrier transferring the integer cell at
     [c] from the signaller to the waiter. *)
-let register_barrier_t () =
-  register_type_def
-    {
+let barrier_t : type_def =
+  {
       td_name = "barrier_t";
       td_params = [ ("c", Sort.Loc) ];
       td_layout = Some (Layout.Struct barrier_sl);
@@ -78,7 +80,7 @@ let register_barrier_t () =
                       [ HAtom (LocTy (c, t_int_ex i32)) ],
                       [] ) )
         | _ -> invalid_arg "barrier_t arity");
-    }
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Thread-safe allocator (case study #2a)                              *)
@@ -100,9 +102,8 @@ let tsalloc_inner_sl =
 (** [l @ talloc_t]: the spinlocked allocator — the lock at offset 0
     protects the allocator state (a [mem_t]-shaped resource) at offset 8
     of the same struct.  This is the spinlocked-type pattern of §2.1. *)
-let register_talloc_t () =
-  register_type_def
-    {
+let talloc_t : type_def =
+  {
       td_name = "talloc_t";
       td_params = [ ("l", Sort.Loc) ];
       td_layout = Some (Layout.Struct tsalloc_sl);
@@ -139,7 +140,7 @@ let register_talloc_t () =
                   TManaged 8;
                 ] )
         | _ -> invalid_arg "talloc_t arity");
-    }
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Hafnium-style memory pool (case study #5)                           *)
@@ -153,9 +154,8 @@ let mpool_inner_sl = Layout.mk_struct "mpool_inner" [ ("entries", Layout.Ptr) ]
 
 (** [l @ mpool_t]: a spinlock at offset 0 protecting the entry list
     pointer at offset 8 (typed by the C-declared recursive mentries_t). *)
-let register_mpool_t () =
-  register_type_def
-    {
+let mpool_t : type_def =
+  {
       td_name = "mpool_t";
       td_params = [ ("l", Sort.Loc) ];
       td_layout = Some (Layout.Struct mpool_sl);
@@ -190,7 +190,7 @@ let register_mpool_t () =
                   TManaged 8;
                 ] )
         | _ -> invalid_arg "mpool_t arity");
-    }
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Hashmap probing lemmas (case study #4)                              *)
@@ -198,12 +198,11 @@ let register_mpool_t () =
 
 (** Manual pure lemmas about the abstract probe function, the stand-in
     for the paper's manual Coq reasoning (counted as "Pure"/manual). *)
-let register_hashmap_lemmas () =
+let hashmap_lemmas : Registry.lemma list =
   let x = Var ("x", Sort.Int) and m = Var ("m", Sort.Int) in
   let vars = [ ("x", Sort.Int); ("m", Sort.Int) ] in
   let nonneg_premises = [ PLe (Num 0, x); PLt (Num 0, m) ] in
-  List.iter Registry.register_lemma
-    [
+  [
       (* probing stays in bounds *)
       { Registry.lname = "mod_nonneg"; vars; premises = nonneg_premises;
         concl = PLe (Num 0, Mod (x, m)) };
@@ -214,35 +213,40 @@ let register_hashmap_lemmas () =
       { Registry.lname = "mod_in_range_hi"; vars;
         premises = nonneg_premises @ [ PLe (m, Num 2147483647) ];
         concl = PLe (Mod (x, m), Num 2147483647) };
-      { Registry.lname = "mod_in_range_u64"; vars;
-        premises = nonneg_premises;
-        concl = PLe (Mod (x, m), Num (Int_type.max_val u64)) };
-    ]
+    { Registry.lname = "mod_in_range_u64"; vars;
+      premises = nonneg_premises;
+      concl = PLe (Mod (x, m), Num (Int_type.max_val u64)) };
+  ]
 
 (** Interpretation of the abstract [probe] function, shared with the
-    Caesium-level implementation: probe k cap = k mod cap. *)
-let probe_def () =
-  Simp.register_term_rule "probe-def" (fun t ->
+    Caesium-level implementation: probe k cap = k mod cap.  Deliberately
+    *not* part of {!hooks}: the hashmap study proves probing in-bounds
+    from the lemmas alone; sessions that want definitional unfolding opt
+    in explicitly. *)
+let probe_def : string * Simp.term_rule =
+  ( "probe-def",
+    fun t ->
       match t with
       | App ("probe", [ k; cap ]) -> Some (Mod (k, cap))
-      | _ -> None)
+      | _ -> None )
 
 (* ------------------------------------------------------------------ *)
 (* List reversal (in-place list reversal, class #1 extension)          *)
 (* ------------------------------------------------------------------ *)
 
-(** Defining equations of the functional [rev], registered as
+(** Defining equations of the functional [rev], carried as
     simplification equivalences (the expert-extensible rewriting hook of
     paper §5). *)
-let register_rev_rules () =
-  Simp.register_term_rule "rev-unfold" (fun t ->
+let rev_rule : string * Simp.term_rule =
+  ( "rev-unfold",
+    fun t ->
       match t with
       | App ("rev", [ Nil s ]) -> Some (Nil s)
       | App ("rev", [ Cons (x, l) ]) ->
           Some (Append (App ("rev", [ l ]), Cons (x, Nil Sort.Int)))
       | App ("rev", [ Append (a, b) ]) ->
           Some (Append (App ("rev", [ b ]), App ("rev", [ a ])))
-      | _ -> None)
+      | _ -> None )
 
 (* ------------------------------------------------------------------ *)
 (* Layered BST lemmas (case study #3a)                                 *)
@@ -252,7 +256,7 @@ let register_rev_rules () =
     decomposition [xs = lxs ++ v :: rxs] — the manual pure reasoning
     that makes the layered approach much more expensive than the direct
     one (§7 class #3). *)
-let register_bstl_lemmas () =
+let bstl_lemmas : Registry.lemma list =
   let k = Var ("k", Sort.Int) in
   let v = Var ("v", Sort.Int) in
   let xs = Var ("xs", Sort.List Sort.Int) in
@@ -264,9 +268,8 @@ let register_bstl_lemmas () =
     [ ("k", Sort.Int); ("v", Sort.Int); ("xs", Sort.List Sort.Int);
       ("lxs", Sort.List Sort.Int); ("rxs", Sort.List Sort.Int) ]
   in
-  List.iter Registry.register_lemma
-    [
-      { Registry.lname = "elem_of_root"; vars = lvars;
+  [
+    { Registry.lname = "elem_of_root"; vars = lvars;
         premises = [ shape; PEq (k, v) ]; concl = PIn (k, xs) };
       { Registry.lname = "elem_of_left"; vars = lvars;
         premises = [ shape ];
@@ -284,17 +287,39 @@ let register_bstl_lemmas () =
           [ shape; PLt (v, k);
             PForall ("j", Sort.Int, PImp (PIn (j, lxs), PLt (j, v))) ];
         concl = PImp (PIn (k, xs), PIn (k, rxs)) };
-      { Registry.lname = "not_elem_of_nil"; vars = [ ("k", Sort.Int) ];
-        premises = [];
-        concl = PImp (PIn (k, Nil Sort.Int), PFalse) };
-    ]
+    { Registry.lname = "not_elem_of_nil"; vars = [ ("k", Sort.Int) ];
+      premises = [];
+      concl = PImp (PIn (k, Nil Sort.Int), PFalse) };
+  ]
 
-let register_all () =
-  register_lock_t ();
-  register_barrier_t ();
-  register_talloc_t ();
-  register_mpool_t ();
-  register_rev_rules ();
-  Registry.clear_lemmas ();
-  register_hashmap_lemmas ();
-  register_bstl_lemmas ()
+(* ------------------------------------------------------------------ *)
+(* Assembling a case-study session                                     *)
+(* ------------------------------------------------------------------ *)
+
+(** All expert type definitions of the case-study library. *)
+let type_defs : type_def list = [ lock_t; barrier_t; talloc_t; mpool_t ]
+
+(** All manual lemmas of the case-study library. *)
+let lemmas : Registry.lemma list = hashmap_lemmas @ bstl_lemmas
+
+(** The case-study simplifier hooks ([probe_def] excluded, see above). *)
+let hooks : Simp.hooks = Simp.hooks ~term_rules:[ rev_rule ] ()
+
+(** Install the case-study type definitions into [te] (idempotent). *)
+let install_types (te : tenv) : unit = List.iter (register_type_def te) type_defs
+
+(** A registry extending [base] (default: the stock registry) with the
+    case-study lemmas and simplifier hooks. *)
+let registry ?(base = Registry.default) () : Registry.t =
+  let r = List.fold_left Registry.add_lemma base lemmas in
+  { r with Registry.hooks }
+
+(** A fresh session pre-loaded with the whole case-study library — the
+    configuration under which the §7 corpus is checked.  Extra [rules],
+    the goal-simp config and the [budget] pass through to
+    {!Rc_refinedc.Session.create}. *)
+let session ?rules ?gs ?budget () : Rc_refinedc.Session.t =
+  let te = create_tenv () in
+  install_types te;
+  Rc_refinedc.Session.create ?rules ~registry:(registry ()) ?gs ~tenv:te
+    ?budget ()

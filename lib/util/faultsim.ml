@@ -3,12 +3,16 @@
     The toolchain claims to survive any single-function checker failure;
     this module lets the test suite *prove* it.  Instrumented points in
     the pipeline (solver calls, rule lookup, evar resolution) call
-    {!point}; when the simulator is armed, each hit draws from a
-    splitmix64 stream derived from the campaign seed and raises
-    {!Injected} with the configured probability.  The stream depends only
-    on the seed and the sequence of hits, so campaigns replay
-    bit-for-bit.  Disarmed (the default), a point is a single load and
-    compare. *)
+    {!point} with the campaign state threaded to them by the verification
+    session; each hit draws from a splitmix64 stream derived from the
+    campaign seed and raises {!Injected} with the configured probability.
+    The stream depends only on the seed and the sequence of hits, so
+    campaigns replay bit-for-bit.
+
+    There is deliberately no process-global "armed" switch: a campaign is
+    a value ({!t}) owned by exactly one verification session, so two
+    sessions — fault-injected or not — never observe each other.  A
+    [point None] call (no campaign) is a single pattern match. *)
 
 type cfg = {
   seed : int;
@@ -21,32 +25,28 @@ type cfg = {
     inject; the payload is the site name. *)
 exception Injected of string
 
-type state = {
+type t = {
   cfg : cfg;
   mutable prng : int64;
   mutable hits : int;
   mutable injected : int;
 }
 
-let armed : state option ref = ref None
+(** Create a campaign.  The resulting value is mutated only by the
+    session that owns it, so concurrent campaigns are independent. *)
+let create ?(rate = 0.001) ?sites ?(max_faults = -1) seed : t =
+  {
+    cfg = { seed; rate; sites; max_faults };
+    prng = Int64.of_int seed;
+    hits = 0;
+    injected = 0;
+  }
 
-let arm ?(rate = 0.001) ?sites ?(max_faults = -1) seed =
-  armed :=
-    Some
-      {
-        cfg = { seed; rate; sites; max_faults };
-        prng = Int64.of_int seed;
-        hits = 0;
-        injected = 0;
-      }
-
-let disarm () = armed := None
-let active () = !armed <> None
-let hit_count () = match !armed with Some s -> s.hits | None -> 0
-let injected_count () = match !armed with Some s -> s.injected | None -> 0
+let hit_count (t : t) = t.hits
+let injected_count (t : t) = t.injected
 
 (* splitmix64: tiny, high-quality, and fully determined by the seed *)
-let next (s : state) : int64 =
+let next (s : t) : int64 =
   s.prng <- Int64.add s.prng 0x9E3779B97F4A7C15L;
   let z = s.prng in
   let z =
@@ -60,13 +60,13 @@ let next (s : state) : int64 =
   Int64.logxor z (Int64.shift_right_logical z 31)
 
 (* uniform draw in [0,1) from the top 53 bits *)
-let uniform (s : state) : float =
+let uniform (s : t) : float =
   Int64.to_float (Int64.shift_right_logical (next s) 11) *. 0x1p-53
 
-(** An instrumented point.  No-op unless armed; otherwise may raise
+(** An instrumented point.  No-op without a campaign; otherwise may raise
     {!Injected}. *)
-let point (site : string) : unit =
-  match !armed with
+let point (campaign : t option) (site : string) : unit =
+  match campaign with
   | None -> ()
   | Some s ->
       if s.cfg.max_faults >= 0 && s.injected >= s.cfg.max_faults then ()

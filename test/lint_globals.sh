@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# CI lint for the session refactor: lib/ must not (re)grow top-level
+# mutable state.  Every piece of configuration travels inside a
+# verification session (lib/refinedc/session.ml, lib/session/), which is
+# what makes `-j N` race-free by construction and lets two differently
+# configured sessions coexist in one process.  A top-level
+# `let x = ref …` or `let x = Hashtbl.create …` would reintroduce
+# process-global state behind the session's back, so it fails the build.
+#
+# The check is purely syntactic: a column-0 `let` that binds a *value*
+# (no parameters before the `=`) directly to `ref` or `Hashtbl.create`.
+# Functions returning fresh state (`let create () = Hashtbl.create …`)
+# are fine — they mint per-session state, they don't share it.
+#
+# Allowlist: immutable-after-init globals that are documented in
+# DESIGN.md §6 may be listed below as `<path-suffix>:<binding-name>`.
+# The list is currently empty — keep it that way if you can.
+
+set -u
+
+LIB_DIR="${1:-lib}"
+
+ALLOWLIST=(
+  # e.g. "refinedc/rules.ml:builtin_table"
+)
+
+# column-0 `let name [: type] = ref …` or `… = Hashtbl.create …`
+# (binder charset excludes `(`, so function definitions don't match)
+PATTERN='^let +[a-z_][A-Za-z0-9_'"'"']* *(: *[^=()]*)?= *(ref[ (]|Hashtbl\.create)'
+
+violations=$(grep -rnE --include='*.ml' "$PATTERN" "$LIB_DIR" || true)
+
+if [ -n "$violations" ]; then
+  filtered=""
+  while IFS= read -r line; do
+    allowed=0
+    for entry in ${ALLOWLIST[@]+"${ALLOWLIST[@]}"}; do
+      path_suffix="${entry%%:*}"
+      name="${entry##*:}"
+      case "$line" in
+        *"$path_suffix"*"let $name"*) allowed=1 ;;
+      esac
+    done
+    [ "$allowed" -eq 0 ] && filtered="$filtered$line"$'\n'
+  done <<<"$violations"
+  if [ -n "${filtered//[$'\n']/}" ]; then
+    echo "lint_globals: top-level mutable state in lib/ outside the allowlist:" >&2
+    printf '%s' "$filtered" >&2
+    echo "Thread the state through the verification session instead" >&2
+    echo "(lib/refinedc/session.ml; see README \"Architecture\" and DESIGN.md §6)." >&2
+    exit 1
+  fi
+fi
+
+echo "lint_globals: OK (no top-level mutable state in $LIB_DIR)"

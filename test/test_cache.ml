@@ -10,8 +10,7 @@
    and the resource budget. *)
 
 module Driver = Rc_frontend.Driver
-
-let () = Rc_studies.Studies.register_all ()
+module Api = Rc_session.Refinedc_api
 
 let fresh_cache_dir =
   let n = ref 0 in
@@ -50,8 +49,11 @@ let src_body_edit =
 let src_spec_edit =
   Rc_util.Xstring.replace_first src ~sub:{|"{x <= 1000}"|} ~by:{|"{x <= 999}"|}
 
-let check ?budget ~cache src =
-  Driver.check_source ?budget ~cache ~file:"cache_test.c" src
+(* Each call builds a fresh stock session; cache keys depend only on the
+   session's *configuration*, so two identically-configured sessions
+   share verdicts while any config difference forces a miss. *)
+let check ?session ?budget ~cache src =
+  Driver.check_source ?session ?budget ~cache ~file:"cache_test.c" src
 
 let counters (t : Driver.t) =
   match t.Driver.cache_stats with
@@ -110,23 +112,64 @@ let cache_tests =
     Alcotest.test_case "rule-set change misses" `Quick (fun () ->
         let cache = Rc_util.Vercache.create (fresh_cache_dir ()) in
         expect "cold" ~hits:0 ~misses:2 (check ~cache src);
-        (* registering a rule bumps the rule-set fingerprint even if the
-           rule never fires (it only serves a head no goal has) *)
-        Rc_refinedc.Rules.register
-          [
-            {
-              Rc_refinedc.Lang.E.rname = "TEST-NEVER-FIRES";
-              prio = 1000;
-              heads = Some [ "no-such-judgment-head" ];
-              apply = (fun _ _ -> None);
-            };
-          ];
-        Fun.protect
-          ~finally:(fun () -> Rc_refinedc.Rules.reset_extra ())
-          (fun () ->
-            expect "after register" ~hits:0 ~misses:2 (check ~cache src));
-        (* resetting restores the original fingerprint: hits again *)
-        expect "after reset" ~hits:2 ~misses:0 (check ~cache src));
+        (* a session with an extra rule has a different rule-set
+           fingerprint even if the rule never fires (it only serves a
+           head no goal has) *)
+        let extra =
+          Api.create_session
+            ~rules:
+              [
+                {
+                  Rc_refinedc.Lang.E.rname = "TEST-NEVER-FIRES";
+                  prio = 1000;
+                  heads = Some [ "no-such-judgment-head" ];
+                  apply = (fun _ _ -> None);
+                };
+              ]
+            ()
+        in
+        expect "extra-rule session misses" ~hits:0 ~misses:2
+          (check ~session:extra ~cache src);
+        (* a stock session restores the original fingerprint: hits again *)
+        expect "stock session hits" ~hits:2 ~misses:0 (check ~cache src));
+    Alcotest.test_case "solver/ablation config keys the cache" `Quick
+      (fun () ->
+        (* satellite of the session refactor: a verdict produced under
+           one solver/ablation configuration must never be replayed for
+           a session configured differently, even within one process and
+           one cache directory *)
+        let cache = Rc_util.Vercache.create (fresh_cache_dir ()) in
+        expect "cold, stock config" ~hits:0 ~misses:2 (check ~cache src);
+        expect "same config hits" ~hits:2 ~misses:0 (check ~cache src);
+        let default_only = Api.create_session ~default_only:true () in
+        expect "default-only ablation misses" ~hits:0 ~misses:2
+          (check ~session:default_only ~cache src);
+        let no_gs = Api.create_session ~no_goal_simp:true () in
+        expect "no-goal-simp ablation misses" ~hits:0 ~misses:2
+          (check ~session:no_gs ~cache src);
+        let open Rc_pure.Term in
+        let with_lemma =
+          Api.create_session
+            ~lemmas:
+              [
+                {
+                  Rc_pure.Registry.lname = "test_cache_lemma";
+                  vars = [ ("n", Rc_pure.Sort.Int) ];
+                  premises = [];
+                  concl = PEq (Var ("n", Rc_pure.Sort.Int),
+                               Var ("n", Rc_pure.Sort.Int));
+                };
+              ]
+            ()
+        in
+        expect "extra-lemma session misses" ~hits:0 ~misses:2
+          (check ~session:with_lemma ~cache src);
+        (* each ablated config warms its own entries *)
+        expect "default-only warm hits" ~hits:2 ~misses:0
+          (check ~session:(Api.create_session ~default_only:true ()) ~cache
+             src);
+        expect "stock config still hits" ~hits:2 ~misses:0
+          (check ~cache src));
     Alcotest.test_case "budget change misses" `Quick (fun () ->
         let cache = Rc_util.Vercache.create (fresh_cache_dir ()) in
         let b fuel = { Rc_util.Budget.unlimited with fuel = Some fuel } in

@@ -8,7 +8,10 @@
 
 module Driver = Rc_frontend.Driver
 
-let () = Rc_studies.Studies.register_all ()
+(* One fresh case-study session per checked file: elaboration registers
+   the file's own named types into the session tenv, so sessions are not
+   shared across files. *)
+let session () = Rc_studies.Studies.session ()
 
 let case_dir =
   List.find Sys.file_exists
@@ -32,7 +35,10 @@ let verify_tests =
   List.map
     (fun file ->
       Alcotest.test_case file `Quick (fun () ->
-          let t = Driver.check_file (Filename.concat case_dir file) in
+          let t =
+            Driver.check_file ~session:(session ())
+              (Filename.concat case_dir file)
+          in
           match Driver.errors t with
           | [] -> ()
           | (fn, e) :: _ ->
@@ -44,13 +50,15 @@ let cert_tests =
   List.map
     (fun file ->
       Alcotest.test_case file `Quick (fun () ->
-          let t = Driver.check_file (Filename.concat case_dir file) in
+          let s = session () in
+          let t = Driver.check_file ~session:s (Filename.concat case_dir file) in
           List.iter
             (fun (r : Driver.check_result) ->
               match r.outcome with
               | Ok res ->
                   let rep =
-                    Rc_cert.Checker.check res.Rc_refinedc.Lang.E.deriv
+                    Rc_cert.Checker.check ~session:s
+                      res.Rc_refinedc.Lang.E.deriv
                   in
                   if not (Rc_cert.Checker.ok rep) then
                     Alcotest.failf "certificate for %s: %s" r.name
@@ -63,7 +71,8 @@ let semtest_tests =
   List.map
     (fun file ->
       Alcotest.test_case file `Quick (fun () ->
-          let t = Driver.check_file (Filename.concat case_dir file) in
+          let s = session () in
+          let t = Driver.check_file ~session:s (Filename.concat case_dir file) in
           let impls =
             List.map
               (fun (f : Rc_refinedc.Typecheck.fn_to_check) ->
@@ -73,7 +82,7 @@ let semtest_tests =
           List.iter
             (fun (f : Rc_refinedc.Typecheck.fn_to_check) ->
               match
-                Rc_sem.Semtest.check_fn ~runs:25 ~impls
+                Rc_sem.Semtest.check_fn ~runs:25 ~impls ~session:s
                   t.elaborated.Rc_frontend.Elab.program f.spec
               with
               | Rc_sem.Semtest.Ub_found msg ->
@@ -92,7 +101,10 @@ let mutation name file ~from_ ~to_ ~fn =
       let src = read file in
       let mutated = Str.global_replace (Str.regexp_string from_) to_ src in
       if mutated = src then Alcotest.failf "mutation %s did not apply" name;
-      match Driver.check_source ~file:("mutated_" ^ file) mutated with
+      match
+        Driver.check_source ~session:(session ())
+          ~file:("mutated_" ^ file) mutated
+      with
       | exception Driver.Frontend_error _ -> () (* rejected even earlier *)
       | t ->
           let errs = Driver.errors t in

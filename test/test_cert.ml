@@ -7,7 +7,7 @@ open Rc_pure.Term
 module Deriv = Rc_lithium.Deriv
 module Checker = Rc_cert.Checker
 
-let () = Rc_studies.Studies.register_all ()
+let session () = Rc_studies.Studies.session ()
 
 let case_dir =
   List.find Sys.file_exists
@@ -16,38 +16,44 @@ let case_dir =
       "../../../case_studies";
     ]
 
+(* Returns the derivation together with the session that produced it:
+   certificates only re-check relative to that session's rule library
+   and registry. *)
 let genuine_deriv () =
+  let s = session () in
   let t =
-    Rc_frontend.Driver.check_file (Filename.concat case_dir "mem_alloc.c")
+    Rc_frontend.Driver.check_file ~session:s
+      (Filename.concat case_dir "mem_alloc.c")
   in
   match (List.hd t.results).outcome with
-  | Ok res -> res.Rc_refinedc.Lang.E.deriv
+  | Ok res -> (s, res.Rc_refinedc.Lang.E.deriv)
   | Error _ -> Alcotest.fail "mem_alloc did not verify"
 
 let tests =
   [
     Alcotest.test_case "genuine certificate re-checks" `Quick (fun () ->
-        let rep = Checker.check (genuine_deriv ()) in
+        let s, d = genuine_deriv () in
+        let rep = Checker.check ~session:s d in
         Alcotest.(check bool) "ok" true (Checker.ok rep);
         Alcotest.(check bool) "has rule applications" true
           (rep.Checker.rule_applications > 10);
         Alcotest.(check bool) "has side conditions" true
           (rep.Checker.side_conditions > 3));
     Alcotest.test_case "unknown rule is flagged" `Quick (fun () ->
-        let d = genuine_deriv () in
+        let s, d = genuine_deriv () in
         let tampered =
           Deriv.make "rule:NO-SUCH-RULE" ~info:"forged" [ d ]
         in
-        let rep = Checker.check tampered in
+        let rep = Checker.check ~session:s tampered in
         Alcotest.(check bool) "rejected" false (Checker.ok rep));
     Alcotest.test_case "false side condition is flagged" `Quick (fun () ->
-        let d = genuine_deriv () in
+        let s, d = genuine_deriv () in
         let tampered =
           Deriv.make "side-condition"
             ~side:[ (PLt (Num 2, Num 1), Rc_pure.Registry.Auto) ]
             [ d ]
         in
-        let rep = Checker.check tampered in
+        let rep = Checker.check ~session:s tampered in
         Alcotest.(check bool) "rejected" false (Checker.ok rep));
     Alcotest.test_case "side condition with dangling evars is flagged" `Quick
       (fun () ->
@@ -56,7 +62,7 @@ let tests =
             ~side:[ (PEq (Evar (0, Rc_pure.Sort.Int), Num 1), Rc_pure.Registry.Auto) ]
             []
         in
-        let rep = Checker.check tampered in
+        let rep = Checker.check ~session:(session ()) tampered in
         Alcotest.(check bool) "rejected" false (Checker.ok rep));
     Alcotest.test_case "claimed-auto verdicts are recomputed, not believed"
       `Quick (fun () ->
@@ -76,22 +82,27 @@ let tests =
         let without =
           Deriv.make "side-condition" ~side ~tactics:[] []
         in
+        let s = session () in
         Alcotest.(check bool) "with tactics" true
-          (Checker.ok (Checker.check with_tactics));
+          (Checker.ok (Checker.check ~session:s with_tactics));
         Alcotest.(check bool) "without tactics" false
-          (Checker.ok (Checker.check without)));
+          (Checker.ok (Checker.check ~session:s without)));
     Alcotest.test_case "certificates of all case studies re-check" `Slow
       (fun () ->
         List.iter
           (fun file ->
+            let s = session () in
             let t =
-              Rc_frontend.Driver.check_file (Filename.concat case_dir file)
+              Rc_frontend.Driver.check_file ~session:s
+                (Filename.concat case_dir file)
             in
             List.iter
               (fun (r : Rc_frontend.Driver.check_result) ->
                 match r.outcome with
                 | Ok res ->
-                    let rep = Checker.check res.Rc_refinedc.Lang.E.deriv in
+                    let rep =
+                      Checker.check ~session:s res.Rc_refinedc.Lang.E.deriv
+                    in
                     if not (Checker.ok rep) then
                       Alcotest.failf "%s/%s: %s" file r.name
                         (Fmt.str "%a" Checker.pp_report rep)

@@ -11,6 +11,7 @@ module G = Rc_lithium.Goal
    the only judgment is subsumption, which demands term equality. *)
 module Toy = struct
   type atom = string * term
+  type env = unit
 
   type f =
     | Sub of atom * atom * goal
@@ -61,7 +62,7 @@ let rules : E.rule list =
 
 let cfg = { E.rules; tactics = [] }
 
-let run g = E.run cfg g
+let run g = E.run cfg ~env:() g
 
 let check_ok name g =
   Alcotest.test_case name `Quick (fun () ->

@@ -8,7 +8,7 @@
 module Driver = Rc_frontend.Driver
 module Stats = Rc_lithium.Stats
 
-let () = Rc_studies.Studies.register_all ()
+let session () = Rc_studies.Studies.session ()
 
 let case_dir =
   List.find Sys.file_exists
@@ -46,8 +46,8 @@ let determinism_tests =
           if not Rc_util.Pool.parallelism_available then
             Alcotest.skip ();
           let path = Filename.concat case_dir file in
-          let seq = Driver.check_file ~jobs:1 path in
-          let par = Driver.check_file ~jobs:4 path in
+          let seq = Driver.check_file ~session:(session ()) ~jobs:1 path in
+          let par = Driver.check_file ~session:(session ()) ~jobs:4 path in
           Alcotest.(check (list string))
             "per-function outcomes" (run_signature seq) (run_signature par);
           let agg t =
@@ -58,7 +58,15 @@ let determinism_tests =
           Alcotest.(check string)
             "aggregate Figure-7 statistics" (agg seq) (agg par);
           Alcotest.(check int)
-            "exit code" (Driver.exit_code seq) (Driver.exit_code par)))
+            "exit code" (Driver.exit_code seq) (Driver.exit_code par);
+          (* --json must be byte-identical between -j1 and -j4 once the
+             wall-clock fields (the only nondeterministic part of the
+             report) are zeroed; per-session stats merge is
+             deterministic, so rules_used ordering is too *)
+          let json t =
+            Rc_util.Jsonout.to_string (Driver.to_json ~timings:false t)
+          in
+          Alcotest.(check string) "JSON output" (json seq) (json par)))
     corpus
 
 let pool_tests =

@@ -136,7 +136,7 @@ let linarith_tests =
       true;
   ]
 
-let default = Registry.default_prove
+let default = Registry.default_prove Registry.default
 
 let mset_tests =
   let s = mset_v "s" in
@@ -268,7 +268,8 @@ let registry_tests =
         Alcotest.(check string)
           "auto" "auto"
           (Fmt.str "%a" Registry.pp_verdict
-             (Registry.solve ~hyps:[ PLe (a, b) ] (PLe (a, Add (b, Num 1))))));
+             (Registry.solve Registry.default ~hyps:[ PLe (a, b) ]
+                (PLe (a, Add (b, Num 1))))));
     t "tactics-verdict" (fun () ->
         let g =
           PEq
@@ -278,7 +279,8 @@ let registry_tests =
         Alcotest.(check string)
           "via multiset solver" "solver:multiset_solver"
           (Fmt.str "%a" Registry.pp_verdict
-             (Registry.solve ~tactics:[ "multiset_solver" ] ~hyps:[] g)));
+             (Registry.solve Registry.default ~tactics:[ "multiset_solver" ]
+                ~hyps:[] g)));
     t "unsolved-without-tactics" (fun () ->
         let g =
           PEq
@@ -287,26 +289,29 @@ let registry_tests =
         in
         Alcotest.(check bool)
           "unsolved" true
-          (Registry.solve ~hyps:[] g = Registry.Unsolved));
+          (Registry.solve Registry.default ~hyps:[] g = Registry.Unsolved));
     t "lemma-application" (fun () ->
-        Registry.clear_lemmas ();
-        Registry.register_lemma
-          {
-            Registry.lname = "mod_lt_self";
-            vars = [ ("x", Sort.Nat); ("m", Sort.Nat) ];
-            premises = [ PLt (Num 0, Var ("m", Sort.Nat)) ];
-            concl =
-              PLt (Mod (Var ("x", Sort.Nat), Var ("m", Sort.Nat)),
-                   Var ("m", Sort.Nat));
-          };
-        let v =
-          Registry.solve ~hyps:[ PLt (Num 0, nat "cap") ]
-            (PLt (Mod (nat "h", nat "cap"), nat "cap"))
+        (* registries are values: adding a lemma builds a new registry,
+           leaving Registry.default untouched *)
+        let reg =
+          Registry.add_lemma Registry.default
+            {
+              Registry.lname = "mod_lt_self";
+              vars = [ ("x", Sort.Nat); ("m", Sort.Nat) ];
+              premises = [ PLt (Num 0, Var ("m", Sort.Nat)) ];
+              concl =
+                PLt (Mod (Var ("x", Sort.Nat), Var ("m", Sort.Nat)),
+                     Var ("m", Sort.Nat));
+            }
         in
-        Registry.clear_lemmas ();
+        let g = PLt (Mod (nat "h", nat "cap"), nat "cap") in
+        let v = Registry.solve reg ~hyps:[ PLt (Num 0, nat "cap") ] g in
         Alcotest.(check string)
           "lemma verdict" "lemma:mod_lt_self"
-          (Fmt.str "%a" Registry.pp_verdict v));
+          (Fmt.str "%a" Registry.pp_verdict v);
+        Alcotest.(check bool) "default registry unaffected" true
+          (Registry.solve Registry.default ~hyps:[ PLt (Num 0, nat "cap") ] g
+           = Registry.Unsolved));
   ]
 
 (* property-based tests *)
@@ -379,39 +384,40 @@ let extension_tests =
         let goal = PEq (Ite (PLe (n, a), Sub (a, n), a), Sub (a, n)) in
         Alcotest.(check bool)
           "provable under n <= a" true
-          (Registry.default_prove ~hyps:[ PLe (n, a) ] goal);
+          (Registry.default_prove Registry.default ~hyps:[ PLe (n, a) ] goal);
         Alcotest.(check bool)
           "not provable without" false
-          (Registry.default_prove ~hyps:[] goal));
+          (Registry.default_prove Registry.default ~hyps:[] goal));
     t "lemma premises can match hypotheses" (fun () ->
         (* the layered-BST pattern: the shape premise binds metavars *)
-        Registry.clear_lemmas ();
         let xs = Var ("xs", Sort.List Sort.Int) in
         let lxs = Var ("lxs", Sort.List Sort.Int) in
         let rxs = Var ("rxs", Sort.List Sort.Int) in
         let v = Var ("v", Sort.Int) in
         let k = Var ("k", Sort.Int) in
-        Registry.register_lemma
-          {
-            Registry.lname = "elem_of_root";
-            vars =
-              [ ("k", Sort.Int); ("v", Sort.Int);
-                ("xs", Sort.List Sort.Int); ("lxs", Sort.List Sort.Int);
-                ("rxs", Sort.List Sort.Int) ];
-            premises = [ PEq (xs, Append (lxs, Cons (v, rxs))); PEq (k, v) ];
-            concl = PIn (k, xs);
-          };
+        let reg =
+          Registry.add_lemma Registry.default
+            {
+              Registry.lname = "elem_of_root";
+              vars =
+                [ ("k", Sort.Int); ("v", Sort.Int);
+                  ("xs", Sort.List Sort.Int); ("lxs", Sort.List Sort.Int);
+                  ("rxs", Sort.List Sort.Int) ];
+              premises =
+                [ PEq (xs, Append (lxs, Cons (v, rxs))); PEq (k, v) ];
+              concl = PIn (k, xs);
+            }
+        in
         let zs = Var ("zs", Sort.List Sort.Int) in
         let ls = Var ("ls", Sort.List Sort.Int) in
         let rs = Var ("rs", Sort.List Sort.Int) in
         let w = Var ("w", Sort.Int) in
         let u = Var ("u", Sort.Int) in
         let verdict =
-          Registry.solve
+          Registry.solve reg
             ~hyps:[ PEq (zs, Append (ls, Cons (w, rs))); PEq (u, w) ]
             (PIn (u, zs))
         in
-        Registry.clear_lemmas ();
         Alcotest.(check string)
           "lemma fires" "lemma:elem_of_root"
           (Fmt.str "%a" Registry.pp_verdict verdict));
@@ -422,7 +428,8 @@ let extension_tests =
         let v = int_v "v" in
         Alcotest.(check bool)
           "saturation" true
-          (Set_solver.prove ~prove_pure:Registry.default_prove
+          (Set_solver.prove
+             ~prove_pure:(Registry.default_prove Registry.default)
              ~hyps:
                [
                  PIn (r, l);
@@ -430,7 +437,8 @@ let extension_tests =
                ]
              (PLe (r, v))));
     t "list solver rewrites defined functions" (fun () ->
-        Rc_studies.Studies.register_all ();
+        (* the rev-unfold hook travels as a value, not via global state *)
+        let hooks = Rc_studies.Studies.hooks in
         let xs = Var ("xs", Sort.List Sort.Int) in
         let cs = Var ("cs", Sort.List Sort.Int) in
         let tl = Var ("tl", Sort.List Sort.Int) in
@@ -439,7 +447,8 @@ let extension_tests =
         let rev l = App ("rev", [ l ]) in
         Alcotest.(check bool)
           "rev-append reasoning" true
-          (List_solver.prove ~prove_pure:Registry.default_prove
+          (List_solver.prove ~hooks
+             ~prove_pure:(Registry.default_prove Registry.default)
              ~hyps:
                [ PEq (cs, Cons (x, tl)); PEq (rev xs, Append (rev cs, ys)) ]
              (PEq (rev xs, Append (rev tl, Cons (x, ys))))));

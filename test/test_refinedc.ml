@@ -16,8 +16,12 @@ let use ?(atomic = false) layout arg = Use { atomic; layout; arg }
 
 let mem_t_sl = Layout.mk_struct "mem_t" [ ("len", lu64); ("buffer", Layout.Ptr) ]
 
+(* the session all tests in this file check under: stock configuration
+   plus the hand-registered mem_t named type *)
+let session = Session.create ()
+
 let () =
-  register_type_def
+  register_type_def session.Session.tenv
     {
       td_name = "mem_t";
       td_params = [ ("a", Sort.Nat) ];
@@ -170,7 +174,7 @@ let alloc_spec ?(name = "alloc") ?(cmp = PLe (n, a)) () : fn_spec =
   }
 
 let check fn spec =
-  Typecheck.check_fn ~specs:[ (spec.fs_name, spec) ]
+  Typecheck.check_fn ~session ~specs:[ (spec.fs_name, spec) ]
     { func = fn; spec; invs = []; meta = Lang.empty_meta }
 
 let expect_ok name fn spec =

@@ -19,7 +19,17 @@ module Report = Rc_lithium.Report
 module Budget = Rc_util.Budget
 module Faultsim = Rc_util.Faultsim
 
-let () = Rc_studies.Studies.register_all ()
+let session () = Rc_studies.Studies.session ()
+
+(* a session with its own fault-injection campaign: campaigns are values
+   owned by exactly one session, so two sessions never observe each
+   other's injections *)
+let faulty ?rate ?sites ?max_faults seed =
+  let campaign = Faultsim.create ?rate ?sites ?max_faults seed in
+  let s =
+    Rc_refinedc.Session.with_fault (session ()) (Some campaign)
+  in
+  (s, campaign)
 
 let case_dir =
   List.find Sys.file_exists
@@ -68,7 +78,10 @@ let budget_tests =
     Alcotest.test_case "fuel exhaustion is a structured diagnostic" `Quick
       (fun () ->
         let budget = { Budget.unlimited with Budget.fuel = Some 20 } in
-        let t = Driver.check_file ~budget (path "binary_search.c") in
+        let t =
+          Driver.check_file ~session:(session ()) ~budget
+            (path "binary_search.c")
+        in
         Alcotest.(check bool) "all failed" true (Driver.errors t <> []);
         List.iter
           (fun (fn, (e : Report.t)) ->
@@ -82,7 +95,10 @@ let budget_tests =
         Alcotest.(check int) "exit code 2" 2 (Driver.exit_code t));
     Alcotest.test_case "exhaustion reports the goal head" `Quick (fun () ->
         let budget = { Budget.unlimited with Budget.fuel = Some 200 } in
-        let t = Driver.check_file ~budget (path "binary_search.c") in
+        let t =
+          Driver.check_file ~session:(session ()) ~budget
+            (path "binary_search.c")
+        in
         match kind_of t "bsearch_idx" with
         | Some (Report.Resource_exhausted { goal_head; rule_apps; _ }) ->
             Alcotest.(check bool) "has goal head" true (goal_head <> None);
@@ -93,7 +109,9 @@ let budget_tests =
     Alcotest.test_case "zero deadline times out immediately" `Quick
       (fun () ->
         let budget = { Budget.unlimited with Budget.timeout = Some 0.0 } in
-        let t = Driver.check_file ~budget (path "spinlock.c") in
+        let t =
+          Driver.check_file ~session:(session ()) ~budget (path "spinlock.c")
+        in
         List.iter
           (fun (fn, (e : Report.t)) ->
             match e.Report.kind with
@@ -104,7 +122,9 @@ let budget_tests =
           (List.length (Driver.errors t) = List.length t.Driver.results));
     Alcotest.test_case "depth limit reports Depth_exceeded" `Quick (fun () ->
         let budget = { Budget.unlimited with Budget.max_depth = Some 5 } in
-        let t = Driver.check_file ~budget (path "spinlock.c") in
+        let t =
+          Driver.check_file ~session:(session ()) ~budget (path "spinlock.c")
+        in
         List.iter
           (fun (_, (e : Report.t)) ->
             match e.Report.kind with
@@ -122,7 +142,9 @@ let budget_tests =
             max_depth = Some 1_000_000;
           }
         in
-        let t = Driver.check_file ~budget (path "spinlock.c") in
+        let t =
+          Driver.check_file ~session:(session ()) ~budget (path "spinlock.c")
+        in
         Alcotest.(check bool) "verifies" true (Driver.all_ok t);
         Alcotest.(check int) "exit code 0" 0 (Driver.exit_code t));
   ]
@@ -137,14 +159,11 @@ let isolation_tests =
       `Quick (fun () ->
         (* rate 1.0 capped at one fault: the first solver call dies,
            everything after must be unaffected *)
-        Faultsim.arm ~rate:1.0 ~sites:[ "solver" ] ~max_faults:1 42;
+        let s, _ = faulty ~rate:1.0 ~sites:[ "solver" ] ~max_faults:1 42 in
         let t =
-          try Driver.check_source ~file:"two.c" two_fn_src
-          with e ->
-            Faultsim.disarm ();
-            Alcotest.failf "escaped: %s" (Printexc.to_string e)
+          try Driver.check_source ~session:s ~file:"two.c" two_fn_src
+          with e -> Alcotest.failf "escaped: %s" (Printexc.to_string e)
         in
-        Faultsim.disarm ();
         let faults = Driver.faults t in
         Alcotest.(check int) "one fault" 1 (List.length faults);
         (match faults with
@@ -162,23 +181,27 @@ let isolation_tests =
         Alcotest.(check int) "exit code 2" 2 (Driver.exit_code t));
     Alcotest.test_case "fail-fast stops, keep-going continues" `Quick
       (fun () ->
-        Faultsim.arm ~rate:1.0 ~sites:[ "solver" ] ~max_faults:1 42;
+        let s, _ = faulty ~rate:1.0 ~sites:[ "solver" ] ~max_faults:1 42 in
         let t =
-          Driver.check_source ~fail_fast:true ~file:"two.c" two_fn_src
+          Driver.check_source ~session:s ~fail_fast:true ~file:"two.c"
+            two_fn_src
         in
-        Faultsim.disarm ();
         Alcotest.(check int) "one result" 1 (List.length t.Driver.results);
         Alcotest.(check (list string)) "one skipped" [ "incr2" ]
           t.Driver.skipped;
         Alcotest.(check bool) "not ok" false (Driver.all_ok t);
-        (* default keep-going: both functions appear *)
-        let t2 = Driver.check_source ~file:"two.c" two_fn_src in
+        (* default keep-going: both functions appear (fresh campaign —
+           the previous one already spent its single fault) *)
+        let s2, _ = faulty ~rate:1.0 ~sites:[ "solver" ] ~max_faults:1 42 in
+        let t2 = Driver.check_source ~session:s2 ~file:"two.c" two_fn_src in
         Alcotest.(check int) "two results" 2 (List.length t2.Driver.results);
         Alcotest.(check (list string)) "none skipped" [] t2.Driver.skipped);
     Alcotest.test_case "json diagnostics are emitted and escaped" `Quick
       (fun () ->
         let budget = { Budget.unlimited with Budget.fuel = Some 10 } in
-        let t = Driver.check_file ~budget (path "spinlock.c") in
+        let t =
+          Driver.check_file ~session:(session ()) ~budget (path "spinlock.c")
+        in
         let s = Rc_util.Jsonout.to_string (Driver.to_json t) in
         let has what =
           try
@@ -233,7 +256,7 @@ let baseline_tests =
         baseline :=
           List.map
             (fun file ->
-              let t = Driver.check_file (path file) in
+              let t = Driver.check_file ~session:(session ()) (path file) in
               (match Driver.errors t with
               | [] -> ()
               | (fn, e) :: _ ->
@@ -253,24 +276,18 @@ let outcome_signature (t : Driver.t) =
     t.Driver.results
 
 let run_campaign ~seed ~rate file =
-  Faultsim.arm ~rate (seed * 7919 + Hashtbl.hash file);
-  let result =
-    match Driver.check_file (path file) with
-    | t ->
-        (* every failure must carry a structured, printable report *)
-        List.iter
-          (fun (_, (e : Report.t)) -> ignore (Report.to_string e))
-          (Driver.errors t);
-        Ok (outcome_signature t, Faultsim.injected_count ())
-    | exception Driver.Frontend_error _ ->
-        (* structured too (and unreachable: no frontend hooks) *)
-        Ok ([], Faultsim.injected_count ())
-    | exception e -> Error e
-  in
-  Faultsim.disarm ();
-  match result with
-  | Ok r -> r
-  | Error e ->
+  let s, campaign = faulty ~rate (seed * 7919 + Hashtbl.hash file) in
+  match Driver.check_file ~session:s (path file) with
+  | t ->
+      (* every failure must carry a structured, printable report *)
+      List.iter
+        (fun (_, (e : Report.t)) -> ignore (Report.to_string e))
+        (Driver.errors t);
+      (outcome_signature t, Faultsim.injected_count campaign)
+  | exception Driver.Frontend_error _ ->
+      (* structured too (and unreachable: no frontend hooks) *)
+      ([], Faultsim.injected_count campaign)
+  | exception e ->
       Alcotest.failf "campaign seed=%d file=%s: uncaught exception %s" seed
         file (Printexc.to_string e)
 
@@ -309,8 +326,8 @@ let campaign_tests =
         in
         List.iter
           (fun file ->
-            Faultsim.arm ~rate:0.002 (Hashtbl.hash file);
-            (match Driver.check_file ~budget (path file) with
+            let s, _ = faulty ~rate:0.002 (Hashtbl.hash file) in
+            match Driver.check_file ~session:s ~budget (path file) with
             | t ->
                 List.iter
                   (fun (_, (e : Report.t)) ->
@@ -318,9 +335,7 @@ let campaign_tests =
                     ignore (Rc_util.Jsonout.to_string (Report.to_json e)))
                   (Driver.errors t)
             | exception e ->
-                Faultsim.disarm ();
-                Alcotest.failf "%s: uncaught %s" file (Printexc.to_string e));
-            Faultsim.disarm ())
+                Alcotest.failf "%s: uncaught %s" file (Printexc.to_string e))
           corpus);
   ]
 
@@ -330,10 +345,12 @@ let equivalence_tests =
     Alcotest.test_case
       "disarmed rerun matches baseline Figure 7 stats exactly" `Quick
       (fun () ->
-        Alcotest.(check bool) "faultsim disarmed" false (Faultsim.active ());
+        (* a fresh session has no campaign by construction *)
+        Alcotest.(check bool) "fresh session unarmed" true
+          (Rc_refinedc.Session.fault (session ()) = None);
         List.iter
           (fun file ->
-            let t = Driver.check_file (path file) in
+            let t = Driver.check_file ~session:(session ()) (path file) in
             (match Driver.errors t with
             | [] -> ()
             | (fn, e) :: _ ->

@@ -14,9 +14,19 @@ module Value = Rc_caesium.Value
 module Heap = Rc_caesium.Heap
 module Syntax = Rc_caesium.Syntax
 
-let () = Rc_studies.Studies.register_all ()
+let session = Rc_studies.Studies.session ()
 
 let rng = Random.State.make [| 11 |]
+
+(* a fresh generation context per test: the session's types, no
+   function-pointer impls, fresh binder counter *)
+let gx () =
+  {
+    Sem.g_rng = rng;
+    g_tenv = session.Rc_refinedc.Session.tenv;
+    g_impls = [];
+    g_qc = ref 0;
+  }
 
 let gen_tests =
   let t name f = Alcotest.test_case name `Quick f in
@@ -24,14 +34,14 @@ let gen_tests =
     t "integers satisfy their refinement" (fun () ->
         let h = Heap.create () in
         let va = ref [ ("n", Sem.CInt 7) ] in
-        let v = Sem.gen_arg rng h va (TInt (Int_type.i32, nat "n")) in
+        let v = Sem.gen_arg (gx ()) h va (TInt (Int_type.i32, nat "n")) in
         Alcotest.(check (option int)) "value" (Some 7)
           (Value.to_int Int_type.i32 v));
     t "own pointers allocate initialized pointees" (fun () ->
         let h = Heap.create () in
         let va = ref [ ("n", Sem.CInt 5) ] in
         let v =
-          Sem.gen_arg rng h va
+          Sem.gen_arg (gx ()) h va
             (TOwn (Some (Var ("p", Sort.Loc)), TInt (Int_type.i32, nat "n")))
         in
         match Value.to_loc v with
@@ -50,7 +60,7 @@ let gen_tests =
         let h = Heap.create () in
         let va = ref [] in
         let l = Heap.alloc h 16 in
-        Sem.gen_at rng h va
+        Sem.gen_at (gx ()) h va
           (TStruct (sl, [ TInt (Int_type.i32, Num 3); TInt (Int_type.u64, Num 9) ]))
           l;
         Alcotest.(check (option int)) "a" (Some 3)
@@ -76,14 +86,14 @@ let gen_tests =
                   ) )
         in
         let l = Heap.alloc h 4 in
-        Sem.gen_at rng h va ty l;
+        Sem.gen_at (gx ()) h va ty l;
         Alcotest.(check (option int)) "head" (Some 4)
           (Value.to_int Int_type.i32 (Heap.load h l 4)));
     t "unsatisfiable constraints are reported" (fun () ->
         let h = Heap.create () in
         let va = ref [] in
         match
-          Sem.gen_at rng h va
+          Sem.gen_at (gx ()) h va
             (TConstr (TInt (Int_type.i32, Num 1), PEq (Num 1, Num 2)))
             (Heap.alloc h 4)
         with
@@ -107,17 +117,23 @@ let harness_tests =
       (fun () ->
         (* not verified (and indeed unverifiable: / requires d ≠ 0);
            we run the harness directly on the unproved spec *)
-        let e = Rc_frontend.Driver.parse_and_elab ~file:"div.c" div_src in
+        let e =
+          Rc_frontend.Driver.parse_and_elab ~session ~file:"div.c" div_src
+        in
         let spec =
           (List.hd e.Rc_frontend.Elab.to_check).Rc_refinedc.Typecheck.spec
         in
-        match Sem.check_fn ~runs:2000 e.Rc_frontend.Elab.program spec with
+        match
+          Sem.check_fn ~runs:2000 ~session e.Rc_frontend.Elab.program spec
+        with
         | Sem.Ub_found _ -> ()
         | Sem.Passed _ -> Alcotest.fail "UB not found"
         | Sem.Skipped why -> Alcotest.failf "skipped: %s" why);
     Alcotest.test_case "the type checker rejects the division" `Quick
       (fun () ->
-        let t = Rc_frontend.Driver.check_source ~file:"div.c" div_src in
+        let t =
+          Rc_frontend.Driver.check_source ~session ~file:"div.c" div_src
+        in
         Alcotest.(check bool)
           "rejected" false
           (Rc_frontend.Driver.errors t = []));

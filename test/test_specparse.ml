@@ -9,7 +9,7 @@ module Sp = Rc_frontend.Specparse
 module Layout = Rc_caesium.Layout
 module Int_type = Rc_caesium.Int_type
 
-let () = Rc_studies.Studies.register_all ()
+let session = Rc_studies.Studies.session ()
 
 let env =
   {
@@ -23,6 +23,7 @@ let env =
       [ ("chunk", Layout.mk_struct "chunk"
            [ ("size", Layout.Int Int_type.size_t); ("next", Layout.Ptr) ]) ];
     fn_specs = [];
+    tenv = session.Rc_refinedc.Session.tenv;
   }
 
 let term name input expected =
