@@ -14,10 +14,11 @@
    Run with:  dune exec bench/main.exe -- [--time] [--ablations] [--all]
 
    [--json [--json-out PATH] [-j N] [--cache DIR]] instead measures the
-   full corpus end-to-end under four configurations — sequential,
-   parallel (-j), cold cache and warm cache — and writes a
-   machine-readable perf record (default BENCH_pr2.json; schema
-   documented in README.md) so the repo's performance trajectory
+   full corpus end-to-end under five configurations — sequential,
+   parallel (-j), cold cache, warm cache, and a metrics-instrumented
+   sequential pass that contributes the per-phase timing breakdown —
+   and writes a machine-readable perf record (default BENCH_pr4.json;
+   schema documented in README.md) so the repo's performance trajectory
    accumulates as data, one record per PR. *)
 
 module Driver = Rc_frontend.Driver
@@ -313,15 +314,32 @@ type jstudy = {
   j_stats : Stats.t;
   j_hits : int;
   j_misses : int;
+  j_phases : (string * float) list;
+      (** per-phase wall seconds (parse/elab/check), from the metrics
+          registry; empty unless the pass is instrumented *)
 }
 
-let measure_study ~jobs ?cache (s : study) : jstudy =
+let measure_study ?(instrument = false) ~jobs ?cache (s : study) : jstudy =
   let path = Filename.concat case_dir s.file in
+  let session =
+    if instrument then
+      Rc_refinedc.Session.with_obs (studies_session ())
+        { Rc_util.Obs.c_trace = false; c_metrics = true }
+    else studies_session ()
+  in
   let watch = Rc_util.Budget.stopwatch () in
-  match Driver.check_file ~session:(studies_session ()) ~jobs ?cache path with
+  match Driver.check_file ~session ~jobs ?cache path with
   | t ->
       let hits, misses =
         match t.Driver.cache_stats with Some hm -> hm | None -> (0, 0)
+      in
+      let phases =
+        List.map
+          (fun (name, _count, total_ns) ->
+            (name, Int64.to_float total_ns /. 1e9))
+          (Rc_util.Metrics.timers_with_prefix
+             (Rc_util.Obs.mx t.Driver.obs)
+             ~prefix:"phase.")
       in
       {
         j_study = s;
@@ -331,6 +349,7 @@ let measure_study ~jobs ?cache (s : study) : jstudy =
         j_stats = Driver.stats t;
         j_hits = hits;
         j_misses = misses;
+        j_phases = phases;
       }
   | exception _ ->
       {
@@ -341,6 +360,7 @@ let measure_study ~jobs ?cache (s : study) : jstudy =
         j_stats = Stats.create ();
         j_hits = 0;
         j_misses = 0;
+        j_phases = [];
       }
 
 let run_to_json ~mode ~jobs ~cached (studies : jstudy list) :
@@ -351,7 +371,7 @@ let run_to_json ~mode ~jobs ~cached (studies : jstudy list) :
   let misses = Rc_util.Xlist.sum (List.map (fun r -> r.j_misses) studies) in
   let study_json r =
     Obj
-      [
+      ([
         ("class", Str r.j_study.cls);
         ("name", Str r.j_study.name);
         ("file", Str r.j_study.file);
@@ -366,6 +386,12 @@ let run_to_json ~mode ~jobs ~cached (studies : jstudy list) :
         ("cache_hits", Int r.j_hits);
         ("cache_misses", Int r.j_misses);
       ]
+      @
+      match r.j_phases with
+      | [] -> []
+      | ps ->
+          [ ("phases_s", Obj (List.map (fun (n, s) -> (n, Float s)) ps)) ]
+      )
   in
   ( total,
     Obj
@@ -386,11 +412,11 @@ let run_to_json ~mode ~jobs ~cached (studies : jstudy list) :
 
 let json_record ~jobs ~cache_dir ~out () =
   let open Rc_util.Jsonout in
-  let pass ~mode ~jobs ?cache () =
+  let pass ?instrument ~mode ~jobs ?cache () =
     Fmt.pr "  measuring: %-12s (-j %d%s)@." mode jobs
       (if cache <> None then ", cached" else "");
     run_to_json ~mode ~jobs ~cached:(cache <> None)
-      (List.map (measure_study ~jobs ?cache) corpus)
+      (List.map (measure_study ?instrument ~jobs ?cache) corpus)
   in
   let seq_wall, seq = pass ~mode:"sequential" ~jobs:1 () in
   let par_wall, par = pass ~mode:"parallel" ~jobs () in
@@ -405,10 +431,15 @@ let json_record ~jobs ~cache_dir ~out () =
   let cache = Rc_util.Vercache.create cache_dir in
   let _, cold = pass ~mode:"cold_cache" ~jobs ~cache () in
   let warm_wall, warm = pass ~mode:"warm_cache" ~jobs ~cache () in
+  (* a fifth, metrics-instrumented sequential pass: contributes the
+     per-phase (parse/elab/check) timing breakdown.  Kept separate so
+     the four comparison passes above measure the uninstrumented
+     pipeline, comparable with pre-observability records. *)
+  let instr_wall, instr = pass ~instrument:true ~mode:"instrumented" ~jobs:1 () in
   let record =
     Obj
       [
-        ("schema", Str "refinedc-bench/1");
+        ("schema", Str "refinedc-bench/2");
         ("ocaml", Str Sys.ocaml_version);
         ("word_size", Int Sys.word_size);
         ("parallelism_available", Bool Rc_util.Pool.parallelism_available);
@@ -423,7 +454,7 @@ let json_record ~jobs ~cache_dir ~out () =
                ( "named_types",
                  Int (Hashtbl.length s.Rc_refinedc.Session.tenv) );
              ]) );
-        ("runs", List [ seq; par; cold; warm ]);
+        ("runs", List [ seq; par; cold; warm; instr ]);
         ( "speedup",
           Obj
             [
@@ -431,6 +462,9 @@ let json_record ~jobs ~cache_dir ~out () =
                 Float (if par_wall > 0. then seq_wall /. par_wall else 0.) );
               ( "warm_cache_vs_sequential",
                 Float (if warm_wall > 0. then seq_wall /. warm_wall else 0.)
+              );
+              ( "instrumented_vs_sequential",
+                Float (if seq_wall > 0. then instr_wall /. seq_wall else 0.)
               );
             ] );
       ]
@@ -450,7 +484,7 @@ let json_record ~jobs ~cache_dir ~out () =
           | Some (Bool b) -> b
           | _ -> false)
       | _ -> false)
-    [ seq; par; cold; warm ]
+    [ seq; par; cold; warm; instr ]
 
 (* ------------------------------------------------------------------ *)
 (* Entry point                                                         *)
@@ -474,7 +508,7 @@ let () =
       opt_value args "--cache"
         (Filename.concat (Filename.get_temp_dir_name ()) "refinedc-bench-cache")
     in
-    let out = opt_value args "--json-out" "BENCH_pr2.json" in
+    let out = opt_value args "--json-out" "BENCH_pr4.json" in
     Fmt.pr "Benchmarking the corpus (perf record -> %s)@." out;
     if not (json_record ~jobs ~cache_dir ~out ()) then begin
       Fmt.pr "@.SOME CASE STUDIES FAILED@.";

@@ -118,12 +118,42 @@ let check_cmd =
       & info [ "no-goal-simp" ]
           ~doc:"Ablation: disable goal simplification before solving.")
   in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"OUT.json"
+          ~doc:
+            "Write a Chrome trace_event JSON trace of the whole check \
+             (phases, per-function checks, rule applications, solver \
+             calls, evar instantiations, cache and scheduling events) to \
+             $(docv).  Load it in Perfetto (ui.perfetto.dev) or \
+             chrome://tracing.")
+  in
+  let profile =
+    Arg.(
+      value & flag
+      & info [ "profile" ]
+          ~doc:
+            "Print a profiling summary after checking: per-phase timings, \
+             the hottest typing rules by self-time, the solver time \
+             breakdown and the hottest functions.  Goes to stderr under \
+             $(b,--json).")
+  in
   let run file deriv stats cert semtest fuel timeout max_depth fail_fast json
-      jobs cache default_only no_goal_simp =
+      jobs cache default_only no_goal_simp trace profile =
     let budget = { Rc_util.Budget.fuel; timeout; max_depth } in
+    let obs =
+      {
+        Rc_util.Obs.c_trace = trace <> None;
+        (* --json reports always carry the metrics block when any
+           observability was requested; --profile needs only metrics *)
+        c_metrics = profile || trace <> None || json;
+      }
+    in
     let session =
       Api.create_session ~case_studies:true ~default_only ~no_goal_simp
-        ~budget ()
+        ~budget ~obs ()
     in
     let jobs = if jobs <= 0 then Rc_util.Pool.default_jobs () else jobs in
     let cache =
@@ -189,7 +219,8 @@ let check_cmd =
                 end;
                 if cert then begin
                   let rep =
-                    Rc_cert.Checker.check ~session res.Rc_refinedc.Lang.E.deriv
+                    Rc_cert.Checker.check ~obs:t.Driver.obs ~session
+                      res.Rc_refinedc.Lang.E.deriv
                   in
                   say "  %a@." Rc_cert.Checker.pp_report rep;
                   if not (Rc_cert.Checker.ok rep) then incr failed
@@ -240,6 +271,17 @@ let check_cmd =
         | None -> ());
         if json then
           Fmt.pr "%s@." (Rc_util.Jsonout.to_string (Driver.to_json t));
+        (match trace with
+        | Some path ->
+            Rc_util.Trace.write_chrome (Rc_util.Obs.tr t.Driver.obs) path;
+            Fmt.epr "trace written to %s (%d events)@." path
+              (Rc_util.Trace.event_count (Rc_util.Obs.tr t.Driver.obs))
+        | None -> ());
+        if profile then
+          (* stderr under --json so stdout stays machine-readable *)
+          (if json then Fmt.epr else Fmt.pr)
+            "%a" (Rc_util.Profile.pp ?top:None)
+            (Rc_util.Obs.mx t.Driver.obs);
         List.iter (fun w -> Fmt.epr "warning: %s@." w)
           t.elaborated.Rc_frontend.Elab.warnings;
         (* the exit-code contract: faults trump verification failures;
@@ -251,7 +293,7 @@ let check_cmd =
     Term.(
       const run $ file $ deriv $ stats $ cert $ semtest $ fuel $ timeout
       $ max_depth $ fail_fast $ json $ jobs $ cache $ default_only
-      $ no_goal_simp)
+      $ no_goal_simp $ trace $ profile)
 
 let run_cmd =
   let file = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in

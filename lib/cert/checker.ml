@@ -65,7 +65,8 @@ let rule_table (session : Rc_refinedc.Session.t) : string list =
     meaningful relative to a rule library and registry, exactly as the
     paper's derivations are only meaningful relative to the Iris-proven
     rule statements. *)
-let check ~(session : Rc_refinedc.Session.t) (d : Deriv.node) : report =
+let check ?(obs = Rc_util.Obs.off) ~(session : Rc_refinedc.Session.t)
+    (d : Deriv.node) : report =
   let table = rule_table session in
   let nodes = ref 0 in
   let apps = ref 0 in
@@ -104,10 +105,27 @@ let check ~(session : Rc_refinedc.Session.t) (d : Deriv.node) : report =
     | _ -> ());
     List.iter go n.Deriv.d_children
   in
-  go d;
-  {
-    nodes = !nodes;
-    rule_applications = !apps;
-    side_conditions = !sides;
-    issues = List.rev !issues;
-  }
+  Rc_util.Obs.timed obs ~cat:"cert" ~key:"phase.cert" "phase:cert" (fun () ->
+      go d);
+  let report =
+    {
+      nodes = !nodes;
+      rule_applications = !apps;
+      side_conditions = !sides;
+      issues = List.rev !issues;
+    }
+  in
+  if Rc_util.Obs.on obs then begin
+    Rc_util.Obs.counter obs ~by:report.nodes "cert.nodes";
+    Rc_util.Obs.counter obs ~by:report.side_conditions "cert.sides";
+    if not (ok report) then
+      Rc_util.Obs.counter obs ~by:(List.length report.issues) "cert.issues";
+    Rc_util.Obs.instant obs ~cat:"cert"
+      ~args:
+        [
+          ("nodes", string_of_int report.nodes);
+          ("verdict", if ok report then "ok" else "issues");
+        ]
+      "cert:verdict"
+  end;
+  report

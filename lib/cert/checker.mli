@@ -30,7 +30,13 @@ val rule_table : Rc_refinedc.Session.t -> string list
 (** the declarative rule table the checker validates against: the
     session's standard library plus its extra rules *)
 
-val check : session:Rc_refinedc.Session.t -> Rc_lithium.Deriv.node -> report
+val check :
+  ?obs:Rc_util.Obs.t ->
+  session:Rc_refinedc.Session.t ->
+  Rc_lithium.Deriv.node ->
+  report
 (** re-validate a derivation against [session]'s rule library and
     solver registry (the session that produced it, or one configured
-    identically) *)
+    identically).  [?obs] records a [phase:cert] span plus
+    [cert.nodes]/[cert.sides]/[cert.issues] counters and a verdict
+    instant. *)

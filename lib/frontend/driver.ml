@@ -19,6 +19,7 @@
 module Syntax = Rc_caesium.Syntax
 module Report = Rc_lithium.Report
 module Session = Rc_refinedc.Session
+module Obs = Rc_util.Obs
 
 type check_result = {
   name : string;
@@ -35,22 +36,32 @@ type t = {
   jobs : int;  (** worker count the check actually used *)
   cache_stats : (int * int) option;
       (** (hits, misses) when a verification cache was supplied *)
+  obs : Obs.t;
+      (** the check's observability root: phase/function/rule spans
+          (already merged in source order) and the metrics registry.
+          {!Obs.off} when the session's config enables neither. *)
 }
 
 exception Frontend_error of string
 
-let parse_and_elab ~(session : Session.t) ~file (src : string) :
-    Elab.elaborated =
-  match Cparser.parse_file ~file src with
-  | exception Cparser.Parse_error (msg, loc) ->
-      raise
-        (Frontend_error
-           (Fmt.str "%a: parse error: %s" Rc_util.Srcloc.pp loc msg))
-  | exception Clexer.Lex_error (msg, loc) ->
-      raise
-        (Frontend_error
-           (Fmt.str "%a: lexical error: %s" Rc_util.Srcloc.pp loc msg))
-  | ast -> (
+let parse_and_elab ?(obs = Obs.off) ~(session : Session.t) ~file
+    (src : string) : Elab.elaborated =
+  let ast =
+    Obs.timed obs ~cat:"phase" ~key:"phase.parse"
+      ~args:[ ("file", file) ] "phase:parse" (fun () ->
+        match Cparser.parse_file ~file src with
+        | exception Cparser.Parse_error (msg, loc) ->
+            raise
+              (Frontend_error
+                 (Fmt.str "%a: parse error: %s" Rc_util.Srcloc.pp loc msg))
+        | exception Clexer.Lex_error (msg, loc) ->
+            raise
+              (Frontend_error
+                 (Fmt.str "%a: lexical error: %s" Rc_util.Srcloc.pp loc msg))
+        | ast -> ast)
+  in
+  Obs.timed obs ~cat:"phase" ~key:"phase.elab" ~args:[ ("file", file) ]
+    "phase:elab" (fun () ->
       let extra_warnings = Warn.check_file ast in
       match Elab.elab_file ~tenv:session.Session.tenv ast with
       | exception Elab.Elab_error (msg, loc) ->
@@ -68,9 +79,10 @@ let parse_and_elab ~(session : Session.t) ~file (src : string) :
 (** Run one function's check, converting any escaping exception into a
     structured checker-fault diagnostic.  Asynchronous exceptions are
     re-raised: masking [Out_of_memory] or Ctrl-C would be dishonest. *)
-let check_fn_isolated ~session ~specs (f : Rc_refinedc.Typecheck.fn_to_check)
-    : (Rc_refinedc.Lang.E.result, Report.t) result =
-  match Rc_refinedc.Typecheck.check_fn ~session ~specs f with
+let check_fn_isolated ?(obs = Obs.off) ~session ~specs
+    (f : Rc_refinedc.Typecheck.fn_to_check) :
+    (Rc_refinedc.Lang.E.result, Report.t) result =
+  match Rc_refinedc.Typecheck.check_fn ~obs ~session ~specs f with
   | outcome -> outcome
   | exception Report.Error e -> Error e
   | exception ((Out_of_memory | Sys.Break) as e) -> raise e
@@ -127,8 +139,17 @@ let replay_result (data : string) :
     With [~fail_fast] the functions after the first failure are skipped
     (and listed in {!field-skipped}); under [jobs > 1] they may already
     have been checked speculatively, but their results are discarded so
-    the output is identical to the sequential run. *)
-let check_elaborated ?(fail_fast = false) ?(jobs = 1) ?cache
+    the output is identical to the sequential run.
+
+    [~obs] is the observability root (lane 0).  Every function check
+    writes trace events and metrics into a private child handle (lane =
+    1 + source index, so each function is its own track in Perfetto);
+    the children of the *kept* results — always a source-order prefix —
+    are merged back into the root in source order, which makes trace and
+    metrics output deterministic across [-j N] and identical between a
+    sequential fail-fast run and a parallel one that checked extra
+    functions speculatively. *)
+let check_elaborated ?(fail_fast = false) ?(jobs = 1) ?cache ?(obs = Obs.off)
     ~(session : Session.t) ~file (elaborated : Elab.elaborated) : t =
   let specs =
     List.map
@@ -150,11 +171,34 @@ let check_elaborated ?(fail_fast = false) ?(jobs = 1) ?cache
                 (fun (_, s) -> Rc_refinedc.Rtype.spec_signature s)
                 specs))
   in
-  let check_one (f : Rc_refinedc.Typecheck.fn_to_check) : check_result =
+  let children =
+    Array.of_list
+      (List.mapi (fun i _ -> Obs.child obs ~tid:(i + 1)) elaborated.to_check)
+  in
+  if Obs.on obs then begin
+    Rc_util.Trace.name_lane (Obs.tr obs) ~tid:0 "pipeline";
+    List.iteri
+      (fun i f ->
+        Rc_util.Trace.name_lane (Obs.tr obs) ~tid:(i + 1)
+          ("fn:" ^ fn_name f))
+      elaborated.to_check
+  end;
+  let check_one ((idx, f) : int * Rc_refinedc.Typecheck.fn_to_check) :
+      check_result =
+    let co = children.(idx) in
     let watch = Rc_util.Budget.stopwatch () in
     let name = fn_name f in
+    if Obs.on co then begin
+      Obs.counter co "pool.tasks";
+      Obs.instant co ~cat:"sched"
+        ~args:
+          [ ("fn", name);
+            ("domain", string_of_int (Rc_util.Pool.worker_id ())) ]
+        "task:begin";
+      Obs.span_begin co ~cat:"check" ~args:[ ("fn", name) ] ("fn:" ^ name)
+    end;
     let fresh vc_key =
-      let outcome = check_fn_isolated ~session ~specs f in
+      let outcome = check_fn_isolated ~obs:co ~session ~specs f in
       (match (vc_key, outcome) with
       | Some (vc, key), Ok res ->
           Rc_util.Vercache.store vc ~key
@@ -162,37 +206,75 @@ let check_elaborated ?(fail_fast = false) ?(jobs = 1) ?cache
       | _ -> ());
       { name; outcome; time_s = watch (); cached = false }
     in
-    match cache with
-    | None -> fresh None
-    | Some vc -> (
-        let key =
-          Rc_refinedc.Typecheck.cache_key ~session ~specs_digest f
-        in
-        match Rc_util.Vercache.find vc ~key with
-        | None -> fresh (Some (vc, key))
-        | Some data -> (
-            match replay_result data with
-            | Some outcome ->
-                { name; outcome; time_s = watch (); cached = true }
-            | None ->
-                (* unreadable payload (e.g. written by a different
-                   compiler): treat as a miss and overwrite *)
-                fresh (Some (vc, key))))
+    let cache_event kind =
+      if Obs.on co then begin
+        Obs.counter co ("cache." ^ kind);
+        Obs.instant co ~cat:"cache" ~args:[ ("fn", name) ] ("cache:" ^ kind)
+      end
+    in
+    let r =
+      match cache with
+      | None -> fresh None
+      | Some vc -> (
+          let key =
+            Rc_refinedc.Typecheck.cache_key ~session ~specs_digest f
+          in
+          match Rc_util.Vercache.find_detailed vc ~key with
+          | Rc_util.Vercache.Absent ->
+              cache_event "miss";
+              fresh (Some (vc, key))
+          | Rc_util.Vercache.Corrupt ->
+              (* unreadable, truncated or key-mismatched entry: skip it,
+                 re-prove and overwrite *)
+              cache_event "corrupt";
+              fresh (Some (vc, key))
+          | Rc_util.Vercache.Hit data -> (
+              match replay_result data with
+              | Some outcome ->
+                  cache_event "hit";
+                  { name; outcome; time_s = watch (); cached = true }
+              | None ->
+                  (* readable entry whose payload this build cannot
+                     unmarshal (e.g. written by a different compiler):
+                     also a corrupt-entry skip *)
+                  cache_event "corrupt";
+                  fresh (Some (vc, key))))
+    in
+    if Obs.on co then begin
+      Obs.instant co ~cat:"check"
+        ~args:
+          [ ( "status",
+              match r.outcome with
+              | Ok _ -> "verified"
+              | Error e -> if Report.is_fault e then "fault" else "failed" )
+          ]
+        "verdict";
+      Obs.span_end co ~cat:"check" ("fn:" ^ name);
+      Obs.observe_ns co ("fn.ns." ^ name)
+        (Int64.of_float (r.time_s *. 1e9));
+      Obs.instant co ~cat:"sched"
+        ~args:
+          [ ("fn", name);
+            ("domain", string_of_int (Rc_util.Pool.worker_id ())) ]
+        "task:end"
+    end;
+    r
   in
+  let indexed = List.mapi (fun i f -> (i, f)) elaborated.to_check in
   let results, skipped =
     if jobs <= 1 then
       (* sequential: preserve the historical early-exit behaviour *)
       let rec go acc = function
         | [] -> (List.rev acc, [])
-        | f :: rest ->
-            let r = check_one f in
+        | (i, f) :: rest ->
+            let r = check_one (i, f) in
             if fail_fast && Result.is_error r.outcome then
-              (List.rev (r :: acc), List.map fn_name rest)
+              (List.rev (r :: acc), List.map (fun (_, f) -> fn_name f) rest)
             else go (r :: acc) rest
       in
-      go [] elaborated.to_check
+      go [] indexed
     else
-      let all = Rc_util.Pool.map ~jobs check_one elaborated.to_check in
+      let all = Rc_util.Pool.map ~jobs check_one indexed in
       if not fail_fast then (all, [])
       else
         (* truncate after the first failure, exactly as sequential
@@ -206,6 +288,11 @@ let check_elaborated ?(fail_fast = false) ?(jobs = 1) ?cache
         in
         cut [] all
   in
+  (* merge the kept results' observability — a source-order prefix, so
+     speculatively-checked functions discarded by fail-fast contribute
+     nothing, exactly as in the sequential run *)
+  if Obs.on obs then
+    List.iteri (fun i _ -> Obs.absorb obs children.(i)) results;
   let cache_stats =
     match cache with
     | None -> None
@@ -213,7 +300,7 @@ let check_elaborated ?(fail_fast = false) ?(jobs = 1) ?cache
         let hits = List.length (List.filter (fun r -> r.cached) results) in
         Some (hits, List.length results - hits)
   in
-  { file; elaborated; results; skipped; jobs; cache_stats }
+  { file; elaborated; results; skipped; jobs; cache_stats; obs }
 
 (** Resolve the session for one check invocation: the caller's session,
     optionally with a one-shot budget override (a CLI convenience — the
@@ -222,12 +309,18 @@ let resolve_session ?session ?budget () : Session.t =
   let s = match session with Some s -> s | None -> Session.create () in
   match budget with Some b -> Session.with_budget s b | None -> s
 
-(** Verify every specified function of a source string. *)
+(** Verify every specified function of a source string.  The session's
+    observability configuration (see {!Session.with_obs}) decides
+    whether a trace/metrics root is minted for this check; the root
+    rides on the returned {!field-obs}. *)
 let check_source ?session ?budget ?fail_fast ?jobs ?cache ~file
     (src : string) : t =
   let session = resolve_session ?session ?budget () in
-  let elaborated = parse_and_elab ~session ~file src in
-  check_elaborated ?fail_fast ?jobs ?cache ~session ~file elaborated
+  let obs = Obs.create ~tid:0 session.Session.obs in
+  let elaborated = parse_and_elab ~obs ~session ~file src in
+  Obs.timed obs ~cat:"phase" ~key:"phase.check" ~args:[ ("file", file) ]
+    "phase:check" (fun () ->
+      check_elaborated ?fail_fast ?jobs ?cache ~obs ~session ~file elaborated)
 
 let check_file ?session ?budget ?fail_fast ?jobs ?cache (path : string) : t =
   let src = In_channel.with_open_bin path In_channel.input_all in
@@ -340,6 +433,9 @@ let to_json ?(timings = true) (t : t) : Rc_util.Jsonout.t =
       ("skipped", List (List.map (fun s -> Str s) t.skipped));
       ( "warnings",
         List (List.map (fun w -> Str w) t.elaborated.Elab.warnings) );
+      (* Null unless the session enabled metrics; with [~timings:false]
+         only observation counts survive, which are deterministic *)
+      ("metrics", Rc_util.Metrics.to_json ~timings (Obs.mx t.obs));
     ]
 
 (** Run a function of the elaborated program in the Caesium interpreter

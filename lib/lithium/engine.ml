@@ -183,6 +183,9 @@ module Make (L : LANG) = struct
     env : L.env;  (** language environment handed to rules *)
     tactics : string list;
     budget : Rc_util.Budget.t;
+    obs : Rc_util.Obs.t;
+        (** this check's observability handle ({!Rc_util.Obs.off} when
+            disabled — every guard below is then one pattern match) *)
     mutable cur_loc : Rc_util.Srcloc.t option;
     mutable cur_head : string option;  (** head of the last basic goal *)
   }
@@ -219,6 +222,17 @@ module Make (L : LANG) = struct
   (* budget exhaustion: abort the search with a structured diagnostic
      recording where it stood (§5's predictability, made enforceable) *)
   let exhausted st ctx (exh : Rc_util.Budget.exhaustion) =
+    if Rc_util.Obs.on st.obs then begin
+      let label = Rc_util.Budget.exhaustion_label exh in
+      Rc_util.Obs.counter st.obs ("budget." ^ label);
+      Rc_util.Obs.instant st.obs ~cat:"budget"
+        ~args:
+          [
+            ("goal_head", Option.value ~default:"?" st.cur_head);
+            ("rule_apps", string_of_int st.stats.Stats.rule_apps);
+          ]
+        ("budget:" ^ label)
+    end;
     fail st ctx
       (Report.Resource_exhausted
          {
@@ -271,12 +285,18 @@ module Make (L : LANG) = struct
         end
         else
           let verdict =
-            Registry.solve st.registry ~tactics:st.tactics ~hyps:ctx.props phi
+            Registry.solve st.registry ~obs:st.obs ~tactics:st.tactics
+              ~hyps:ctx.props phi
           in
           (match verdict with
           | Registry.Unsolved ->
               fail st ctx (Report.Unsolved_side_condition phi)
           | v -> Stats.record_side st.stats v (prop_to_string phi));
+          if Rc_util.Obs.on st.obs then
+            Rc_util.Obs.counter st.obs
+              (match verdict with
+              | Registry.Auto -> "side.auto"
+              | _ -> "side.manual");
           [ (phi, verdict) ]
 
   (* ---------------------------------------------------------------- *)
@@ -336,7 +356,29 @@ module Make (L : LANG) = struct
               match r.apply ri f with
               | Some premise ->
                   Stats.record_rule st.stats r.rname;
-                  let d = solve ctx premise in
+                  let d =
+                    if Rc_util.Obs.on st.obs then begin
+                      (* span over the whole premise solve: the browsable
+                         proof-search tree.  Self-time (span minus nested
+                         rule spans) feeds the profiler; the exception
+                         handler keeps the trace balanced when a nested
+                         goal fails or exhausts its budget. *)
+                      let name = "rule:" ^ r.rname in
+                      Rc_util.Obs.counter st.obs ("rule.apps." ^ r.rname);
+                      Rc_util.Obs.enter_span st.obs ~cat:"rule"
+                        ~key:("rule.self_ns." ^ r.rname)
+                        ~args:[ ("head", head) ]
+                        name;
+                      match solve ctx premise with
+                      | d ->
+                          Rc_util.Obs.exit_span st.obs ~cat:"rule" name;
+                          d
+                      | exception e ->
+                          Rc_util.Obs.exit_span st.obs ~cat:"rule" name;
+                          raise e
+                    end
+                    else solve ctx premise
+                  in
                   Deriv.make
                     ~info:(Fmt.str "%a" L.pp_f f)
                     ?loc:(L.loc_of_f f)
@@ -452,11 +494,11 @@ module Make (L : LANG) = struct
 
   let run_indexed (index : index) ?(registry = Registry.default)
       ?(gs = Evar.default_simp_cfg) ~(env : L.env) ~(tactics : string list)
-      ?(budget = Rc_util.Budget.unlimited) ?(ctx = empty_ctx) (g : goal) :
-      (result, Report.t) Stdlib.result =
+      ?(budget = Rc_util.Budget.unlimited) ?(obs = Rc_util.Obs.off)
+      ?(ctx = empty_ctx) (g : goal) : (result, Report.t) Stdlib.result =
     let st =
       {
-        evars = Evar.create ?fault:registry.Registry.fault ();
+        evars = Evar.create ?fault:registry.Registry.fault ~obs ();
         stats = Stats.create ();
         gen = Rc_util.Gensym.create ();
         index;
@@ -465,6 +507,7 @@ module Make (L : LANG) = struct
         env;
         tactics;
         budget = Rc_util.Budget.start budget;
+        obs;
         cur_loc = None;
         cur_head = None;
       }

@@ -26,14 +26,19 @@ type t = {
   mutable instantiations : int;  (** Figure 7's ∃ column *)
   fault : Rc_util.Faultsim.t option;
       (** the owning session's fault campaign, for the evar_resolve site *)
+  obs : Rc_util.Obs.t;
+      (** the enclosing check's observability handle: every successful
+          instantiation emits an [evar] trace event and bumps the
+          [evar.insts] counter *)
 }
 
-let create ?fault () =
+let create ?fault ?(obs = Rc_util.Obs.off) () =
   {
     entries = Hashtbl.create 64;
     gen = Rc_util.Gensym.create ();
     instantiations = 0;
     fault;
+    obs;
   }
 
 let fresh ?(hint = "x") (st : t) (sort : Sort.t) : term =
@@ -60,7 +65,15 @@ let set (st : t) (id : int) (t : term) : unit =
   match Hashtbl.find_opt st.entries id with
   | Some e when e.inst = None ->
       e.inst <- Some t;
-      st.instantiations <- st.instantiations + 1
+      st.instantiations <- st.instantiations + 1;
+      if Rc_util.Obs.on st.obs then begin
+        Rc_util.Obs.counter st.obs "evar.insts";
+        Rc_util.Obs.instant st.obs ~cat:"evar"
+          ~args:
+            [ ("evar", Printf.sprintf "?%s/%d" e.e_hint id);
+              ("term", term_to_string t) ]
+          "evar:inst"
+      end
   | Some _ -> invalid_arg "Evar.set: already instantiated"
   | None -> invalid_arg "Evar.set: unknown evar"
 

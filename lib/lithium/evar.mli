@@ -17,6 +17,9 @@ type t = {
   mutable instantiations : int;  (** Figure 7's ∃ column *)
   fault : Rc_util.Faultsim.t option;
       (** the owning session's fault campaign, for the evar_resolve site *)
+  obs : Rc_util.Obs.t;
+      (** the enclosing check's observability handle ([evar] events and
+          the [evar.insts] counter on every instantiation) *)
 }
 
 and entry = {
@@ -26,7 +29,7 @@ and entry = {
   mutable sealed : bool;
 }
 
-val create : ?fault:Rc_util.Faultsim.t -> unit -> t
+val create : ?fault:Rc_util.Faultsim.t -> ?obs:Rc_util.Obs.t -> unit -> t
 val fresh : ?hint:string -> t -> Sort.t -> Term.term
 val lookup : t -> int -> Term.term option
 val resolve : t -> Term.term -> Term.term

@@ -55,7 +55,11 @@ let merge a b =
   a.evar_insts <- a.evar_insts + b.evar_insts;
   a.side_auto <- a.side_auto + b.side_auto;
   a.side_manual <- a.side_manual + b.side_manual;
-  a.manual_detail <- a.manual_detail @ b.manual_detail
+  (* [manual_detail] is reverse-chronological; [to_json] reverses it.
+     Keeping [b]'s (later) entries at the head makes the serialized
+     order [a]'s entries then [b]'s — source order for a driver merging
+     per-function stats, regardless of [-j N]. *)
+  a.manual_detail <- b.manual_detail @ a.manual_detail
 
 (** Deterministic JSON rendering: [rules_used] is emitted in sorted
     order and [manual_detail] in chronological order, so two runs that

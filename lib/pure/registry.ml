@@ -286,27 +286,61 @@ let fingerprint (reg : t) : string =
 
 (** [solve reg ~tactics ~hyps goal] discharges a side condition,
     returning how.  [tactics] is the list of named solvers enabled by
-    the current function's [rc::tactics] annotations. *)
-let solve (reg : t) ?(tactics = []) ~hyps goal : verdict =
+    the current function's [rc::tactics] annotations.
+
+    [?obs] records, per attempted prover, a call counter and a latency
+    timer ([solver.calls.*] / [solver.ns.*] — the [--profile] solver
+    breakdown), plus one [solve] trace event carrying the goal and the
+    verdict.  With the default disabled handle the function body is
+    unchanged: the guards cost one pattern match each. *)
+let solve (reg : t) ?(obs = Rc_util.Obs.off) ?(tactics = []) ~hyps goal :
+    verdict =
   Rc_util.Faultsim.point reg.fault "solver";
+  let live = Rc_util.Obs.on obs in
+  let t_solve = if live then Rc_util.Trace.now_ns () else 0L in
+  let attempt name f =
+    if not live then f ()
+    else begin
+      Rc_util.Obs.counter obs ("solver.calls." ^ name);
+      let t0 = Rc_util.Trace.now_ns () in
+      let r = f () in
+      Rc_util.Obs.observe_ns obs ("solver.ns." ^ name)
+        (Int64.sub (Rc_util.Trace.now_ns ()) t0);
+      r
+    end
+  in
   let tactics = if reg.default_only then [] else tactics in
-  if default_prove reg ~hyps goal then Auto
-  else
-    let goal = resolve_ites ~hooks:reg.hooks ~hyps goal in
-    let named =
-      List.find_opt
-        (fun name ->
-          match find_solver reg name with
-          | Some s -> s.run reg ~hyps goal
-          | None -> false)
-        tactics
-    in
-    match named with
-    | Some name -> Via_solver name
-    | None -> (
-        match
-          if reg.default_only then None
-          else List.find_opt (try_lemma reg ~hyps goal) reg.lemmas
-        with
-        | Some l -> Via_lemma l.lname
-        | None -> Unsolved)
+  let verdict =
+    if attempt "default" (fun () -> default_prove reg ~hyps goal) then Auto
+    else
+      let goal = resolve_ites ~hooks:reg.hooks ~hyps goal in
+      let named =
+        List.find_opt
+          (fun name ->
+            match find_solver reg name with
+            | Some s -> attempt name (fun () -> s.run reg ~hyps goal)
+            | None -> false)
+          tactics
+      in
+      match named with
+      | Some name -> Via_solver name
+      | None -> (
+          match
+            if reg.default_only then None
+            else
+              attempt "lemmas" (fun () ->
+                  List.find_opt (try_lemma reg ~hyps goal) reg.lemmas)
+          with
+          | Some l -> Via_lemma l.lname
+          | None -> Unsolved)
+  in
+  if live then
+    Rc_util.Obs.complete obs ~cat:"solver" ~start_ns:t_solve
+      ~dur_ns:(Int64.sub (Rc_util.Trace.now_ns ()) t_solve)
+      ~args:
+        [
+          ("goal", Fmt.str "%a" Term.pp_prop goal);
+          ("verdict", Fmt.str "%a" pp_verdict verdict);
+        ]
+      "solve";
+  verdict

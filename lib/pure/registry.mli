@@ -89,4 +89,12 @@ val fingerprint : t -> string
     the meaning of a verdict (and faulted runs are never cached). *)
 
 val solve :
-  t -> ?tactics:string list -> hyps:Term.prop list -> Term.prop -> verdict
+  t ->
+  ?obs:Rc_util.Obs.t ->
+  ?tactics:string list ->
+  hyps:Term.prop list ->
+  Term.prop ->
+  verdict
+(** [?obs] records per-prover call counters and latency timers
+    ([solver.calls.*] / [solver.ns.*]) and one [solve] trace event with
+    the goal and verdict; the default disabled handle costs nothing *)

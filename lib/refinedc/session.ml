@@ -26,6 +26,11 @@ type t = {
   gs : Rc_lithium.Evar.simp_cfg;  (** goal-simplification configuration *)
   tenv : Rtype.tenv;  (** named-type definitions (rc::refined_by …) *)
   budget : Rc_util.Budget.limits;  (** per-function resource budget *)
+  obs : Rc_util.Obs.cfg;
+      (** observability switches (tracing / metrics).  The session holds
+          only the immutable *configuration*; the mutable trace buffers
+          and metric registries are minted per check by the driver, one
+          per function, so shared-session [-j N] runs stay race-free. *)
 }
 
 (** Build a session.  Omitted components default to the standard
@@ -34,7 +39,7 @@ type t = {
     session's own (initially empty) type environment. *)
 let create ?(rules = []) ?(registry = Rc_pure.Registry.default)
     ?(gs = Rc_lithium.Evar.default_simp_cfg) ?tenv
-    ?(budget = Rc_util.Budget.unlimited) () : t =
+    ?(budget = Rc_util.Budget.unlimited) ?(obs = Rc_util.Obs.cfg_off) () : t =
   {
     index = Rules.make ~extra:rules ();
     extra_rules = rules;
@@ -42,6 +47,7 @@ let create ?(rules = []) ?(registry = Rc_pure.Registry.default)
     gs;
     tenv = (match tenv with Some te -> te | None -> Rtype.create_tenv ());
     budget;
+    obs;
   }
 
 let fault (s : t) : Rc_util.Faultsim.t option = s.registry.Rc_pure.Registry.fault
@@ -51,3 +57,7 @@ let with_fault (s : t) f : t =
   { s with registry = Rc_pure.Registry.with_fault s.registry f }
 
 let with_budget (s : t) budget : t = { s with budget }
+
+(** Replace the observability configuration (a CLI convenience, like
+    {!with_budget}). *)
+let with_obs (s : t) obs : t = { s with obs }

@@ -38,7 +38,7 @@ let rec pure_facts_of_arg (ty : rtype) : prop list =
   | TArrayInt (_, len, xs) -> [ PEq (Length xs, len); PLe (Num 0, len) ]
   | _ -> []
 
-let check_fn ?(globals = []) ~(session : Session.t)
+let check_fn ?(globals = []) ?(obs = Rc_util.Obs.off) ~(session : Session.t)
     ~(specs : (string * fn_spec) list) (ftc : fn_to_check) :
     (E.result, Rc_lithium.Report.t) result =
   let te = session.Session.tenv in
@@ -154,7 +154,7 @@ let check_fn ?(globals = []) ~(session : Session.t)
   in
   E.run_indexed session.Session.index ~registry:session.Session.registry
     ~gs:session.Session.gs ~env:te ~tactics:spec.fs_tactics
-    ~budget:session.Session.budget goal
+    ~budget:session.Session.budget ~obs goal
 
 (* ------------------------------------------------------------------ *)
 (* Verification-cache keys                                             *)

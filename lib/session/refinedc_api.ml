@@ -39,10 +39,13 @@ type session = Session.t
     - [no_goal_simp]: ablation — disable goal simplification;
     - [type_defs]: named-type definitions to pre-register;
     - [budget]: per-function resource limits;
-    - [fault]: a fault-injection campaign (testing only). *)
+    - [fault]: a fault-injection campaign (testing only);
+    - [obs]: observability switches — [{c_trace; c_metrics}] enables
+      proof-search tracing and/or the metrics registry for every check
+      run under the session (see README "Observability"). *)
 let create_session ?(case_studies = false) ?(rules = []) ?(solvers = [])
     ?(lemmas = []) ?hooks ?(default_only = false) ?(no_goal_simp = false)
-    ?(type_defs = []) ?budget ?fault () : session =
+    ?(type_defs = []) ?budget ?fault ?obs () : session =
   let hooks =
     match hooks with
     | Some h -> h
@@ -62,7 +65,7 @@ let create_session ?(case_studies = false) ?(rules = []) ?(solvers = [])
   let tenv = Rc_refinedc.Rtype.create_tenv () in
   if case_studies then Rc_studies.Studies.install_types tenv;
   List.iter (Rc_refinedc.Rtype.register_type_def tenv) type_defs;
-  Session.create ~rules ~registry ~gs ~tenv ?budget ()
+  Session.create ~rules ~registry ~gs ~tenv ?budget ?obs ()
 
 (** Check every specified function of a C file under [session]. *)
 let check_file ?session ?fail_fast ?jobs ?cache (path : string) : Driver.t =

@@ -1,0 +1,141 @@
+(** The observability handle threaded through the verification pipeline:
+    one {!Trace.t} span buffer plus one {!Metrics.t} registry, with a
+    self-time bookkeeping stack for rule spans.
+
+    The disabled handle is the constant {!off}: every operation on it is
+    a single pattern match, and call sites on the engine's hot path guard
+    with {!on} before constructing event names or argument lists, so a
+    session without observability allocates nothing per goal step.
+
+    Concurrency contract: a handle is single-writer.  The driver owns a
+    root handle (lane 0) for file-phase spans and mints one {!child} per
+    function check (lane = 1 + source index); worker domains write only
+    their own child, and {!absorb} merges children back into the root in
+    source order — which is what makes trace and metrics output
+    deterministic across [-j N]. *)
+
+type cfg = { c_trace : bool; c_metrics : bool }
+
+let cfg_off = { c_trace = false; c_metrics = false }
+
+(** One open self-timed span: its start, and the time its completed
+    children consumed (subtracted to get self-time on {!exit_span}). *)
+type frame = {
+  f_key : string;  (** metrics timer fed on exit, e.g. [rule.self_ns.*] *)
+  f_start : int64;
+  mutable f_child_ns : int64;
+}
+
+type state = {
+  tr : Trace.t;
+  mx : Metrics.t;
+  mutable stack : frame list;
+}
+
+type t = Off | On of state
+
+let off = Off
+let on = function Off -> false | On _ -> true
+
+let create ?(tid = 0) (cfg : cfg) : t =
+  if not (cfg.c_trace || cfg.c_metrics) then Off
+  else
+    On
+      {
+        tr = (if cfg.c_trace then Trace.make ~tid () else Trace.off);
+        mx = (if cfg.c_metrics then Metrics.make () else Metrics.off);
+        stack = [];
+      }
+
+let tr = function Off -> Trace.off | On s -> s.tr
+let mx = function Off -> Metrics.off | On s -> s.mx
+
+(** A fresh handle on trace lane [tid], enabled like its parent. *)
+let child (t : t) ~tid : t =
+  match t with
+  | Off -> Off
+  | On s ->
+      On { tr = Trace.child s.tr ~tid; mx = Metrics.child s.mx; stack = [] }
+
+(** Splice [c]'s trace events and merge its metrics into [t].  Call in
+    source order; [c] must be quiescent. *)
+let absorb (t : t) (c : t) =
+  match (t, c) with
+  | On a, On b ->
+      Trace.absorb a.tr b.tr;
+      Metrics.merge a.mx b.mx
+  | _ -> ()
+
+(* ---------------- event shorthands (no-ops when Off) ---------------- *)
+
+let instant (t : t) ?args ~cat name =
+  match t with Off -> () | On s -> Trace.instant s.tr ?args ~cat name
+
+let complete (t : t) ?args ~cat ~start_ns ~dur_ns name =
+  match t with
+  | Off -> ()
+  | On s -> Trace.complete s.tr ?args ~cat ~start_ns ~dur_ns name
+
+(* plain spans: trace-only, no self-time frame (see {!enter_span} for
+   the profiled variant) *)
+let span_begin (t : t) ?args ~cat name =
+  match t with Off -> () | On s -> Trace.span_begin s.tr ?args ~cat name
+
+let span_end (t : t) ?args ~cat name =
+  match t with Off -> () | On s -> Trace.span_end s.tr ?args ~cat name
+
+let counter (t : t) ?by name =
+  match t with Off -> () | On s -> Metrics.incr s.mx ?by name
+
+let observe_ns (t : t) name ns =
+  match t with Off -> () | On s -> Metrics.observe_ns s.mx name ns
+
+(* ---------------- self-timed spans ---------------- *)
+
+(** Open a span and push a self-time frame.  [key] names the metrics
+    timer that receives the span's *self* time (total minus completed
+    children) on {!exit_span} — the profiler's notion of where time was
+    actually spent, as opposed to merely on the stack. *)
+let enter_span (t : t) ?args ~cat ~(key : string) name =
+  match t with
+  | Off -> ()
+  | On s ->
+      Trace.span_begin s.tr ?args ~cat name;
+      s.stack <- { f_key = key; f_start = Trace.now_ns (); f_child_ns = 0L }
+                 :: s.stack
+
+(** Close the innermost span: emit the [E] event, record self-time under
+    the frame's key, and charge the span's total to the parent frame. *)
+let exit_span (t : t) ~cat name =
+  match t with
+  | Off -> ()
+  | On s -> (
+      match s.stack with
+      | [] -> Trace.span_end s.tr ~cat name
+      | f :: rest ->
+          let now = Trace.now_ns () in
+          Trace.span_end s.tr ~cat name;
+          s.stack <- rest;
+          let total = Int64.sub now f.f_start in
+          Metrics.observe_ns s.mx f.f_key (Int64.sub total f.f_child_ns);
+          (match rest with
+          | parent :: _ ->
+              parent.f_child_ns <- Int64.add parent.f_child_ns total
+          | [] -> ()))
+
+(** [timed t ~cat ~key name f] runs [f ()] inside a span, closing it on
+    both return and exception.  Allocates a closure — use it for cold
+    spans (phases, per-function, certificates); the engine's per-rule
+    hot path uses {!enter_span}/{!exit_span} directly. *)
+let timed (t : t) ?args ~cat ~key name (f : unit -> 'a) : 'a =
+  match t with
+  | Off -> f ()
+  | On _ -> (
+      enter_span t ?args ~cat ~key name;
+      match f () with
+      | v ->
+          exit_span t ~cat name;
+          v
+      | exception e ->
+          exit_span t ~cat name;
+          raise e)

@@ -15,6 +15,11 @@ val default_jobs : unit -> int
 (** A sensible worker count: the runtime's recommended domain count on
     OCaml 5, [1] otherwise. *)
 
+val worker_id : unit -> int
+(** The calling domain's runtime id on OCaml 5, [0] on a sequential
+    build.  Observability only (pool task placement events): the value
+    is scheduling-dependent, never part of any deterministic output. *)
+
 val map : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [map ~jobs f items] applies [f] to every item and returns the
     results in input order.  With [jobs <= 1] (or a sequential build)

@@ -42,25 +42,36 @@ let create (dir : string) : t =
 let entry_path t (key : string) =
   Filename.concat t.dir (Digest.to_hex (Digest.string key) ^ ".vc")
 
-(** [find t ~key] returns the stored payload for [key], or [None].  Any
-    unreadable, truncated or mismatched entry is a miss. *)
-let find (t : t) ~(key : string) : string option =
+(** Outcome of a detailed lookup: a corrupt entry (present on disk but
+    unreadable, truncated, wrong format version, or a digest collision)
+    is distinguished from a plain absence so the observability layer can
+    count skips separately — both behave as misses. *)
+type lookup = Hit of string | Absent | Corrupt
+
+(** [find_detailed t ~key] classifies the lookup; any non-[Hit] outcome
+    is a miss for the counters. *)
+let find_detailed (t : t) ~(key : string) : lookup =
   let path = entry_path t key in
-  let entry =
-    if not (Sys.file_exists path) then None
+  let outcome =
+    if not (Sys.file_exists path) then Absent
     else
       match
         In_channel.with_open_bin path (fun ic ->
             (Marshal.from_channel ic : string * string * string))
       with
-      | v, k, payload when v = format_version && k = key -> Some payload
-      | _ -> None
-      | exception _ -> None
+      | v, k, payload when v = format_version && k = key -> Hit payload
+      | _ -> Corrupt
+      | exception _ -> Corrupt
   in
-  (match entry with
-  | Some _ -> t.hits <- t.hits + 1
-  | None -> t.misses <- t.misses + 1);
-  entry
+  (match outcome with
+  | Hit _ -> t.hits <- t.hits + 1
+  | Absent | Corrupt -> t.misses <- t.misses + 1);
+  outcome
+
+(** [find t ~key] returns the stored payload for [key], or [None].  Any
+    unreadable, truncated or mismatched entry is a miss. *)
+let find (t : t) ~(key : string) : string option =
+  match find_detailed t ~key with Hit p -> Some p | Absent | Corrupt -> None
 
 (** [store t ~key payload] persists the entry atomically.  I/O errors are
     swallowed: a cache that cannot write is merely cold, never fatal. *)
