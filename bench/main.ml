@@ -315,8 +315,12 @@ type jstudy = {
   j_hits : int;
   j_misses : int;
   j_phases : (string * float) list;
-      (** per-phase wall seconds (parse/elab/check), from the metrics
-          registry; empty unless the pass is instrumented *)
+      (** per-phase wall seconds (parse/elab/lint/check), from the
+          metrics registry; empty unless the pass is instrumented *)
+  j_diags : int;
+      (** diagnostics reported by the frontend + lint pre-pass (the
+          corpus is expected to stay problem-free; the count tracks
+          notes/hints drift) *)
 }
 
 let measure_study ?(instrument = false) ~jobs ?cache (s : study) : jstudy =
@@ -350,6 +354,7 @@ let measure_study ?(instrument = false) ~jobs ?cache (s : study) : jstudy =
         j_hits = hits;
         j_misses = misses;
         j_phases = phases;
+        j_diags = List.length t.Driver.diagnostics;
       }
   | exception _ ->
       {
@@ -361,6 +366,7 @@ let measure_study ?(instrument = false) ~jobs ?cache (s : study) : jstudy =
         j_hits = 0;
         j_misses = 0;
         j_phases = [];
+        j_diags = 0;
       }
 
 let run_to_json ~mode ~jobs ~cached (studies : jstudy list) :
@@ -385,6 +391,7 @@ let run_to_json ~mode ~jobs ~cached (studies : jstudy list) :
         ("side_manual", Int r.j_stats.Stats.side_manual);
         ("cache_hits", Int r.j_hits);
         ("cache_misses", Int r.j_misses);
+        ("diagnostics", Int r.j_diags);
       ]
       @
       match r.j_phases with

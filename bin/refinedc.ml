@@ -1,6 +1,7 @@
 (** The RefinedC command-line toolchain (Figure 2, end to end):
 
     - [refinedc check FILE]   — verify every specified function
+    - [refinedc lint FILE]    — run the static-analysis passes only
     - [refinedc run FILE FN]  — execute a function in the Caesium
                                 interpreter (integer arguments)
     - [refinedc cfg FILE]     — dump the elaborated control-flow graphs
@@ -140,8 +141,23 @@ let check_cmd =
              breakdown and the hottest functions.  Goes to stderr under \
              $(b,--json).")
   in
+  let no_lint =
+    Arg.(
+      value & flag
+      & info [ "no-lint" ]
+          ~doc:"Skip the static-analysis (lint) pre-pass before checking.")
+  in
+  let lint_werror =
+    Arg.(
+      value & flag
+      & info [ "lint-werror" ]
+          ~doc:
+            "Treat lint warnings as errors: any error- or warning-severity \
+             diagnostic makes the run exit non-zero even if every function \
+             verifies.")
+  in
   let run file deriv stats cert semtest fuel timeout max_depth fail_fast json
-      jobs cache default_only no_goal_simp trace profile =
+      jobs cache default_only no_goal_simp trace profile no_lint lint_werror =
     let budget = { Rc_util.Budget.fuel; timeout; max_depth } in
     let obs =
       {
@@ -153,7 +169,14 @@ let check_cmd =
     in
     let session =
       Api.create_session ~case_studies:true ~default_only ~no_goal_simp
-        ~budget ~obs ()
+        ~budget ~obs
+        ~lint:
+          {
+            Rc_refinedc.Session.l_enabled = not no_lint;
+            l_passes = None;
+            l_werror = lint_werror;
+          }
+        ()
     in
     let jobs = if jobs <= 0 then Rc_util.Pool.default_jobs () else jobs in
     let cache =
@@ -282,8 +305,9 @@ let check_cmd =
           (if json then Fmt.epr else Fmt.pr)
             "%a" (Rc_util.Profile.pp ?top:None)
             (Rc_util.Obs.mx t.Driver.obs);
-        List.iter (fun w -> Fmt.epr "warning: %s@." w)
-          t.elaborated.Rc_frontend.Elab.warnings;
+        List.iter
+          (fun d -> Fmt.epr "%a@." Rc_util.Diagnostic.pp d)
+          t.Driver.diagnostics;
         (* the exit-code contract: faults trump verification failures;
            cert/semtest regressions count as verification failures *)
         let code = Driver.exit_code t in
@@ -293,7 +317,126 @@ let check_cmd =
     Term.(
       const run $ file $ deriv $ stats $ cert $ semtest $ fuel $ timeout
       $ max_depth $ fail_fast $ json $ jobs $ cache $ default_only
-      $ no_goal_simp $ trace $ profile)
+      $ no_goal_simp $ trace $ profile $ no_lint $ lint_werror)
+
+let lint_cmd =
+  let file = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit machine-readable JSON (file, ok, passes, coverage, \
+             diagnostics) on stdout.")
+  in
+  let werror =
+    Arg.(
+      value & flag
+      & info [ "werror" ]
+          ~doc:"Exit non-zero on warnings, not only on errors.")
+  in
+  let pass =
+    Arg.(
+      value & opt_all string []
+      & info [ "pass" ] ~docv:"NAME"
+          ~doc:
+            "Run only the named pass (repeatable).  Available: init, \
+             deref, reach, spec, rules.  Default: all.")
+  in
+  let run file json werror pass =
+    let session = Api.create_session ~case_studies:true () in
+    let passes = if pass = [] then None else Some pass in
+    let fail msg key =
+      if json then
+        Fmt.pr "%s@."
+          (Rc_util.Jsonout.to_string
+             (Rc_util.Jsonout.Obj
+                [
+                  ("file", Rc_util.Jsonout.Str file);
+                  ("ok", Rc_util.Jsonout.Bool false);
+                  (key, Rc_util.Jsonout.Str msg);
+                ]))
+      else Fmt.epr "%s@." msg;
+      1
+    in
+    match
+      Driver.parse_and_elab ~session ~file
+        (In_channel.with_open_bin file In_channel.input_all)
+    with
+    | exception Sys_error msg -> fail msg "io_error"
+    | exception Driver.Frontend_error msg -> fail msg "frontend_error"
+    | elaborated -> (
+        match Driver.lint_elaborated ?passes ~session ~file elaborated with
+        | exception Rc_analysis.Lint.Unknown_pass p ->
+            fail
+              (Fmt.str "unknown lint pass '%s' (available: %s)" p
+                 (String.concat ", " Rc_analysis.Lint.pass_names))
+              "usage_error"
+        | diagnostics ->
+            let specified, total =
+              Rc_analysis.Lint.coverage
+                ~funcs:elaborated.Rc_frontend.Elab.program
+                         .Rc_caesium.Syntax.funcs
+                ~to_check:elaborated.Rc_frontend.Elab.to_check
+            in
+            let problems =
+              List.filter Rc_util.Diagnostic.is_problem diagnostics
+            in
+            let errors =
+              List.filter
+                (fun (d : Rc_util.Diagnostic.t) ->
+                  d.severity = Rc_util.Diagnostic.Error)
+                diagnostics
+            in
+            let ok =
+              if werror then problems = [] else errors = []
+            in
+            if json then
+              Fmt.pr "%s@."
+                (Rc_util.Jsonout.to_string
+                   (Rc_util.Jsonout.Obj
+                      [
+                        ("file", Rc_util.Jsonout.Str file);
+                        ("ok", Rc_util.Jsonout.Bool ok);
+                        ( "passes",
+                          Rc_util.Jsonout.List
+                            (List.map
+                               (fun p -> Rc_util.Jsonout.Str p)
+                               (match passes with
+                               | None -> Rc_analysis.Lint.pass_names
+                               | Some ps -> ps)) );
+                        ( "coverage",
+                          Rc_util.Jsonout.Obj
+                            [
+                              ("specified", Rc_util.Jsonout.Int specified);
+                              ("total", Rc_util.Jsonout.Int total);
+                            ] );
+                        ( "diagnostics",
+                          Rc_util.Jsonout.List
+                            (List.map Rc_util.Diagnostic.to_json diagnostics)
+                        );
+                      ]))
+            else begin
+              List.iter
+                (fun d -> Fmt.pr "%a@." Rc_util.Diagnostic.pp d)
+                diagnostics;
+              Fmt.pr "%s: %d diagnostic%s (%d problem%s), %d/%d functions \
+                      specified@."
+                file (List.length diagnostics)
+                (if List.length diagnostics = 1 then "" else "s")
+                (List.length problems)
+                (if List.length problems = 1 then "" else "s")
+                specified total
+            end;
+            if ok then 0 else 1)
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Run the static-analysis passes on FILE without verifying it: \
+          Caesium dataflow lints, specification lints and rule-set sanity \
+          checks.")
+    Term.(const run $ file $ json $ werror $ pass)
 
 let run_cmd =
   let file = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
@@ -354,4 +497,4 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group (Cmd.info "refinedc" ~version:"1.0" ~doc)
-          [ check_cmd; run_cmd; cfg_cmd ]))
+          [ check_cmd; lint_cmd; run_cmd; cfg_cmd ]))

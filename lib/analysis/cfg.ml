@@ -1,0 +1,89 @@
+(** Control-flow graphs over Caesium function bodies.
+
+    The Caesium representation ({!Rc_caesium.Syntax.func}) already *is*
+    a CFG — labelled blocks with explicit terminators — so this module
+    only computes the derived structure the analysis passes share:
+    successor/predecessor edges and reachability from the entry block.
+
+    Edges are {e constant-folded}: a [CondGoto] whose condition is an
+    integer literal (the elaboration of C's [while (1)]) contributes
+    only the taken edge, and a [Switch] on a literal only the matching
+    case.  Without this, every [while (1) { … return …; }] body would
+    make its (never-entered) exit block look reachable and trip the
+    missing-return lint on half the Figure-7 corpus. *)
+
+module Syntax = Rc_caesium.Syntax
+
+type t = {
+  func : Syntax.func;
+  succs : (string * string list) list;  (** per block, in block order *)
+  preds : (string * string list) list;
+  reachable : string list;
+      (** blocks reachable from the entry, in reverse postorder — the
+          canonical iteration order for forward dataflow *)
+}
+
+let dedup (xs : string list) : string list =
+  let rec go seen = function
+    | [] -> []
+    | x :: rest ->
+        if List.mem x seen then go seen rest else x :: go (x :: seen) rest
+  in
+  go [] xs
+
+(** Successor labels of a terminator, constant edges folded. *)
+let term_succs (term : Syntax.terminator) : string list =
+  match term with
+  | Syntax.Goto l -> [ l ]
+  | Syntax.CondGoto { cond = Syntax.IntConst (n, _); if_true; if_false; _ } ->
+      [ (if n <> 0 then if_true else if_false) ]
+  | Syntax.CondGoto { if_true; if_false; _ } -> dedup [ if_true; if_false ]
+  | Syntax.Switch { scrut = Syntax.IntConst (n, _); cases; default; _ } -> (
+      match List.assoc_opt n cases with Some l -> [ l ] | None -> [ default ])
+  | Syntax.Switch { cases; default; _ } ->
+      dedup (List.map snd cases @ [ default ])
+  | Syntax.Return _ | Syntax.Unreachable -> []
+
+let build (func : Syntax.func) : t =
+  let succs =
+    List.map (fun (l, b) -> (l, term_succs b.Syntax.term)) func.Syntax.blocks
+  in
+  let preds =
+    List.map
+      (fun (l, _) ->
+        ( l,
+          List.filter_map
+            (fun (l', ss) -> if List.mem l ss then Some l' else None)
+            succs ))
+      func.Syntax.blocks
+  in
+  (* depth-first walk from the entry; postorder reversed gives RPO *)
+  let visited = Hashtbl.create 16 in
+  let order = ref [] in
+  let rec dfs l =
+    if not (Hashtbl.mem visited l) then begin
+      Hashtbl.add visited l ();
+      (match List.assoc_opt l succs with
+      | Some ss -> List.iter dfs ss
+      | None -> ());
+      order := l :: !order
+    end
+  in
+  dfs func.Syntax.entry;
+  { func; succs; preds; reachable = !order }
+
+let succs_of (t : t) (label : string) : string list =
+  Option.value ~default:[] (List.assoc_opt label t.succs)
+
+let preds_of (t : t) (label : string) : string list =
+  Option.value ~default:[] (List.assoc_opt label t.preds)
+
+let block (t : t) (label : string) : Syntax.block option =
+  List.assoc_opt label t.func.Syntax.blocks
+
+let is_reachable (t : t) (label : string) : bool =
+  List.mem label t.reachable
+
+(** Blocks never reached from the entry, in declaration order. *)
+let unreachable_blocks (t : t) : (string * Syntax.block) list =
+  List.filter (fun (l, _) -> not (is_reachable t l)) t.func.Syntax.blocks

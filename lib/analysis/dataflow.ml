@@ -1,0 +1,85 @@
+(** A generic forward worklist dataflow framework over {!Cfg.t}.
+
+    Instantiate {!Forward} with a (finite-height) domain — a carrier
+    with equality and a meet — and supply a per-block transfer function;
+    {!Forward.run} computes the greatest fixpoint of block *input*
+    states by chaotic iteration.  Unvisited blocks are implicitly ⊤, so
+    the meet is only ever taken over edges actually propagated, which is
+    what a must-analysis (e.g. definite initialization) needs: a block's
+    input is the meet over its *reachable* predecessors. *)
+
+module Syntax = Rc_caesium.Syntax
+
+module type DOMAIN = sig
+  type state
+
+  val equal : state -> state -> bool
+
+  val meet : state -> state -> state
+  (** combine the states flowing into a join point; must be a lower
+      bound of its arguments for termination *)
+end
+
+module Forward (D : DOMAIN) = struct
+  (** [run cfg ~entry ~transfer] returns the fixpoint input state of
+      every reachable block.  [transfer label block st] is the state at
+      the end of [block] given state [st] at its start; it is re-run as
+      inputs shrink, so it must be a pure function of its arguments. *)
+  let run (cfg : Cfg.t) ~(entry : D.state)
+      ~(transfer : string -> Syntax.block -> D.state -> D.state) :
+      (string * D.state) list =
+    let inputs : (string, D.state) Hashtbl.t = Hashtbl.create 16 in
+    Hashtbl.replace inputs cfg.Cfg.func.Syntax.entry entry;
+    let queued = Hashtbl.create 16 in
+    let q = Queue.create () in
+    let push l =
+      if not (Hashtbl.mem queued l) then begin
+        Hashtbl.add queued l ();
+        Queue.add l q
+      end
+    in
+    push cfg.Cfg.func.Syntax.entry;
+    while not (Queue.is_empty q) do
+      let l = Queue.pop q in
+      Hashtbl.remove queued l;
+      match (Cfg.block cfg l, Hashtbl.find_opt inputs l) with
+      | Some b, Some input ->
+          let out = transfer l b input in
+          List.iter
+            (fun s ->
+              let changed =
+                match Hashtbl.find_opt inputs s with
+                | None ->
+                    Hashtbl.replace inputs s out;
+                    true
+                | Some old ->
+                    let m = D.meet old out in
+                    if D.equal m old then false
+                    else begin
+                      Hashtbl.replace inputs s m;
+                      true
+                    end
+              in
+              if changed then push s)
+            (Cfg.succs_of cfg l)
+      | _ -> ()
+    done;
+    (* report in reverse postorder for deterministic consumption *)
+    List.filter_map
+      (fun l ->
+        match Hashtbl.find_opt inputs l with
+        | Some st -> Some (l, st)
+        | None -> None)
+      cfg.Cfg.reachable
+end
+
+(** The workhorse instance: sets of variable names under intersection —
+    "definitely X on every path" facts. *)
+module StringSet = Set.Make (String)
+
+module Must_vars = Forward (struct
+  type state = StringSet.t
+
+  let equal = StringSet.equal
+  let meet = StringSet.inter
+end)

@@ -1,0 +1,230 @@
+(** Specification lints (codes RC-L010 … RC-L013) and the per-file
+    spec-coverage numbers.
+
+    - RC-L010 (warning): an [rc::parameters] binder that occurs nowhere
+      in the argument types, pre/postconditions, return type or loop
+      invariants — usually a typo or a leftover from a spec edit.
+    - RC-L011 (warning): duplicate annotation content — a binder name
+      bound twice, the same pre/postcondition resource stated twice, or
+      a loop-invariant variable listed twice.
+    - RC-L012 (warning): the pure part of the precondition is
+      unsatisfiable — discharged to [False] by the session's own solver
+      registry ({!Rc_pure.Registry.default_prove}), under the pure
+      facts the argument types imply.  Every proof of such a function
+      is vacuous and no call site can ever meet the spec.
+    - RC-L013 (error): the spec's argument count differs from the C
+      function's — the entry goal is unprovable by construction.
+
+    All four are sound: each reports a property of the specification
+    itself, independent of any execution. *)
+
+module Rtype = Rc_refinedc.Rtype
+module Diagnostic = Rc_util.Diagnostic
+open Rc_pure
+open Rc_pure.Term
+
+(* ---- free spec variables of a type -------------------------------- *)
+
+let union3 a b c = SS.union a (SS.union b c)
+
+let rec fv_rtype (ty : Rtype.rtype) : SS.t =
+  match ty with
+  | Rtype.TInt (_, n) | Rtype.TPtrV n | Rtype.TUninit n -> free_vars_term n
+  | Rtype.TBool (_, p) -> free_vars_prop p
+  | Rtype.TNull | Rtype.TAnyInt _ | Rtype.TManaged _ -> SS.empty
+  | Rtype.TOwn (l, t) ->
+      SS.union
+        (match l with Some l -> free_vars_term l | None -> SS.empty)
+        (fv_rtype t)
+  | Rtype.TOptional (p, t1, t2) ->
+      union3 (free_vars_prop p) (fv_rtype t1) (fv_rtype t2)
+  | Rtype.TStruct (_, ts) ->
+      List.fold_left (fun acc t -> SS.union acc (fv_rtype t)) SS.empty ts
+  | Rtype.TArrayInt (_, len, xs) ->
+      SS.union (free_vars_term len) (free_vars_term xs)
+  | Rtype.TWand (a, t) -> SS.union (fv_atom a) (fv_rtype t)
+  | Rtype.TExists (x, s, f) -> SS.remove x (fv_rtype (f (Var (x, s))))
+  | Rtype.TConstr (t, p) -> SS.union (fv_rtype t) (free_vars_prop p)
+  | Rtype.TPadded (t, n) -> SS.union (fv_rtype t) (free_vars_term n)
+  | Rtype.TNamed (_, args) ->
+      List.fold_left
+        (fun acc t -> SS.union acc (free_vars_term t))
+        SS.empty args
+  | Rtype.TFnPtr spec -> fv_spec spec
+  | Rtype.TAtomicBool (_, p, h1, h2) ->
+      union3 (free_vars_prop p) (fv_hres_list h1) (fv_hres_list h2)
+
+and fv_atom = function
+  | Rtype.LocTy (l, t) | Rtype.ValTy (l, t) ->
+      SS.union (free_vars_term l) (fv_rtype t)
+
+and fv_hres = function
+  | Rtype.HAtom a -> fv_atom a
+  | Rtype.HProp p -> free_vars_prop p
+
+and fv_hres_list hs =
+  List.fold_left (fun acc h -> SS.union acc (fv_hres h)) SS.empty hs
+
+(** Free variables of a whole spec, minus its own binders. *)
+and fv_spec (s : Rtype.fn_spec) : SS.t =
+  let inner =
+    List.fold_left
+      (fun acc t -> SS.union acc (fv_rtype t))
+      (union3 (fv_hres_list s.Rtype.fs_pre) (fv_hres_list s.Rtype.fs_post)
+         (fv_rtype s.Rtype.fs_ret))
+      s.Rtype.fs_args
+  in
+  let bound =
+    List.map fst s.Rtype.fs_params @ List.map fst s.Rtype.fs_exists
+  in
+  List.fold_left (fun acc x -> SS.remove x acc) inner bound
+
+let fv_inv (inv : Rc_refinedc.Lang.loop_inv) : SS.t =
+  let inner =
+    List.fold_left
+      (fun acc (_, t) -> SS.union acc (fv_rtype t))
+      (List.fold_left
+         (fun acc p -> SS.union acc (free_vars_prop p))
+         SS.empty inv.Rc_refinedc.Lang.li_constraints)
+      inv.Rc_refinedc.Lang.li_vars
+  in
+  List.fold_left
+    (fun acc (x, _) -> SS.remove x acc)
+    inner inv.Rc_refinedc.Lang.li_exists
+
+(* ---- duplicates --------------------------------------------------- *)
+
+let dup_names (xs : string list) : string list =
+  let rec go seen acc = function
+    | [] -> List.rev acc
+    | x :: rest ->
+        if List.mem x seen then
+          go seen (if List.mem x acc then acc else x :: acc) rest
+        else go (x :: seen) acc rest
+  in
+  go [] [] xs
+
+let dup_hres (hs : Rtype.hres list) : string list =
+  dup_names (List.map (fun h -> Fmt.str "%a" Rtype.pp_hres h) hs)
+
+(* ---- the pass ----------------------------------------------------- *)
+
+let run_fn (session : Rc_refinedc.Session.t)
+    (ftc : Rc_refinedc.Typecheck.fn_to_check) : Diagnostic.t list =
+  let spec = ftc.Rc_refinedc.Typecheck.spec in
+  let func = ftc.Rc_refinedc.Typecheck.func in
+  let invs = ftc.Rc_refinedc.Typecheck.invs in
+  let loc = Option.value ~default:Rc_util.Srcloc.dummy spec.Rtype.fs_loc in
+  let name = spec.Rtype.fs_name in
+  let diags = ref [] in
+  let emit ?severity ?hint code msg =
+    diags := Diagnostic.make ?severity ?hint ~code ~loc msg :: !diags
+  in
+  (* RC-L013: spec/code arity mismatch *)
+  if List.length spec.Rtype.fs_args <> List.length func.Rc_caesium.Syntax.args
+  then
+    emit ~severity:Diagnostic.Error "RC-L013"
+      (Printf.sprintf
+         "specification of %s lists %d argument type(s) but the function \
+          takes %d"
+         name
+         (List.length spec.Rtype.fs_args)
+         (List.length func.Rc_caesium.Syntax.args));
+  (* RC-L010: unused rc::parameters binders *)
+  let used =
+    List.fold_left
+      (fun acc (_, inv) -> SS.union acc (fv_inv inv))
+      (let bound_free =
+         (* free variables of the spec body *without* removing the
+            parameters themselves *)
+         List.fold_left
+           (fun acc t -> SS.union acc (fv_rtype t))
+           (union3
+              (fv_hres_list spec.Rtype.fs_pre)
+              (fv_hres_list spec.Rtype.fs_post)
+              (fv_rtype spec.Rtype.fs_ret))
+           spec.Rtype.fs_args
+       in
+       bound_free)
+      invs
+  in
+  List.iter
+    (fun (x, _) ->
+      if not (SS.mem x used) then
+        emit "RC-L010"
+          ~hint:
+            (Printf.sprintf
+               "remove '%s' from rc::parameters, or use it in the spec" x)
+          (Printf.sprintf
+             "spec parameter '%s' of %s is never used in the specification \
+              or its loop invariants"
+             x name))
+    spec.Rtype.fs_params;
+  (* RC-L011: duplicate annotation content *)
+  List.iter
+    (fun x ->
+      emit "RC-L011"
+        (Printf.sprintf "spec parameter '%s' of %s is bound twice" x name))
+    (dup_names (List.map fst spec.Rtype.fs_params));
+  List.iter
+    (fun x ->
+      emit "RC-L011"
+        (Printf.sprintf "rc::exists binder '%s' of %s is bound twice" x name))
+    (dup_names (List.map fst spec.Rtype.fs_exists));
+  List.iter
+    (fun h ->
+      emit "RC-L011"
+        (Printf.sprintf "precondition of %s states '%s' twice" name h))
+    (dup_hres spec.Rtype.fs_pre);
+  List.iter
+    (fun h ->
+      emit "RC-L011"
+        (Printf.sprintf "postcondition of %s states '%s' twice" name h))
+    (dup_hres spec.Rtype.fs_post);
+  List.iter
+    (fun (label, (inv : Rc_refinedc.Lang.loop_inv)) ->
+      List.iter
+        (fun x ->
+          emit "RC-L011"
+            (Printf.sprintf
+               "loop invariant at block %s of %s lists variable '%s' twice"
+               label name x))
+        (dup_names (List.map fst inv.Rc_refinedc.Lang.li_vars)))
+    invs;
+  (* RC-L012: unsatisfiable pure precondition *)
+  let pure_pre =
+    List.filter_map
+      (function Rtype.HProp p -> Some p | Rtype.HAtom _ -> None)
+      spec.Rtype.fs_pre
+  in
+  if pure_pre <> [] then begin
+    let reg = session.Rc_refinedc.Session.registry in
+    let hyps =
+      pure_pre
+      @ List.concat_map Rc_refinedc.Typecheck.pure_facts_of_arg
+          spec.Rtype.fs_args
+    in
+    let simped =
+      Simp.simp_prop ~hooks:reg.Registry.hooks (Term.conj pure_pre)
+    in
+    if simped = PFalse || Registry.default_prove reg ~hyps PFalse then
+      emit "RC-L012"
+        ~hint:"no call site can satisfy this spec; every proof is vacuous"
+        (Printf.sprintf
+           "the pure precondition of %s is unsatisfiable (it simplifies to \
+            False)"
+           name)
+  end;
+  List.rev !diags
+
+(** Per-file spec coverage: (functions with a spec, functions with a
+    body).  The per-function "has no specification" notes themselves are
+    emitted by the frontend (RC-L014) where the declaration locations
+    are known. *)
+let coverage ~(funcs : (string * Rc_caesium.Syntax.func) list)
+    ~(to_check : Rc_refinedc.Typecheck.fn_to_check list) : int * int =
+  (List.length to_check, List.length funcs)
+
+let run (session : Rc_refinedc.Session.t)
+    (to_check : Rc_refinedc.Typecheck.fn_to_check list) : Diagnostic.t list =
+  List.concat_map (run_fn session) to_check

@@ -40,6 +40,11 @@ type t = {
       (** the check's observability root: phase/function/rule spans
           (already merged in source order) and the metrics registry.
           {!Obs.off} when the session's config enables neither. *)
+  diagnostics : Rc_util.Diagnostic.t list;
+      (** frontend warnings and lint findings, sorted with
+          {!Rc_util.Diagnostic.sort} — deterministic across [-j N] *)
+  werror : bool;
+      (** session's [l_werror]: problem diagnostics fail the run *)
 }
 
 exception Frontend_error of string
@@ -151,6 +156,22 @@ let replay_result (data : string) :
     functions speculatively. *)
 let check_elaborated ?(fail_fast = false) ?(jobs = 1) ?cache ?(obs = Obs.off)
     ~(session : Session.t) ~file (elaborated : Elab.elaborated) : t =
+  (* lint pre-pass: a pure analysis of the elaborated unit, before any
+     proof search, so its findings arrive even when checking later
+     faults out.  It never changes verdicts — only the diagnostics list
+     (and, under [l_werror], the exit code). *)
+  let lint_diags =
+    if session.Session.lint.Session.l_enabled then
+      Obs.timed obs ~cat:"phase" ~key:"phase.lint" ~args:[ ("file", file) ]
+        "phase:lint" (fun () ->
+          Rc_analysis.Lint.run ~obs ~session ~file
+            ~funcs:elaborated.Elab.program.Syntax.funcs
+            ~to_check:elaborated.Elab.to_check ())
+    else []
+  in
+  let diagnostics =
+    Rc_util.Diagnostic.sort (elaborated.Elab.warnings @ lint_diags)
+  in
   let specs =
     List.map
       (fun (f : Rc_refinedc.Typecheck.fn_to_check) ->
@@ -300,7 +321,37 @@ let check_elaborated ?(fail_fast = false) ?(jobs = 1) ?cache ?(obs = Obs.off)
         let hits = List.length (List.filter (fun r -> r.cached) results) in
         Some (hits, List.length results - hits)
   in
-  { file; elaborated; results; skipped; jobs; cache_stats; obs }
+  {
+    file;
+    elaborated;
+    results;
+    skipped;
+    jobs;
+    cache_stats;
+    obs;
+    diagnostics;
+    werror = session.Session.lint.Session.l_werror;
+  }
+
+(** Lint (only) an already-elaborated file: frontend warnings plus every
+    registered pass, regardless of the session's [l_enabled] /
+    [l_passes] pre-pass selection — the [refinedc lint] verb's engine.
+    Pass [~passes] to restrict to named passes
+    (raises {!Rc_analysis.Lint.Unknown_pass} on a bad name). *)
+let lint_elaborated ?(obs = Obs.off) ?passes ~(session : Session.t) ~file
+    (elaborated : Elab.elaborated) : Rc_util.Diagnostic.t list =
+  let session =
+    Session.with_lint session
+      { Session.l_enabled = true; l_passes = passes; l_werror = false }
+  in
+  let lint_diags =
+    Obs.timed obs ~cat:"phase" ~key:"phase.lint" ~args:[ ("file", file) ]
+      "phase:lint" (fun () ->
+        Rc_analysis.Lint.run ~obs ~session ~file
+          ~funcs:elaborated.Elab.program.Syntax.funcs
+          ~to_check:elaborated.Elab.to_check ())
+  in
+  Rc_util.Diagnostic.sort (elaborated.Elab.warnings @ lint_diags)
 
 (** Resolve the session for one check invocation: the caller's session,
     optionally with a one-shot budget override (a CLI convenience — the
@@ -350,10 +401,15 @@ let faults (t : t) =
   List.filter (fun (_, e) -> Report.is_fault e) (errors t)
 
 (** The CLI exit-code contract: 0 = all functions verified,
-    1 = at least one verification failure, 2 = at least one checker
-    fault or budget exhaustion. *)
+    1 = at least one verification failure (or, under [--lint-werror], a
+    problem diagnostic), 2 = at least one checker fault or budget
+    exhaustion. *)
 let exit_code (t : t) =
-  if faults t <> [] then 2 else if all_ok t then 0 else 1
+  if faults t <> [] then 2
+  else if not (all_ok t) then 1
+  else if t.werror && List.exists Rc_util.Diagnostic.is_problem t.diagnostics
+  then 1
+  else 0
 
 (** Aggregate statistics over all verified functions (Figure 7 inputs). *)
 let stats (t : t) : Rc_lithium.Stats.t =
@@ -431,8 +487,15 @@ let to_json ?(timings = true) (t : t) : Rc_util.Jsonout.t =
               ] );
       ("functions", List (List.map (result_to_json ~timings) t.results));
       ("skipped", List (List.map (fun s -> Str s) t.skipped));
-      ( "warnings",
-        List (List.map (fun w -> Str w) t.elaborated.Elab.warnings) );
+      ( "diagnostics",
+        List (List.map Rc_util.Diagnostic.to_json t.diagnostics) );
+      ( "coverage",
+        let specified, total =
+          Rc_analysis.Lint.coverage
+            ~funcs:t.elaborated.Elab.program.Syntax.funcs
+            ~to_check:t.elaborated.Elab.to_check
+        in
+        Obj [ ("specified", Int specified); ("total", Int total) ] );
       (* Null unless the session enabled metrics; with [~timings:false]
          only observation counts survive, which are deterministic *)
       ("metrics", Rc_util.Metrics.to_json ~timings (Obs.mx t.obs));

@@ -1025,7 +1025,7 @@ type elaborated = {
   program : Syntax.program;
   to_check : Rc_refinedc.Typecheck.fn_to_check list;
   genv : genv;
-  warnings : string list;
+  warnings : Rc_util.Diagnostic.t list;
 }
 
 let elab_file ~(tenv : Rc_refinedc.Rtype.tenv) (file : Cabs.file) :
@@ -1060,8 +1060,12 @@ let elab_file ~(tenv : Rc_refinedc.Rtype.tenv) (file : Cabs.file) :
           | None ->
               if fd.fn_body <> None then
                 warnings :=
-                  Fmt.str "function %s has no specification and is not verified"
-                    fd.fn_name
+                  Rc_util.Diagnostic.make ~severity:Rc_util.Diagnostic.Note
+                    ~code:"RC-L014" ~loc:fd.fn_loc
+                    ~hint:"add rc:: annotations to bring it under verification"
+                    (Fmt.str
+                       "function %s has no specification and is not verified"
+                       fd.fn_name)
                   :: !warnings)
       | _ -> ())
     file.decls;

@@ -43,16 +43,17 @@ let rec count_calls (e : expr) : int =
   | _ -> 0
 
 (** [check_fun fd] returns warnings for one function body. *)
-let check_fun (fd : fun_decl) : string list =
+let check_fun (fd : fun_decl) : Rc_util.Diagnostic.t list =
   match fd.fn_body with
   | None -> []
   | Some body ->
       let warnings = ref [] in
-      let warn loc fmt =
+      let warn ?hint loc code fmt =
         Fmt.kstr
           (fun s ->
             warnings :=
-              Fmt.str "%a: in %s: %s" Rc_util.Srcloc.pp loc fd.fn_name s
+              Rc_util.Diagnostic.make ?hint ~code ~loc
+                (Fmt.str "in %s: %s" fd.fn_name s)
               :: !warnings)
           fmt
       in
@@ -111,13 +112,14 @@ let check_fun (fd : fun_decl) : string list =
         | SBreak | SContinue -> locals
       and check_expr locals loc ~escaping e =
         if count_calls e > 1 then
-          warn loc
+          warn loc "RC-W001"
+            ~hint:"split the statement so each call is sequenced explicitly"
             "expression performs several calls; evaluation order is fixed \
              left-to-right by Caesium (the ISO order would be unspecified)";
         if escaping then
           match expr_has_addr_of_local locals e with
           | Some x ->
-              warn loc
+              warn loc "RC-W002"
                 "the address of block-scoped variable %s may escape (all \
                  Caesium locals are function-scoped)"
                 x
@@ -126,7 +128,7 @@ let check_fun (fd : fun_decl) : string list =
       ignore (List.fold_left stmt [] body);
       List.rev !warnings
 
-let check_file (file : Cabs.file) : string list =
+let check_file (file : Cabs.file) : Rc_util.Diagnostic.t list =
   List.concat_map
     (function DFun fd -> check_fun fd | _ -> [])
     file.decls

@@ -178,6 +178,15 @@ let head_of_f = function
   | FCall _ -> "call"
   | FCas _ -> "cas"
 
+(** Every head {!head_of_f} can produce — the valid vocabulary for a
+    rule's [heads] declaration (a declared head outside this list can
+    never be dispatched to). *)
+let all_heads =
+  [
+    "subsume"; "stmt"; "goto"; "expr"; "read-loc"; "read"; "write-loc";
+    "write"; "binop"; "unop"; "cast"; "if"; "switch"; "call"; "cas";
+  ]
+
 let stmt_loc sigma label idx =
   List.assoc_opt (label, idx) sigma.fc_meta.fm_stmt_locs
 

@@ -15,6 +15,21 @@
       run concurrently in one process with independent verdicts/stats;
     - a long-lived server can hold many sessions without cross-talk. *)
 
+(** Static-analysis (lint) configuration.  Plain data — pass *names*
+    rather than pass closures — so the session layer stays independent
+    of the analysis library; names are resolved by the lint registry in
+    the driver.  The configuration is part of the session because it is
+    part of the verdict surface: [l_werror] changes exit codes, and the
+    whole record is fingerprinted into the verification-cache key. *)
+type lint_cfg = {
+  l_enabled : bool;  (** run the lint pre-pass during [check] *)
+  l_passes : string list option;  (** [None] = every registered pass *)
+  l_werror : bool;  (** problem diagnostics fail the run *)
+}
+
+let default_lint : lint_cfg =
+  { l_enabled = true; l_passes = None; l_werror = false }
+
 type t = {
   index : Lang.E.index;  (** compiled typing rules (head-indexed) *)
   extra_rules : Lang.E.rule list;
@@ -31,6 +46,7 @@ type t = {
           only the immutable *configuration*; the mutable trace buffers
           and metric registries are minted per check by the driver, one
           per function, so shared-session [-j N] runs stay race-free. *)
+  lint : lint_cfg;  (** pre-verification static analysis configuration *)
 }
 
 (** Build a session.  Omitted components default to the standard
@@ -39,7 +55,8 @@ type t = {
     session's own (initially empty) type environment. *)
 let create ?(rules = []) ?(registry = Rc_pure.Registry.default)
     ?(gs = Rc_lithium.Evar.default_simp_cfg) ?tenv
-    ?(budget = Rc_util.Budget.unlimited) ?(obs = Rc_util.Obs.cfg_off) () : t =
+    ?(budget = Rc_util.Budget.unlimited) ?(obs = Rc_util.Obs.cfg_off)
+    ?(lint = default_lint) () : t =
   {
     index = Rules.make ~extra:rules ();
     extra_rules = rules;
@@ -48,6 +65,7 @@ let create ?(rules = []) ?(registry = Rc_pure.Registry.default)
     tenv = (match tenv with Some te -> te | None -> Rtype.create_tenv ());
     budget;
     obs;
+    lint;
   }
 
 let fault (s : t) : Rc_util.Faultsim.t option = s.registry.Rc_pure.Registry.fault
@@ -61,3 +79,7 @@ let with_budget (s : t) budget : t = { s with budget }
 (** Replace the observability configuration (a CLI convenience, like
     {!with_budget}). *)
 let with_obs (s : t) obs : t = { s with obs }
+
+(** Replace the lint configuration (a CLI convenience, like
+    {!with_budget}). *)
+let with_lint (s : t) lint : t = { s with lint }

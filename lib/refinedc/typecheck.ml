@@ -187,6 +187,17 @@ let type_defs_signature (te : Rtype.tenv) : string =
     global state — is what lets two concurrently-live sessions with
     different configs share one cache directory without ever sharing a
     verdict. *)
+(* The lint configuration's contribution to the cache key.  Linting
+   never changes a verdict, but [l_werror] changes exit codes and the
+   enabled-pass set changes the diagnostics a cached run would have to
+   replay, so a cache hit must not cross lint configurations. *)
+let lint_signature (l : Session.lint_cfg) : string =
+  Fmt.str "lint:%b|passes:%s|werror:%b" l.Session.l_enabled
+    (match l.Session.l_passes with
+    | None -> "*"
+    | Some ps -> String.concat "," ps)
+    l.Session.l_werror
+
 let toolchain_fingerprint (session : Session.t) : string =
   Rc_util.Vercache.fingerprint
     [
@@ -198,6 +209,7 @@ let toolchain_fingerprint (session : Session.t) : string =
       "goal_simp:"
       ^ String.concat ","
           (Rc_lithium.Evar.simp_cfg_names session.Session.gs);
+      lint_signature session.Session.lint;
     ]
 
 let budget_signature (b : Rc_util.Budget.limits) : string =

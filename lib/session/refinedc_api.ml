@@ -42,10 +42,12 @@ type session = Session.t
     - [fault]: a fault-injection campaign (testing only);
     - [obs]: observability switches — [{c_trace; c_metrics}] enables
       proof-search tracing and/or the metrics registry for every check
-      run under the session (see README "Observability"). *)
+      run under the session (see README "Observability");
+    - [lint]: static-analysis configuration (enabled passes, werror) —
+      see README "Static analysis". *)
 let create_session ?(case_studies = false) ?(rules = []) ?(solvers = [])
     ?(lemmas = []) ?hooks ?(default_only = false) ?(no_goal_simp = false)
-    ?(type_defs = []) ?budget ?fault ?obs () : session =
+    ?(type_defs = []) ?budget ?fault ?obs ?lint () : session =
   let hooks =
     match hooks with
     | Some h -> h
@@ -65,7 +67,7 @@ let create_session ?(case_studies = false) ?(rules = []) ?(solvers = [])
   let tenv = Rc_refinedc.Rtype.create_tenv () in
   if case_studies then Rc_studies.Studies.install_types tenv;
   List.iter (Rc_refinedc.Rtype.register_type_def tenv) type_defs;
-  Session.create ~rules ~registry ~gs ~tenv ?budget ?obs ()
+  Session.create ~rules ~registry ~gs ~tenv ?budget ?obs ?lint ()
 
 (** Check every specified function of a C file under [session]. *)
 let check_file ?session ?fail_fast ?jobs ?cache (path : string) : Driver.t =

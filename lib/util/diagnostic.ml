@@ -1,0 +1,88 @@
+(** Structured diagnostics, shared by every layer that talks to the user
+    about the *source* rather than about a proof: the frontend's
+    over-approximating warnings, the pre-verification static-analysis
+    passes ([refinedc lint]) and the driver's reports.
+
+    A diagnostic is data, not a formatted string: severity, a stable
+    code (["RC-L001"]-style, documented in the README's code table), the
+    {!Srcloc.t} it is anchored to, the message and an optional fix-it
+    hint.  Producers emit in whatever order their traversal yields;
+    consumers {!sort} by (file, location, code), which is what makes
+    [--json] reports byte-identical across worker counts. *)
+
+type severity =
+  | Error  (** the program or its annotations are definitely broken *)
+  | Warning  (** sound over-approximation: may be fine, deserves a look *)
+  | Note  (** neutral information, e.g. spec-coverage reporting *)
+  | Hint  (** heuristic observation; false positives are expected *)
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Note -> 2 | Hint -> 3
+
+let severity_label = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Note -> "note"
+  | Hint -> "hint"
+
+type t = {
+  severity : severity;
+  code : string;  (** stable machine-readable code, e.g. ["RC-L001"] *)
+  loc : Srcloc.t;
+  message : string;
+  hint : string option;  (** an actionable suggestion, when there is one *)
+}
+
+let make ?(severity = Warning) ?hint ~code ~loc message =
+  { severity; code; loc; message; hint }
+
+(** Errors and warnings are {e problems} — what [--lint-werror] promotes
+    to a failing exit code; notes and hints never fail a run. *)
+let is_problem d =
+  match d.severity with Error | Warning -> true | Note | Hint -> false
+
+(** Total order: (file, location, code), then message, then severity —
+    every field, so equal diagnostics are truly identical and the sort
+    is a canonical form independent of emission order. *)
+let compare a b =
+  let c = Srcloc.compare a.loc b.loc in
+  if c <> 0 then c
+  else
+    let c = String.compare a.code b.code in
+    if c <> 0 then c
+    else
+      let c = String.compare a.message b.message in
+      if c <> 0 then c
+      else Int.compare (severity_rank a.severity) (severity_rank b.severity)
+
+let sort (ds : t list) : t list = List.sort_uniq compare ds
+
+let is_sorted (ds : t list) : bool =
+  let rec go = function
+    | a :: (b :: _ as rest) -> compare a b <= 0 && go rest
+    | _ -> true
+  in
+  go ds
+
+let pp ppf d =
+  Fmt.pf ppf "%a: %s: %s [%s]" Srcloc.pp d.loc (severity_label d.severity)
+    d.message d.code;
+  match d.hint with
+  | Some h -> Fmt.pf ppf "@.  hint: %s" h
+  | None -> ()
+
+let to_string d = Fmt.str "%a" pp d
+
+let to_json (d : t) : Jsonout.t =
+  let open Jsonout in
+  Obj
+    [
+      ("severity", Str (severity_label d.severity));
+      ("code", Str d.code);
+      ("file", Str d.loc.Srcloc.file);
+      ("line", Int d.loc.Srcloc.start_p.Srcloc.line);
+      ("col", Int d.loc.Srcloc.start_p.Srcloc.col);
+      ("end_line", Int d.loc.Srcloc.end_p.Srcloc.line);
+      ("end_col", Int d.loc.Srcloc.end_p.Srcloc.col);
+      ("message", Str d.message);
+      ("hint", match d.hint with Some h -> Str h | None -> Null);
+    ]

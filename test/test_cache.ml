@@ -181,6 +181,47 @@ let cache_tests =
         expect "different fuel misses" ~hits:0 ~misses:2
           (check ~budget:(b 50_000) ~cache src);
         expect "no budget misses" ~hits:0 ~misses:2 (check ~cache src));
+    Alcotest.test_case "lint config keys the cache" `Quick (fun () ->
+        (* the lint configuration is part of the toolchain fingerprint:
+           a verdict cached under one lint config (which decided that
+           run's diagnostics and, under werror, its exit code) must not
+           be replayed for a session linting differently *)
+        let cache = Rc_util.Vercache.create (fresh_cache_dir ()) in
+        expect "cold, lint on (default)" ~hits:0 ~misses:2 (check ~cache src);
+        expect "same lint config hits" ~hits:2 ~misses:0 (check ~cache src);
+        let no_lint =
+          Api.create_session
+            ~lint:
+              {
+                Rc_refinedc.Session.l_enabled = false;
+                l_passes = None;
+                l_werror = false;
+              }
+            ()
+        in
+        expect "lint-disabled session misses" ~hits:0 ~misses:2
+          (check ~session:no_lint ~cache src);
+        let werror =
+          Api.create_session
+            ~lint:{ Rc_refinedc.Session.default_lint with l_werror = true }
+            ()
+        in
+        expect "werror session misses" ~hits:0 ~misses:2
+          (check ~session:werror ~cache src);
+        let subset =
+          Api.create_session
+            ~lint:
+              {
+                Rc_refinedc.Session.default_lint with
+                l_passes = Some [ "init"; "spec" ];
+              }
+            ()
+        in
+        expect "pass-subset session misses" ~hits:0 ~misses:2
+          (check ~session:subset ~cache src);
+        (* the default config's entries are still intact *)
+        expect "default lint config still hits" ~hits:2 ~misses:0
+          (check ~cache src));
     Alcotest.test_case "corrupt entry degrades to miss" `Quick (fun () ->
         let dir = fresh_cache_dir () in
         let cache = Rc_util.Vercache.create dir in

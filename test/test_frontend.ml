@@ -184,9 +184,13 @@ let more_tests =
         Alcotest.(check bool)
           "has escape warning" true
           (List.exists
-             (fun w ->
+             (fun (d : Rc_util.Diagnostic.t) ->
+               d.code = "RC-W002"
+               &&
                try
-                 ignore (Str.search_forward (Str.regexp_string "escape") w 0);
+                 ignore
+                   (Str.search_forward (Str.regexp_string "escape") d.message
+                      0);
                  true
                with Not_found -> false)
              t.elaborated.Rc_frontend.Elab.warnings));

@@ -66,7 +66,18 @@ let determinism_tests =
           let json t =
             Rc_util.Jsonout.to_string (Driver.to_json ~timings:false t)
           in
-          Alcotest.(check string) "JSON output" (json seq) (json par)))
+          Alcotest.(check string) "JSON output" (json seq) (json par);
+          (* the lint pre-pass runs on by default; its diagnostics are
+             part of the JSON above, so they must be deterministically
+             ordered — the driver guarantees (file, loc, code) order *)
+          Alcotest.(check bool)
+            "diagnostics sorted" true
+            (Rc_util.Diagnostic.is_sorted seq.Driver.diagnostics);
+          Alcotest.(check bool)
+            "diagnostics identical across -j" true
+            (List.equal
+               (fun a b -> Rc_util.Diagnostic.compare a b = 0)
+               seq.Driver.diagnostics par.Driver.diagnostics)))
     corpus
 
 let pool_tests =
