@@ -14,16 +14,20 @@
    Run with:  dune exec bench/main.exe -- [--time] [--ablations] [--all]
 
    [--json [--json-out PATH] [-j N] [--cache DIR]] instead measures the
-   full corpus end-to-end under five configurations — sequential,
-   parallel (-j), cold cache, warm cache, and a metrics-instrumented
-   sequential pass that contributes the per-phase timing breakdown —
-   and writes a machine-readable perf record (default BENCH_pr4.json;
-   schema documented in README.md) so the repo's performance trajectory
-   accumulates as data, one record per PR. *)
+   full corpus end-to-end under six configurations — sequential,
+   parallel (-j, transient per-run pool), persistent supervised pool
+   (one pool for the whole corpus, warmed before timing — the
+   configuration the CLI actually runs), cold cache, warm cache, and a
+   metrics-instrumented sequential pass that contributes the per-phase
+   timing breakdown — and writes a machine-readable perf record
+   (default BENCH_pr6.json; schema documented in README.md) so the
+   repo's performance trajectory accumulates as data, one record per
+   PR. *)
 
 module Driver = Rc_frontend.Driver
 module Stats = Rc_lithium.Stats
 module Api = Rc_session.Refinedc_api
+module Supervisor = Rc_util.Supervisor
 
 (* Each checked file gets a fresh case-study session: elaboration adds
    the file's C-declared named types to the session's own type
@@ -323,13 +327,21 @@ type jstudy = {
           notes/hints drift) *)
 }
 
-let measure_study ?(instrument = false) ~jobs ?cache (s : study) : jstudy =
+let measure_study ?(instrument = false) ?pool ~jobs ?cache (s : study) :
+    jstudy =
   let path = Filename.concat case_dir s.file in
   let session =
     if instrument then
       Rc_refinedc.Session.with_obs (studies_session ())
         { Rc_util.Obs.c_trace = false; c_metrics = true }
     else studies_session ()
+  in
+  let session =
+    match pool with
+    | None -> session
+    | Some _ ->
+        Rc_refinedc.Session.with_exec session
+          { Rc_refinedc.Session.default_exec with x_pool = pool }
   in
   let watch = Rc_util.Budget.stopwatch () in
   match Driver.check_file ~session ~jobs ?cache path with
@@ -419,14 +431,32 @@ let run_to_json ~mode ~jobs ~cached (studies : jstudy list) :
 
 let json_record ~jobs ~cache_dir ~out () =
   let open Rc_util.Jsonout in
-  let pass ?instrument ~mode ~jobs ?cache () =
-    Fmt.pr "  measuring: %-12s (-j %d%s)@." mode jobs
-      (if cache <> None then ", cached" else "");
+  (* each pass is measured [reps] times and the fastest corpus sweep is
+     recorded — the usual minimum-of-N defence against scheduler noise,
+     which matters here because entire sweeps take tens of ms *)
+  (* one corpus sweep under a configuration *)
+  let sweep ?instrument ?pool ~mode ~jobs ?cache () =
     run_to_json ~mode ~jobs ~cached:(cache <> None)
-      (List.map (measure_study ?instrument ~jobs ?cache) corpus)
+      (List.map (measure_study ?instrument ?pool ~jobs ?cache) corpus)
   in
-  let seq_wall, seq = pass ~mode:"sequential" ~jobs:1 () in
-  let par_wall, par = pass ~mode:"parallel" ~jobs () in
+  (* the configuration the CLI actually runs since the supervisor
+     landed: [-j] clamped to the core count, and when that still leaves
+     parallelism, one pool of worker domains spawned before any
+     checking and reused for every file.  On a single-core host the
+     clamp degrades all the way to inline sequential execution — the
+     fastest thing that host can do (the transient-pool "parallel" mode
+     records what the per-run path costs after the same clamp). *)
+  let eff_jobs = min jobs (Supervisor.recommended_jobs ()) in
+  let with_pool k =
+    if eff_jobs > 1 && Supervisor.parallelism_available then begin
+      let pool = Supervisor.create ~jobs:eff_jobs () in
+      Fun.protect
+        ~finally:(fun () -> Supervisor.shutdown pool)
+        (fun () -> k (Some pool))
+    end
+    else k None
+  in
+  with_pool @@ fun pool ->
   (* make the cold pass genuinely cold even if the directory survives a
      previous bench run *)
   if Sys.file_exists cache_dir && Sys.is_directory cache_dir then
@@ -436,21 +466,94 @@ let json_record ~jobs ~cache_dir ~out () =
           try Sys.remove (Filename.concat cache_dir f) with Sys_error _ -> ())
       (Sys.readdir cache_dir);
   let cache = Rc_util.Vercache.create cache_dir in
-  let _, cold = pass ~mode:"cold_cache" ~jobs ~cache () in
-  let warm_wall, warm = pass ~mode:"warm_cache" ~jobs ~cache () in
-  (* a fifth, metrics-instrumented sequential pass: contributes the
-     per-phase (parse/elab/check) timing breakdown.  Kept separate so
-     the four comparison passes above measure the uninstrumented
-     pipeline, comparable with pre-observability records. *)
-  let instr_wall, instr = pass ~instrument:true ~mode:"instrumented" ~jobs:1 () in
+  (* cold is single-shot by nature: a second sweep would be warm *)
+  Fmt.pr "  measuring: cold_cache      (-j %d, single shot)@." jobs;
+  let _, cold = sweep ~mode:"cold_cache" ~jobs ~cache () in
+  (* The five comparable configurations are measured in interleaved
+     rounds — every round sweeps each mode once — and each mode keeps
+     its fastest round.  Interleaving means a noisy window (another
+     process, a slow timer tick) lands on every mode instead of
+     falsifying whichever block pass it happened to overlap; the
+     per-mode minimum then converges on the true floor.  The
+     metrics-instrumented sequential mode contributes the per-phase
+     (parse/elab/check) timing breakdown while the uninstrumented modes
+     stay comparable with pre-observability records.  Round 1 doubles
+     as warm-up (pool dispatch paths, cache pages); the minimum
+     discards it unless it was already the fastest. *)
+  let reps = 9 in
+  let modes =
+    [
+      ("sequential", fun () -> sweep ~mode:"sequential" ~jobs:1 ());
+      ( "persistent_pool",
+        fun () -> sweep ?pool ~mode:"persistent_pool" ~jobs:eff_jobs () );
+      ("parallel", fun () -> sweep ~mode:"parallel" ~jobs ());
+      ("warm_cache", fun () -> sweep ~mode:"warm_cache" ~jobs ~cache ());
+      ( "instrumented",
+        fun () -> sweep ~instrument:true ~mode:"instrumented" ~jobs:1 () );
+    ]
+  in
+  Fmt.pr "  measuring: %d modes x %d interleaved rounds@." (List.length modes)
+    reps;
+  let best : (string, float * Rc_util.Jsonout.t) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let rounds : (string * float) list array = Array.make reps [] in
+  for round = 0 to reps - 1 do
+    (* odd rounds sweep the modes in reverse so that no mode always
+       occupies the same position relative to its comparison partner —
+       any slow drift across a round then biases both directions
+       equally *)
+    let order = if round mod 2 = 0 then modes else List.rev modes in
+    rounds.(round) <-
+      List.map
+        (fun (key, f) ->
+          (* equalized heap at every sweep so mode order cannot leak in *)
+          Gc.compact ();
+          let r = f () in
+          (match Hashtbl.find_opt best key with
+          | Some (w, _) when w <= fst r -> ()
+          | _ -> Hashtbl.replace best key r);
+          (key, fst r))
+        order
+  done;
+  let get key = Hashtbl.find best key in
+  let seq_wall, seq = get "sequential" in
+  let par_wall, par = get "parallel" in
+  let pp_wall, pp = get "persistent_pool" in
+  let warm_wall, warm = get "warm_cache" in
+  let _instr_wall, instr = get "instrumented" in
+  (* Speedups are the median across rounds of the *within-round* ratio:
+     both sweeps of a pair ran back-to-back in the same round, so
+     round-level noise (a busy neighbour, a timer hiccup) hits
+     numerator and denominator together and largely cancels, and the
+     median is immune to the occasional sweep that lands in a slow
+     window — where a ratio of two independently-taken minima (or of
+     sums, which inherit every upward outlier) would not be. *)
+  let ratio_vs_sequential key =
+    let ratios =
+      Array.to_list rounds
+      |> List.filter_map (fun round ->
+             match
+               (List.assoc_opt "sequential" round, List.assoc_opt key round)
+             with
+             | Some s, Some m when m > 0. -> Some (s /. m)
+             | _ -> None)
+      |> List.sort compare
+    in
+    match ratios with
+    | [] -> 0.
+    | rs -> List.nth rs (List.length rs / 2)
+  in
   let record =
     Obj
       [
-        ("schema", Str "refinedc-bench/2");
+        ("schema", Str "refinedc-bench/3");
         ("ocaml", Str Sys.ocaml_version);
         ("word_size", Int Sys.word_size);
         ("parallelism_available", Bool Rc_util.Pool.parallelism_available);
         ("jobs", Int jobs);
+        ("jobs_effective", Int eff_jobs);
+        ("cores", Int (Supervisor.recommended_jobs ()));
         ("corpus_studies", Int (List.length corpus));
         ( "stdlib",
           Obj
@@ -461,18 +564,19 @@ let json_record ~jobs ~cache_dir ~out () =
                ( "named_types",
                  Int (Hashtbl.length s.Rc_refinedc.Session.tenv) );
              ]) );
-        ("runs", List [ seq; par; cold; warm; instr ]);
+        ("runs", List [ seq; par; pp; cold; warm; instr ]);
         ( "speedup",
           Obj
             [
-              ( "parallel_vs_sequential",
-                Float (if par_wall > 0. then seq_wall /. par_wall else 0.) );
+              ("parallel_vs_sequential", Float (ratio_vs_sequential "parallel"));
+              ( "persistent_pool_vs_sequential",
+                Float (ratio_vs_sequential "persistent_pool") );
               ( "warm_cache_vs_sequential",
-                Float (if warm_wall > 0. then seq_wall /. warm_wall else 0.)
-              );
+                Float (ratio_vs_sequential "warm_cache") );
               ( "instrumented_vs_sequential",
-                Float (if seq_wall > 0. then instr_wall /. seq_wall else 0.)
-              );
+                Float
+                  (let r = ratio_vs_sequential "instrumented" in
+                   if r > 0. then 1. /. r else 0.) );
             ] );
       ]
   in
@@ -481,8 +585,8 @@ let json_record ~jobs ~cache_dir ~out () =
       Out_channel.output_string oc "\n");
   Fmt.pr
     "@.Perf record written to %s@.  sequential %.3fs, parallel (-j %d) \
-     %.3fs, warm cache %.3fs@."
-    out seq_wall jobs par_wall warm_wall;
+     %.3fs, persistent pool %.3fs, warm cache %.3fs@."
+    out seq_wall jobs par_wall pp_wall warm_wall;
   List.for_all
     (fun j ->
       match j with
@@ -491,7 +595,7 @@ let json_record ~jobs ~cache_dir ~out () =
           | Some (Bool b) -> b
           | _ -> false)
       | _ -> false)
-    [ seq; par; cold; warm; instr ]
+    [ seq; par; pp; cold; warm; instr ]
 
 (* ------------------------------------------------------------------ *)
 (* Entry point                                                         *)
@@ -515,7 +619,7 @@ let () =
       opt_value args "--cache"
         (Filename.concat (Filename.get_temp_dir_name ()) "refinedc-bench-cache")
     in
-    let out = opt_value args "--json-out" "BENCH_pr4.json" in
+    let out = opt_value args "--json-out" "BENCH_pr6.json" in
     Fmt.pr "Benchmarking the corpus (perf record -> %s)@." out;
     if not (json_record ~jobs ~cache_dir ~out ()) then begin
       Fmt.pr "@.SOME CASE STUDIES FAILED@.";

@@ -7,15 +7,30 @@
     - [refinedc cfg FILE]     — dump the elaborated control-flow graphs
 
     [check] honours per-function resource budgets ([--fuel], [--timeout],
-    [--max-depth]) and never aborts the whole file on a single function:
-    checker crashes and budget exhaustion become structured per-function
-    diagnostics.  Exit codes are stable: 0 = everything verified, 1 = at
-    least one verification failure, 2 = at least one checker fault or
-    exhausted budget. *)
+    [--max-depth]) and a whole-run deadline ([--deadline]), and never
+    aborts the whole file on a single function: checker crashes and
+    budget exhaustion become structured per-function diagnostics, and
+    worker crashes are absorbed by the supervised pool ([-j N] spawns
+    the pool once per invocation).  Exit codes are stable: 0 =
+    everything verified, 1 = at least one verification failure, 2 = at
+    least one checker fault or exhausted budget (including a hit
+    [--deadline]), 130 = interrupted — SIGINT/SIGTERM stop the run
+    cooperatively and still flush a valid partial report. *)
 
 open Cmdliner
 module Driver = Rc_frontend.Driver
 module Api = Rc_session.Refinedc_api
+
+(* Cooperative interruption: the handlers only set a flag (in [bin],
+   not [lib] — sessions stay global-free); the driver polls it between
+   functions and flushes a partial report, so Ctrl-C loses nothing that
+   already completed. *)
+let install_interrupt_handlers (flag : bool Atomic.t) : unit =
+  let h = Sys.Signal_handle (fun _ -> Atomic.set flag true) in
+  List.iter
+    (fun s ->
+      try Sys.set_signal s h with Invalid_argument _ | Sys_error _ -> ())
+    [ Sys.sigint; Sys.sigterm ]
 
 let check_cmd =
   let file = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
@@ -156,8 +171,63 @@ let check_cmd =
              diagnostic makes the run exit non-zero even if every function \
              verifies.")
   in
+  let deadline =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"SECS"
+          ~doc:
+            "Whole-run wall-clock budget in seconds (monotonic clock).  \
+             When it expires no further function is started: completed \
+             verdicts are reported, the rest are listed as skipped, and \
+             the run exits 2 (budget exhaustion at the run level).")
+  in
+  let retries =
+    Arg.(
+      value & opt int 0
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Re-attempt a function up to $(docv) times when its check \
+             faulted transiently (an injected chaos fault or other \
+             environment-level failure).  Deterministic verification \
+             failures are never retried.  Default 0.")
+  in
+  let fault_seed =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fault-seed" ] ~docv:"SEED"
+          ~doc:
+            "Arm a deterministic fault-injection campaign with $(docv) \
+             (chaos testing).  Instrumented sites across the pipeline — \
+             solver calls, pool dispatch, cache read/write, file I/O — \
+             then fail with probability $(b,--fault-rate).")
+  in
+  let fault_rate =
+    Arg.(
+      value & opt float 0.01
+      & info [ "fault-rate" ] ~docv:"P"
+          ~doc:"Injection probability per instrumented site (default 0.01).")
+  in
+  let fault_sites =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "fault-sites" ] ~docv:"S1,S2"
+          ~doc:
+            "Restrict injection to the named comma-separated sites (e.g. \
+             $(b,pool.dispatch,cache.read,cache.write,io.read,solver)); \
+             default: every site.")
+  in
+  let fault_max =
+    Arg.(
+      value & opt int (-1)
+      & info [ "fault-max" ] ~docv:"N"
+          ~doc:"Stop injecting after $(docv) faults; negative = no cap.")
+  in
   let run file deriv stats cert semtest fuel timeout max_depth fail_fast json
-      jobs cache default_only no_goal_simp trace profile no_lint lint_werror =
+      jobs cache default_only no_goal_simp trace profile no_lint lint_werror
+      deadline retries fault_seed fault_rate fault_sites fault_max =
     let budget = { Rc_util.Budget.fuel; timeout; max_depth } in
     let obs =
       {
@@ -166,6 +236,32 @@ let check_cmd =
            observability was requested; --profile needs only metrics *)
         c_metrics = profile || trace <> None || json;
       }
+    in
+    let fault =
+      match fault_seed with
+      | None -> None
+      | Some seed ->
+          let sites =
+            Option.map (String.split_on_char ',') fault_sites
+          in
+          Some
+            (Rc_util.Faultsim.create ~rate:fault_rate ?sites
+               ~max_faults:fault_max seed)
+    in
+    let interrupted = Atomic.make false in
+    install_interrupt_handlers interrupted;
+    let jobs = if jobs <= 0 then Rc_util.Pool.default_jobs () else jobs in
+    (* the persistent supervised pool: spawned once per invocation, owned
+       here, threaded to the driver through the session.  [-j] is
+       clamped to the core count — oversubscribed worker domains only
+       add scheduling and GC-sync overhead, and on a single-core host
+       the fastest configuration is plain sequential execution (no pool
+       at all). *)
+    let jobs = min jobs (Rc_util.Supervisor.recommended_jobs ()) in
+    let pool =
+      if jobs > 1 && Rc_util.Supervisor.parallelism_available then
+        Some (Rc_util.Supervisor.create ~jobs ())
+      else None
     in
     let session =
       Api.create_session ~case_studies:true ~default_only ~no_goal_simp
@@ -176,9 +272,10 @@ let check_cmd =
             l_passes = None;
             l_werror = lint_werror;
           }
+        ?fault ?deadline ~retries ?pool
+        ~cancel:(fun () -> Atomic.get interrupted)
         ()
     in
-    let jobs = if jobs <= 0 then Rc_util.Pool.default_jobs () else jobs in
     let cache =
       match cache with
       | Some _ when cert ->
@@ -186,9 +283,22 @@ let check_cmd =
             "warning: --cache is ignored under --cert (certificates must \
              be re-derived)@.";
           None
-      | Some dir -> Some (Rc_util.Vercache.create dir)
+      | Some dir -> (
+          (* an uncreatable cache directory degrades to an uncached run,
+             never an abort *)
+          match Rc_util.Vercache.create dir with
+          | vc -> Some vc
+          | exception Sys_error msg ->
+              Fmt.epr
+                "warning: cannot open verification cache %s (%s); running \
+                 uncached@."
+                dir msg;
+              None)
       | None -> None
     in
+    Fun.protect ~finally:(fun () ->
+        Option.iter Rc_util.Supervisor.shutdown pool)
+    @@ fun () ->
     match Driver.check_file ~session ~fail_fast ~jobs ?cache file with
     | exception Sys_error msg ->
         if json then
@@ -282,8 +392,14 @@ let check_cmd =
                   (Rc_lithium.Report.to_string e);
                 incr failed)
           t.results;
+        let skip_why =
+          match t.Driver.stop with
+          | Driver.Deadline -> "deadline"
+          | Driver.Interrupted -> "interrupted"
+          | Driver.Completed -> "fail-fast"
+        in
         List.iter
-          (fun fn -> say "%s: skipped (fail-fast)@." fn)
+          (fun fn -> say "%s: skipped (%s)@." fn skip_why)
           t.Driver.skipped;
         (match t.Driver.cache_stats with
         | Some (hits, misses) ->
@@ -292,6 +408,12 @@ let check_cmd =
               misses
               (if misses = 1 then "" else "es")
         | None -> ());
+        (match cache with
+        | Some vc when Rc_util.Vercache.disabled vc ->
+            Fmt.epr
+              "warning: verification cache disabled after repeated write \
+               failures; this run continued uncached@."
+        | _ -> ());
         if json then
           Fmt.pr "%s@." (Rc_util.Jsonout.to_string (Driver.to_json t));
         (match trace with
@@ -317,7 +439,8 @@ let check_cmd =
     Term.(
       const run $ file $ deriv $ stats $ cert $ semtest $ fuel $ timeout
       $ max_depth $ fail_fast $ json $ jobs $ cache $ default_only
-      $ no_goal_simp $ trace $ profile $ no_lint $ lint_werror)
+      $ no_goal_simp $ trace $ profile $ no_lint $ lint_werror $ deadline
+      $ retries $ fault_seed $ fault_rate $ fault_sites $ fault_max)
 
 let lint_cmd =
   let file = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
@@ -344,6 +467,28 @@ let lint_cmd =
              deref, reach, spec, rules.  Default: all.")
   in
   let run file json werror pass =
+    (* lint has no per-function dispatch loop to poll a flag from, so an
+       interrupt raises [Sys.Break] and is caught below — still a valid
+       (empty) JSON report and exit 130, never a half-written line *)
+    Sys.catch_break true;
+    (try
+       Sys.set_signal Sys.sigterm
+         (Sys.Signal_handle (fun _ -> raise Sys.Break))
+     with Invalid_argument _ | Sys_error _ -> ());
+    let interrupted_report () =
+      if json then
+        Fmt.pr "%s@."
+          (Rc_util.Jsonout.to_string
+             (Rc_util.Jsonout.Obj
+                [
+                  ("file", Rc_util.Jsonout.Str file);
+                  ("ok", Rc_util.Jsonout.Bool false);
+                  ("interrupted", Rc_util.Jsonout.Bool true);
+                  ("diagnostics", Rc_util.Jsonout.List []);
+                ]))
+      else Fmt.epr "interrupted@.";
+      130
+    in
     let session = Api.create_session ~case_studies:true () in
     let passes = if pass = [] then None else Some pass in
     let fail msg key =
@@ -365,8 +510,10 @@ let lint_cmd =
     with
     | exception Sys_error msg -> fail msg "io_error"
     | exception Driver.Frontend_error msg -> fail msg "frontend_error"
+    | exception Sys.Break -> interrupted_report ()
     | elaborated -> (
         match Driver.lint_elaborated ?passes ~session ~file elaborated with
+        | exception Sys.Break -> interrupted_report ()
         | exception Rc_analysis.Lint.Unknown_pass p ->
             fail
               (Fmt.str "unknown lint pass '%s' (available: %s)" p

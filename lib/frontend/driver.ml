@@ -11,15 +11,24 @@
 
     Function checks are independent of each other (the frontend fixes
     every spec before checking starts), so the driver can fan
-    {!check_fn_isolated} out across a {!Rc_util.Pool} ([~jobs]) and/or
+    {!check_fn_isolated} out across a supervised worker pool ([~jobs],
+    or a persistent {!Rc_util.Supervisor} carried by the session) and/or
     replay verdicts from a {!Rc_util.Vercache} ([~cache]); both are
     observationally identical to the sequential, uncached run — same
-    verdicts, same aggregate statistics, same exit code. *)
+    verdicts, same aggregate statistics, same exit code.
+
+    The dispatch layer adds the robustness contract: a worker crash is
+    confined to its task (supervision re-queues and respawns), transient
+    faults can be re-attempted ([x_retries]), a whole-run deadline or a
+    cooperative cancellation ([x_deadline]/[x_cancel]) stops *starting*
+    functions and reports the rest as skipped — a partial report with
+    every completed verdict intact, never a lost run. *)
 
 module Syntax = Rc_caesium.Syntax
 module Report = Rc_lithium.Report
 module Session = Rc_refinedc.Session
 module Obs = Rc_util.Obs
+module Supervisor = Rc_util.Supervisor
 
 type check_result = {
   name : string;
@@ -28,11 +37,23 @@ type check_result = {
   cached : bool;  (** verdict replayed from the verification cache *)
 }
 
+(** How the run ended: normally, stopped by the whole-run deadline, or
+    stopped by cooperative cancellation (SIGINT/SIGTERM).  Either early
+    stop yields a *partial* report: completed verdicts are kept and the
+    unvisited functions are listed in {!field-skipped}. *)
+type stop = Completed | Deadline | Interrupted
+
 type t = {
   file : string;
   elaborated : Elab.elaborated;
   results : check_result list;
-  skipped : string list;  (** functions not attempted under [~fail_fast] *)
+  skipped : string list;
+      (** functions not attempted: under [~fail_fast], after the
+          whole-run deadline, or after an interrupt *)
+  stop : stop;  (** why checking stopped, if before the end *)
+  exec_stats : Supervisor.run_stats;
+      (** supervision counters (retries, crashes, respawns, …); all
+          zero on a fault-free, deadline-free run *)
   jobs : int;  (** worker count the check actually used *)
   cache_stats : (int * int) option;
       (** (hits, misses) when a verification cache was supplied *)
@@ -82,17 +103,24 @@ let parse_and_elab ?(obs = Obs.off) ~(session : Session.t) ~file
 (* ------------------------------------------------------------------ *)
 
 (** Run one function's check, converting any escaping exception into a
-    structured checker-fault diagnostic.  Asynchronous exceptions are
-    re-raised: masking [Out_of_memory] or Ctrl-C would be dishonest. *)
+    structured checker-fault diagnostic — including [Out_of_memory] and
+    [Stack_overflow], which abort this function's proof but say nothing
+    about its siblings.  [Sys.Break] alone is re-raised: masking Ctrl-C
+    would be dishonest (the CLI interrupts cooperatively via the
+    session's [x_cancel] instead).  An injected fault is classified
+    {!Report.Transient_fault} — re-running the same check may succeed,
+    which is exactly what the supervisor's retry policy keys on. *)
 let check_fn_isolated ?(obs = Obs.off) ~session ~specs
     (f : Rc_refinedc.Typecheck.fn_to_check) :
     (Rc_refinedc.Lang.E.result, Report.t) result =
   match Rc_refinedc.Typecheck.check_fn ~obs ~session ~specs f with
   | outcome -> outcome
   | exception Report.Error e -> Error e
-  | exception ((Out_of_memory | Sys.Break) as e) -> raise e
+  | exception Sys.Break -> raise Sys.Break
   | exception Rc_util.Faultsim.Injected site ->
-      Error (Report.make (Report.Checker_fault ("injected fault at " ^ site)))
+      Error (Report.make (Report.Transient_fault ("injected fault at " ^ site)))
+  | exception Out_of_memory ->
+      Error (Report.make (Report.Checker_fault "Out_of_memory in checker"))
   | exception Stack_overflow ->
       Error (Report.make (Report.Checker_fault "Stack_overflow in checker"))
   | exception e ->
@@ -131,15 +159,23 @@ let replay_result (data : string) :
 
 (** Verify every specified function of an already-elaborated file.
 
-    [~jobs] fans the per-function checks across a domain pool; results
-    come back in source order regardless — the workers share the
-    session read-only, so parallelism is race-free by construction.
-    When the session carries a fault campaign the check is forced
-    sequential: injection draws from the campaign's seeded stream, whose
-    replay order must match the arming site's expectation.
+    Dispatch goes through {!Rc_util.Supervisor}: the session's
+    persistent pool if it carries one ([x_pool] — spawned once per CLI
+    invocation or bench session, the fix for the old spawn-per-run
+    slowdown), else a transient pool for [~jobs > 1], else the
+    sequential engine.  Results come back in source order regardless —
+    the workers share the session read-only, so parallelism is
+    race-free by construction.  A fault campaign on the session no
+    longer forces sequential checking: campaigns are domain-safe, and a
+    chaos run *wants* the parallel dispatch path exercised (sequential
+    replay determinism still holds at [jobs = 1], where hits draw from
+    the seeded stream in hit order).
 
     [~cache] replays previously-proved verdicts (see the cache-key
-    definition in {!Rc_refinedc.Typecheck.cache_key}).
+    definition in {!Rc_refinedc.Typecheck.cache_key}); the campaign's
+    ["cache.read"]/["cache.write"] sites are armed on every cache
+    access, and an injection there degrades to a miss or a skipped
+    store — never a wrong verdict, never an abort.
 
     With [~fail_fast] the functions after the first failure are skipped
     (and listed in {!field-skipped}); under [jobs > 1] they may already
@@ -181,7 +217,12 @@ let check_elaborated ?(fail_fast = false) ?(jobs = 1) ?cache ?(obs = Obs.off)
   let fn_name (f : Rc_refinedc.Typecheck.fn_to_check) =
     f.spec.Rc_refinedc.Rtype.fs_name
   in
-  let jobs = if Session.fault session <> None then 1 else max 1 jobs in
+  let jobs = max 1 jobs in
+  let campaign = Session.fault session in
+  let exec = session.Session.exec in
+  (* absolute whole-run deadline, measured from here; the supervisor
+     measures its own from dispatch, a few microseconds later *)
+  let deadline_watch = Rc_util.Budget.stopwatch () in
   let specs_digest =
     match cache with
     | None -> ""
@@ -219,10 +260,29 @@ let check_elaborated ?(fail_fast = false) ?(jobs = 1) ?cache ?(obs = Obs.off)
       Obs.span_begin co ~cat:"check" ~args:[ ("fn", name) ] ("fn:" ^ name)
     end;
     let fresh vc_key =
+      (* cap this function's budget timeout by the time left on the
+         whole-run deadline, so an in-flight check cannot overshoot the
+         run by more than the cap.  The cache key is computed from the
+         *original* session (above): only [Ok] verdicts are cached and
+         verdicts are budget-monotone, so the capped session can only
+         turn would-be verdicts into (uncached) exhaustions. *)
+      let session =
+        match exec.Session.x_deadline with
+        | None -> session
+        | Some d ->
+            let remaining = Float.max 0.01 (d -. deadline_watch ()) in
+            let b = session.Session.budget in
+            let timeout =
+              match b.Rc_util.Budget.timeout with
+              | Some t -> Some (Float.min t remaining)
+              | None -> Some remaining
+            in
+            Session.with_budget session { b with Rc_util.Budget.timeout }
+      in
       let outcome = check_fn_isolated ~obs:co ~session ~specs f in
       (match (vc_key, outcome) with
       | Some (vc, key), Ok res ->
-          Rc_util.Vercache.store vc ~key
+          Rc_util.Vercache.store ?fault:campaign vc ~key
             (cache_payload res.Rc_refinedc.Lang.E.stats)
       | _ -> ());
       { name; outcome; time_s = watch (); cached = false }
@@ -240,7 +300,7 @@ let check_elaborated ?(fail_fast = false) ?(jobs = 1) ?cache ?(obs = Obs.off)
           let key =
             Rc_refinedc.Typecheck.cache_key ~session ~specs_digest f
           in
-          match Rc_util.Vercache.find_detailed vc ~key with
+          match Rc_util.Vercache.find_detailed ?fault:campaign vc ~key with
           | Rc_util.Vercache.Absent ->
               cache_event "miss";
               fresh (Some (vc, key))
@@ -282,38 +342,148 @@ let check_elaborated ?(fail_fast = false) ?(jobs = 1) ?cache ?(obs = Obs.off)
     r
   in
   let indexed = List.mapi (fun i f -> (i, f)) elaborated.to_check in
-  let results, skipped =
-    if jobs <= 1 then
-      (* sequential: preserve the historical early-exit behaviour *)
+  (* ---- dispatch through the supervisor ---- *)
+  let cancel =
+    match exec.Session.x_cancel with Some c -> c | None -> fun () -> false
+  in
+  let retries = max 0 exec.Session.x_retries in
+  let should_retry (r : check_result) =
+    match r.outcome with Error e -> Report.is_transient e | Ok _ -> false
+  in
+  let is_transient_exn = function
+    | Rc_util.Faultsim.Injected _ -> true
+    | _ -> false
+  in
+  let pool, transient =
+    match exec.Session.x_pool with
+    | Some p -> (Some p, false)
+    | None ->
+        (* clamp to what the hardware can actually run concurrently:
+           workers beyond the core count only add scheduling and GC-sync
+           overhead (on a single-core host, [-j 4] used to run ~3x
+           *slower* than [-j 1]).  A session-supplied pool is exempt —
+           its owner sized it deliberately. *)
+        let jobs = min jobs (Supervisor.recommended_jobs ()) in
+        if jobs > 1 && Supervisor.parallelism_available then
+          (* no session pool: spin up a per-call one (the historical
+             behaviour; callers that care about spawn cost carry a
+             persistent pool in the session instead) *)
+          (Some (Supervisor.create ~jobs ()), true)
+        else (None, false)
+  in
+  let jobs = match pool with Some p -> Supervisor.jobs p | None -> 1 in
+  (* sequential fail-fast preserves the historical early exit — nothing
+     after the first failure is even attempted — by feeding the failure
+     flag to the supervisor's cancel poll; the stop is re-classified as
+     an ordinary fail-fast skip below.  Parallel fail-fast keeps the
+     historical speculative-check-then-truncate semantics. *)
+  let ff_hit = ref false in
+  let check_one_seq (i, f) =
+    let r = check_one (i, f) in
+    if fail_fast && Result.is_error r.outcome then ff_hit := true;
+    r
+  in
+  let outcomes, rstats =
+    match pool with
+    | Some p ->
+        let r =
+          Supervisor.run p ?deadline:exec.Session.x_deadline ~cancel ~retries
+            ~should_retry ~is_transient:is_transient_exn ?fault:campaign
+            check_one indexed
+        in
+        if transient then Supervisor.shutdown p;
+        r
+    | None ->
+        Supervisor.run_seq ?deadline:exec.Session.x_deadline
+          ~cancel:(fun () -> cancel () || !ff_hit)
+          ~retries ~should_retry ~is_transient:is_transient_exn check_one_seq
+          indexed
+  in
+  (* ---- assemble results, faults and skips in source order ---- *)
+  let kept_rev, not_run_rev =
+    List.fold_left2
+      (fun (ks, ns) (i, f) outcome ->
+        match outcome with
+        | Supervisor.Done r -> ((i, r) :: ks, ns)
+        | Supervisor.Fault fl ->
+            (* the task (or its worker) died [fl.f_attempts] times; the
+               verdict slot survives as a structured checker fault *)
+            let r =
+              {
+                name = fn_name f;
+                outcome =
+                  Error
+                    (Report.make
+                       (Report.Checker_fault
+                          (Fmt.str "worker fault after %d attempt(s): %s"
+                             fl.Supervisor.f_attempts fl.Supervisor.f_exn)));
+                time_s = 0.;
+                cached = false;
+              }
+            in
+            ((i, r) :: ks, ns)
+        | Supervisor.Not_run _ -> (ks, (i, fn_name f) :: ns))
+      ([], []) indexed outcomes
+  in
+  let kept = List.rev kept_rev in
+  let kept, cut =
+    if not fail_fast then (kept, [])
+    else
+      (* truncate after the first failure, exactly as sequential
+         fail-fast would have *)
       let rec go acc = function
         | [] -> (List.rev acc, [])
-        | (i, f) :: rest ->
-            let r = check_one (i, f) in
-            if fail_fast && Result.is_error r.outcome then
-              (List.rev (r :: acc), List.map (fun (_, f) -> fn_name f) rest)
-            else go (r :: acc) rest
+        | (i, r) :: rest ->
+            if Result.is_error r.outcome then
+              (List.rev ((i, r) :: acc), List.map (fun (i, r) -> (i, r.name)) rest)
+            else go ((i, r) :: acc) rest
       in
-      go [] indexed
-    else
-      let all = Rc_util.Pool.map ~jobs check_one indexed in
-      if not fail_fast then (all, [])
-      else
-        (* truncate after the first failure, exactly as sequential
-           fail-fast would have *)
-        let rec cut acc = function
-          | [] -> (List.rev acc, [])
-          | r :: rest ->
-              if Result.is_error r.outcome then
-                (List.rev (r :: acc), List.map (fun r -> r.name) rest)
-              else cut (r :: acc) rest
-        in
-        cut [] all
+      go [] kept
   in
-  (* merge the kept results' observability — a source-order prefix, so
-     speculatively-checked functions discarded by fail-fast contribute
-     nothing, exactly as in the sequential run *)
-  if Obs.on obs then
-    List.iteri (fun i _ -> Obs.absorb obs children.(i)) results;
+  let results = List.map snd kept in
+  let skipped =
+    List.map snd
+      (List.sort
+         (fun (a, _) (b, _) -> Int.compare a b)
+         (cut @ List.rev not_run_rev))
+  in
+  let interrupted = cancel () in
+  let stop =
+    match rstats.Supervisor.rs_stop with
+    | Some Supervisor.Deadline -> Deadline
+    | Some Supervisor.Cancelled ->
+        (* distinguish a real interrupt from the fail-fast early exit
+           routed through the same cancel poll *)
+        if interrupted then Interrupted else Completed
+    | None -> if interrupted then Interrupted else Completed
+  in
+  let exec_stats =
+    if stop = Completed && rstats.Supervisor.rs_stop <> None then
+      (* the early stop was fail-fast: an ordinary skip, not a
+         supervision event — keep the fault-free report all-zeros *)
+      { rstats with Supervisor.rs_stop = None; rs_not_run = 0 }
+    else rstats
+  in
+  let diagnostics =
+    if exec_stats.Supervisor.rs_degraded then
+      (* a Note, deliberately not a problem: degradation must never
+         change an exit code (even under --lint-werror), only explain
+         where the wall-clock went *)
+      Rc_util.Diagnostic.sort
+        (Rc_util.Diagnostic.make ~severity:Rc_util.Diagnostic.Note
+           ~code:"RC-X001"
+           ~loc:
+             (Rc_util.Srcloc.make ~file ~start_line:1 ~start_col:0
+                ~end_line:1 ~end_col:0)
+           "worker pool degraded to sequential execution (respawn \
+            allowance exhausted); verdicts are unaffected"
+        :: diagnostics)
+    else diagnostics
+  in
+  (* merge the kept results' observability by source index — skips and
+     fail-fast discards contribute nothing, exactly as in a sequential
+     run that never reached them *)
+  if Obs.on obs then List.iter (fun (i, _) -> Obs.absorb obs children.(i)) kept;
   let cache_stats =
     match cache with
     | None -> None
@@ -326,6 +496,8 @@ let check_elaborated ?(fail_fast = false) ?(jobs = 1) ?cache ?(obs = Obs.off)
     elaborated;
     results;
     skipped;
+    stop;
+    exec_stats;
     jobs;
     cache_stats;
     obs;
@@ -374,8 +546,23 @@ let check_source ?session ?budget ?fail_fast ?jobs ?cache ~file
       check_elaborated ?fail_fast ?jobs ?cache ~obs ~session ~file elaborated)
 
 let check_file ?session ?budget ?fail_fast ?jobs ?cache (path : string) : t =
-  let src = In_channel.with_open_bin path In_channel.input_all in
-  check_source ?session ?budget ?fail_fast ?jobs ?cache ~file:path src
+  let session = resolve_session ?session ?budget () in
+  (* the file-I/O boundary: both a real read failure and an injected
+     ["io.read"] fault become a structured frontend error — the one
+     failure that is necessarily file-fatal, but still a clean report
+     rather than an escaped exception *)
+  let src =
+    match
+      Rc_util.Faultsim.point (Session.fault session) "io.read";
+      In_channel.with_open_bin path In_channel.input_all
+    with
+    | src -> src
+    | exception Rc_util.Faultsim.Injected _ ->
+        raise (Frontend_error (Fmt.str "injected I/O fault reading %s" path))
+    | exception Sys_error msg ->
+        raise (Frontend_error ("cannot read " ^ path ^ ": " ^ msg))
+  in
+  check_source ~session ?fail_fast ?jobs ?cache ~file:path src
 
 (* ------------------------------------------------------------------ *)
 (* Outcome queries                                                     *)
@@ -403,9 +590,13 @@ let faults (t : t) =
 (** The CLI exit-code contract: 0 = all functions verified,
     1 = at least one verification failure (or, under [--lint-werror], a
     problem diagnostic), 2 = at least one checker fault or budget
-    exhaustion. *)
+    exhaustion — including the whole-run [--deadline], which is budget
+    exhaustion at the run level — and 130 = interrupted (the
+    conventional 128+SIGINT), whatever the partial report holds. *)
 let exit_code (t : t) =
-  if faults t <> [] then 2
+  if t.stop = Interrupted then 130
+  else if faults t <> [] then 2
+  else if t.stop = Deadline then 2
   else if not (all_ok t) then 1
   else if t.werror && List.exists Rc_util.Diagnostic.is_problem t.diagnostics
   then 1
@@ -487,6 +678,26 @@ let to_json ?(timings = true) (t : t) : Rc_util.Jsonout.t =
               ] );
       ("functions", List (List.map (result_to_json ~timings) t.results));
       ("skipped", List (List.map (fun s -> Str s) t.skipped));
+      ( "stop",
+        Str
+          (match t.stop with
+          | Completed -> "completed"
+          | Deadline -> "deadline"
+          | Interrupted -> "interrupted") );
+      ("interrupted", Bool (t.stop = Interrupted));
+      (* supervision counters: all zero on a fault-free, deadline-free
+         run, which keeps -j1/-j4 reports byte-identical *)
+      ( "exec",
+        let e = t.exec_stats in
+        Obj
+          [
+            ("retries", Int e.Supervisor.rs_retries);
+            ("task_faults", Int e.Supervisor.rs_task_faults);
+            ("worker_crashes", Int e.Supervisor.rs_crashes);
+            ("respawns", Int e.Supervisor.rs_respawns);
+            ("not_run", Int e.Supervisor.rs_not_run);
+            ("degraded", Bool e.Supervisor.rs_degraded);
+          ] );
       ( "diagnostics",
         List (List.map Rc_util.Diagnostic.to_json t.diagnostics) );
       ( "coverage",

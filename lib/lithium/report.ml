@@ -21,6 +21,10 @@ type kind =
   | Checker_fault of string
       (** an exception escaped the checker itself — a checker bug, not a
           verification failure *)
+  | Transient_fault of string
+      (** an environment-level failure (an injected chaos fault, a
+          flaky external resource) that may well succeed if re-run; the
+          supervisor's retry policy re-attempts exactly these *)
 
 type t = {
   loc : Rc_util.Srcloc.t option;
@@ -35,12 +39,17 @@ exception Error of t
     as opposed to failures of verification; the CLI maps them to a
     distinct exit code. *)
 let is_fault_kind = function
-  | Resource_exhausted _ | Checker_fault _ -> true
+  | Resource_exhausted _ | Checker_fault _ | Transient_fault _ -> true
   | Unsolved_side_condition _ | Evar_stuck _ | No_rule_applies _
   | No_ownership _ | Frontend _ ->
       false
 
 let is_fault (e : t) = is_fault_kind e.kind
+
+(** Transient faults are the retryable subset of faults: re-running the
+    same check may succeed (deterministic failures never qualify). *)
+let is_transient_kind = function Transient_fault _ -> true | _ -> false
+let is_transient (e : t) = is_transient_kind e.kind
 
 let make ?loc ?(trail = []) ?(context = []) kind : t =
   { loc; trail; kind; context }
@@ -70,6 +79,10 @@ let pp_kind ppf = function
   | Checker_fault msg ->
       Fmt.pf ppf "Checker fault (this is a bug in the checker, not a@,\
                   property of the program):@,  %a" Fmt.string msg
+  | Transient_fault msg ->
+      Fmt.pf ppf "Transient fault (an environment failure, not a@,\
+                  property of the program — retrying may succeed):@,  %a"
+        Fmt.string msg
 
 let pp ppf (e : t) =
   Fmt.pf ppf "@[<v>";
@@ -95,6 +108,7 @@ let kind_label = function
   | Frontend _ -> "frontend_error"
   | Resource_exhausted { exh; _ } -> Rc_util.Budget.exhaustion_label exh
   | Checker_fault _ -> "checker_fault"
+  | Transient_fault _ -> "transient_fault"
 
 (** Machine-readable form for the CLI's [--json] mode. *)
 let to_json (e : t) : Rc_util.Jsonout.t =

@@ -30,6 +30,31 @@ type lint_cfg = {
 let default_lint : lint_cfg =
   { l_enabled = true; l_passes = None; l_werror = false }
 
+(** Execution-robustness configuration: how a run is *scheduled*, not
+    what it *means*.  Deliberately not fingerprinted into the
+    verification-cache key: only [Ok] verdicts are cached, and verdicts
+    are monotone in execution generosity (a deadline or retry policy can
+    only turn results into [skipped]/[Checker_fault], which are never
+    cached), so two runs differing only in [exec] can safely share
+    entries. *)
+type exec_cfg = {
+  x_deadline : float option;
+      (** whole-run wall-clock budget (seconds, monotonic clock); hit it
+          and remaining functions are reported [skipped] *)
+  x_retries : int;  (** re-attempts per function for transient faults *)
+  x_pool : Rc_util.Supervisor.t option;
+      (** the persistent supervised worker pool; [None] makes the driver
+          run sequentially (or spin up a transient pool for [-j N>1]).
+          The handle is owned by whoever created the session — the pool
+          outlives individual [check] calls, which is the whole point. *)
+  x_cancel : (unit -> bool) option;
+      (** cooperative cancellation, polled between functions (the CLI
+          wires its SIGINT/SIGTERM flag here) *)
+}
+
+let default_exec : exec_cfg =
+  { x_deadline = None; x_retries = 0; x_pool = None; x_cancel = None }
+
 type t = {
   index : Lang.E.index;  (** compiled typing rules (head-indexed) *)
   extra_rules : Lang.E.rule list;
@@ -47,6 +72,7 @@ type t = {
           and metric registries are minted per check by the driver, one
           per function, so shared-session [-j N] runs stay race-free. *)
   lint : lint_cfg;  (** pre-verification static analysis configuration *)
+  exec : exec_cfg;  (** execution robustness: pool, deadline, retries *)
 }
 
 (** Build a session.  Omitted components default to the standard
@@ -56,7 +82,7 @@ type t = {
 let create ?(rules = []) ?(registry = Rc_pure.Registry.default)
     ?(gs = Rc_lithium.Evar.default_simp_cfg) ?tenv
     ?(budget = Rc_util.Budget.unlimited) ?(obs = Rc_util.Obs.cfg_off)
-    ?(lint = default_lint) () : t =
+    ?(lint = default_lint) ?(exec = default_exec) () : t =
   {
     index = Rules.make ~extra:rules ();
     extra_rules = rules;
@@ -66,6 +92,7 @@ let create ?(rules = []) ?(registry = Rc_pure.Registry.default)
     budget;
     obs;
     lint;
+    exec;
   }
 
 let fault (s : t) : Rc_util.Faultsim.t option = s.registry.Rc_pure.Registry.fault
@@ -83,3 +110,7 @@ let with_obs (s : t) obs : t = { s with obs }
 (** Replace the lint configuration (a CLI convenience, like
     {!with_budget}). *)
 let with_lint (s : t) lint : t = { s with lint }
+
+(** Replace the execution-robustness configuration (a CLI convenience,
+    like {!with_budget}). *)
+let with_exec (s : t) exec : t = { s with exec }

@@ -44,10 +44,16 @@ type session = Session.t
       proof-search tracing and/or the metrics registry for every check
       run under the session (see README "Observability");
     - [lint]: static-analysis configuration (enabled passes, werror) —
-      see README "Static analysis". *)
+      see README "Static analysis";
+    - [exec]: execution-robustness configuration — the persistent
+      supervised worker pool, whole-run deadline, transient-fault retry
+      allowance and cooperative-cancellation poll (see README
+      "Robustness & degradation").  [deadline]/[retries]/[pool]/[cancel]
+      are conveniences that build it field-wise. *)
 let create_session ?(case_studies = false) ?(rules = []) ?(solvers = [])
     ?(lemmas = []) ?hooks ?(default_only = false) ?(no_goal_simp = false)
-    ?(type_defs = []) ?budget ?fault ?obs ?lint () : session =
+    ?(type_defs = []) ?budget ?fault ?obs ?lint ?exec ?deadline ?retries ?pool
+    ?cancel () : session =
   let hooks =
     match hooks with
     | Some h -> h
@@ -67,7 +73,18 @@ let create_session ?(case_studies = false) ?(rules = []) ?(solvers = [])
   let tenv = Rc_refinedc.Rtype.create_tenv () in
   if case_studies then Rc_studies.Studies.install_types tenv;
   List.iter (Rc_refinedc.Rtype.register_type_def tenv) type_defs;
-  Session.create ~rules ~registry ~gs ~tenv ?budget ?obs ?lint ()
+  let exec =
+    let base = Option.value exec ~default:Session.default_exec in
+    {
+      Session.x_deadline =
+        (match deadline with Some _ -> deadline | None -> base.Session.x_deadline);
+      x_retries = Option.value retries ~default:base.Session.x_retries;
+      x_pool = (match pool with Some _ -> pool | None -> base.Session.x_pool);
+      x_cancel =
+        (match cancel with Some _ -> cancel | None -> base.Session.x_cancel);
+    }
+  in
+  Session.create ~rules ~registry ~gs ~tenv ?budget ?obs ?lint ~exec ()
 
 (** Check every specified function of a C file under [session]. *)
 let check_file ?session ?fail_fast ?jobs ?cache (path : string) : Driver.t =

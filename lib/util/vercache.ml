@@ -14,6 +14,15 @@
     inside the entry and compared on read, so a digest collision degrades
     to a miss, never to a wrong verdict.
 
+    Degradation contract: the cache is an accelerator, never an
+    authority.  Every failure mode — unreadable entry, unwritable
+    directory, an injected ["cache.read"]/["cache.write"] fault from a
+    chaos campaign — degrades to a miss or a skipped store.  After
+    {!max_write_failures} consecutive store failures the cache disables
+    its writes entirely (the directory is evidently unwritable; there is
+    no point paying the syscalls), which a driver can surface as a
+    diagnostic via {!disabled}.
+
     The hit/miss counters are only maintained by {!find}/{!store} calls
     made from a single domain; parallel drivers count hits from their own
     per-item results instead. *)
@@ -23,10 +32,15 @@ type t = {
   mutable hits : int;
   mutable misses : int;
   mutable stores : int;
+  mutable write_failures : int;  (** consecutive; reset on success *)
+  mutable disabled : bool;
 }
 
 (** Bump when the entry layout (or the meaning of payloads) changes. *)
 let format_version = "rc-vercache-1"
+
+(** Consecutive store failures after which writes shut off. *)
+let max_write_failures = 8
 
 let rec mkdir_p dir =
   if not (Sys.file_exists dir) then begin
@@ -35,9 +49,38 @@ let rec mkdir_p dir =
     with Sys_error _ when Sys.file_exists dir -> ()
   end
 
+(* A [store] interrupted between temp-file creation and rename (crash,
+   injected fault) leaves an orphan [*.tmp]; collect them on open.  A
+   concurrent writer's live temp file could in principle be swept too —
+   that store then fails and is skipped, which the degradation contract
+   already allows — but in practice pools share one handle created
+   before any checking starts. *)
+let sweep_stale_tmp (dir : string) : unit =
+  match Sys.readdir dir with
+  | files ->
+      Array.iter
+        (fun f ->
+          if Filename.check_suffix f ".tmp" then
+            try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+        files
+  | exception Sys_error _ -> ()
+
+(** Open (creating if needed) a cache rooted at [dir].  Raises
+    [Sys_error] if the path cannot be created at all — callers that must
+    not abort (the CLI) catch this and run uncached. *)
 let create (dir : string) : t =
   mkdir_p dir;
-  { dir; hits = 0; misses = 0; stores = 0 }
+  sweep_stale_tmp dir;
+  {
+    dir;
+    hits = 0;
+    misses = 0;
+    stores = 0;
+    write_failures = 0;
+    disabled = false;
+  }
+
+let disabled (t : t) = t.disabled
 
 let entry_path t (key : string) =
   Filename.concat t.dir (Digest.to_hex (Digest.string key) ^ ".vc")
@@ -49,19 +92,24 @@ let entry_path t (key : string) =
 type lookup = Hit of string | Absent | Corrupt
 
 (** [find_detailed t ~key] classifies the lookup; any non-[Hit] outcome
-    is a miss for the counters. *)
-let find_detailed (t : t) ~(key : string) : lookup =
+    is a miss for the counters.  [?fault] arms the ["cache.read"] chaos
+    site: an injection is absorbed here as [Corrupt] — by contract the
+    cache never lets a fault escape. *)
+let find_detailed ?fault (t : t) ~(key : string) : lookup =
   let path = entry_path t key in
   let outcome =
-    if not (Sys.file_exists path) then Absent
-    else
-      match
-        In_channel.with_open_bin path (fun ic ->
-            (Marshal.from_channel ic : string * string * string))
-      with
-      | v, k, payload when v = format_version && k = key -> Hit payload
-      | _ -> Corrupt
-      | exception _ -> Corrupt
+    match Faultsim.point fault "cache.read" with
+    | exception Faultsim.Injected _ -> Corrupt
+    | () -> (
+        if not (Sys.file_exists path) then Absent
+        else
+          match
+            In_channel.with_open_bin path (fun ic ->
+                (Marshal.from_channel ic : string * string * string))
+          with
+          | v, k, payload when v = format_version && k = key -> Hit payload
+          | _ -> Corrupt
+          | exception _ -> Corrupt)
   in
   (match outcome with
   | Hit _ -> t.hits <- t.hits + 1
@@ -70,21 +118,39 @@ let find_detailed (t : t) ~(key : string) : lookup =
 
 (** [find t ~key] returns the stored payload for [key], or [None].  Any
     unreadable, truncated or mismatched entry is a miss. *)
-let find (t : t) ~(key : string) : string option =
-  match find_detailed t ~key with Hit p -> Some p | Absent | Corrupt -> None
+let find ?fault (t : t) ~(key : string) : string option =
+  match find_detailed ?fault t ~key with
+  | Hit p -> Some p
+  | Absent | Corrupt -> None
 
-(** [store t ~key payload] persists the entry atomically.  I/O errors are
-    swallowed: a cache that cannot write is merely cold, never fatal. *)
-let store (t : t) ~(key : string) (payload : string) : unit =
-  match
-    let path = entry_path t key in
-    let tmp = Filename.temp_file ~temp_dir:t.dir "entry" ".tmp" in
-    Out_channel.with_open_bin tmp (fun oc ->
-        Marshal.to_channel oc (format_version, key, payload) []);
-    Sys.rename tmp path
-  with
-  | () -> t.stores <- t.stores + 1
-  | exception Sys_error _ -> ()
+(** [store t ~key payload] persists the entry atomically.  I/O errors
+    (and injected ["cache.write"] faults) are swallowed: a cache that
+    cannot write is merely cold, never fatal.  The temp file is removed
+    on any failure so an unwritable target directory cannot accumulate
+    orphans, and after {!max_write_failures} consecutive failures the
+    cache stops attempting writes altogether. *)
+let store ?fault (t : t) ~(key : string) (payload : string) : unit =
+  if not t.disabled then begin
+    let tmp = ref None in
+    match
+      Faultsim.point fault "cache.write";
+      let path = entry_path t key in
+      let tf = Filename.temp_file ~temp_dir:t.dir "entry" ".tmp" in
+      tmp := Some tf;
+      Out_channel.with_open_bin tf (fun oc ->
+          Marshal.to_channel oc (format_version, key, payload) []);
+      Sys.rename tf path
+    with
+    | () ->
+        t.stores <- t.stores + 1;
+        t.write_failures <- 0
+    | exception (Sys_error _ | Faultsim.Injected _) ->
+        (match !tmp with
+        | Some tf -> ( try Sys.remove tf with Sys_error _ -> ())
+        | None -> ());
+        t.write_failures <- t.write_failures + 1;
+        if t.write_failures >= max_write_failures then t.disabled <- true
+  end
 
 (** Number of entries currently on disk. *)
 let entries (t : t) : int =

@@ -236,4 +236,118 @@ let cache_tests =
           (check ~cache src));
   ]
 
-let () = Alcotest.run "vercache" [ ("cache", cache_tests) ]
+(* Regression tests for the degradation contract (ISSUE 6): failed
+   stores must not leak [*.tmp] orphans, stale orphans are collected on
+   open, injected read/write faults degrade to miss/skip, and a
+   persistently unwritable directory disables writes instead of paying
+   for every store. *)
+
+let tmp_files dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".tmp")
+
+(* the on-disk name [store] will rename onto, mirroring [entry_path] *)
+let entry_file dir key =
+  Filename.concat dir (Digest.to_hex (Digest.string key) ^ ".vc")
+
+let robustness_tests =
+  [
+    Alcotest.test_case "stale tmp files are collected on open" `Quick
+      (fun () ->
+        let dir = fresh_cache_dir () in
+        Sys.mkdir dir 0o755;
+        List.iter
+          (fun f ->
+            Out_channel.with_open_bin (Filename.concat dir f) (fun oc ->
+                Out_channel.output_string oc "orphan"))
+          [ "a.tmp"; "b.tmp"; "not_an_orphan.vc" ];
+        let cache = Rc_util.Vercache.create dir in
+        Alcotest.(check (list string)) "orphans swept" [] (tmp_files dir);
+        Alcotest.(check bool) "non-tmp files survive" true
+          (Sys.file_exists (Filename.concat dir "not_an_orphan.vc"));
+        ignore cache);
+    Alcotest.test_case "failed rename leaves no tmp orphan" `Quick (fun () ->
+        let dir = fresh_cache_dir () in
+        let cache = Rc_util.Vercache.create dir in
+        (* a directory squatting on the entry path makes the final
+           [Sys.rename] fail after the temp file was already written *)
+        Sys.mkdir (entry_file dir "key1") 0o755;
+        Rc_util.Vercache.store cache ~key:"key1" "payload";
+        Alcotest.(check (list string)) "tmp removed on failure" []
+          (tmp_files dir);
+        (* the squatted path reads as corrupt: a miss, never an error *)
+        Alcotest.(check bool) "lookup degrades to miss" true
+          (Rc_util.Vercache.find cache ~key:"key1" = None));
+    Alcotest.test_case "injected read fault degrades to miss" `Quick
+      (fun () ->
+        let cache = Rc_util.Vercache.create (fresh_cache_dir ()) in
+        Rc_util.Vercache.store cache ~key:"k" "v";
+        Alcotest.(check bool) "entry is there" true
+          (Rc_util.Vercache.find cache ~key:"k" = Some "v");
+        let fault =
+          Rc_util.Faultsim.create ~rate:1.0 ~sites:[ "cache.read" ] 11
+        in
+        Alcotest.(check bool) "faulted read misses" true
+          (Rc_util.Vercache.find ~fault cache ~key:"k" = None);
+        (* the entry itself is untouched *)
+        Alcotest.(check bool) "entry survives" true
+          (Rc_util.Vercache.find cache ~key:"k" = Some "v"));
+    Alcotest.test_case "injected write fault skips the store" `Quick
+      (fun () ->
+        let dir = fresh_cache_dir () in
+        let cache = Rc_util.Vercache.create dir in
+        let fault =
+          Rc_util.Faultsim.create ~rate:1.0 ~sites:[ "cache.write" ] 12
+        in
+        Rc_util.Vercache.store ~fault cache ~key:"k" "v";
+        Alcotest.(check int) "nothing written" 0
+          (Rc_util.Vercache.entries cache);
+        Alcotest.(check (list string)) "no orphans" [] (tmp_files dir);
+        (* an unfaulted store afterwards works normally *)
+        Rc_util.Vercache.store cache ~key:"k" "v";
+        Alcotest.(check bool) "recovers" true
+          (Rc_util.Vercache.find cache ~key:"k" = Some "v"));
+    Alcotest.test_case "persistent write failure disables the cache" `Quick
+      (fun () ->
+        let dir = fresh_cache_dir () in
+        let cache = Rc_util.Vercache.create dir in
+        let fault =
+          Rc_util.Faultsim.create ~rate:1.0 ~sites:[ "cache.write" ] 13
+        in
+        for i = 1 to 8 do
+          Rc_util.Vercache.store ~fault cache
+            ~key:(string_of_int i)
+            "v"
+        done;
+        Alcotest.(check bool) "disabled after threshold" true
+          (Rc_util.Vercache.disabled cache);
+        (* once disabled, even a healthy store is a no-op *)
+        Rc_util.Vercache.store cache ~key:"healthy" "v";
+        Alcotest.(check int) "no writes once disabled" 0
+          (Rc_util.Vercache.entries cache);
+        (* reads still work (for entries written before the failures) *)
+        Alcotest.(check bool) "reads unaffected" true
+          (Rc_util.Vercache.find cache ~key:"healthy" = None));
+    Alcotest.test_case "a success resets the failure streak" `Quick
+      (fun () ->
+        let cache = Rc_util.Vercache.create (fresh_cache_dir ()) in
+        let fault =
+          Rc_util.Faultsim.create ~rate:1.0 ~sites:[ "cache.write" ] 14
+        in
+        for i = 1 to 7 do
+          Rc_util.Vercache.store ~fault cache ~key:(string_of_int i) "v"
+        done;
+        Rc_util.Vercache.store cache ~key:"ok" "v";
+        let fault2 =
+          Rc_util.Faultsim.create ~rate:1.0 ~sites:[ "cache.write" ] 15
+        in
+        for i = 8 to 14 do
+          Rc_util.Vercache.store ~fault:fault2 cache ~key:(string_of_int i) "v"
+        done;
+        Alcotest.(check bool) "7 + success + 7 stays enabled" false
+          (Rc_util.Vercache.disabled cache));
+  ]
+
+let () =
+  Alcotest.run "vercache"
+    [ ("cache", cache_tests); ("robustness", robustness_tests) ]
