@@ -1,0 +1,186 @@
+(** The stress-corpus generator: parameterized synthetic C programs that
+    scale the proof-search load far beyond the ~25ms case-study corpus,
+    so engine-speed work (hash-consed dispatch, subgoal memoization,
+    profile-guided rule order) has something measurable to move.
+
+    Every generator returns complete, annotated C source that the
+    frontend accepts and the checker verifies; the benchmark harness and
+    [test/test_memo.ml] both consume these, so each family doubles as a
+    semantics fixture — any engine configuration must produce the same
+    verdict on all of them.
+
+    Families (mirroring the shapes the case studies exhibit in miniature):
+    - {!diamond_chain}: k sequential if/else diamonds whose join blocks
+      the goto-inlining engine re-checks once per incoming path — the
+      proof-search cost is Θ(2^k) without memoization and Θ(k) with it;
+    - {!call_chain}: an n-function call graph (each function calls the
+      next), weighting the call/subsumption rules;
+    - {!struct_nest}: a d-deep nest of refined structs with an accessor
+      that walks to the innermost field, weighting the ownership rules;
+    - {!wide_exprs}: straight-line functions of long arithmetic chains —
+      wide rule pressure with no branching at all;
+    - {!loop_farm}: f scaled copies of a loop-invariant function, the
+      shape of the existing studies' inner loops repeated per file. *)
+
+let buf_add = Buffer.add_string
+
+(** The standard scalar spec header shared by the int->int families. *)
+let int_fn_header b name =
+  buf_add b "[[rc::parameters(\"n : int\")]]\n";
+  buf_add b "[[rc::args(\"n @ int<int>\")]]\n";
+  buf_add b "[[rc::requires(\"{0 <= n}\", \"{n <= 1000}\")]]\n";
+  buf_add b "[[rc::exists(\"r : int\")]]\n";
+  buf_add b "[[rc::returns(\"r @ int<int>\")]]\n";
+  buf_add b (Printf.sprintf "int %s(int n) {\n" name)
+
+(** [k] sequential if/else diamonds.  Both arms of diamond [i] write the
+    same constant, so every join block is reached with the same
+    ownership context along both paths — exactly the situation where the
+    engine's within-run memo table collapses the exponential re-check:
+    2^k suffix solves without it, k + 1 with it. *)
+let diamond_chain ~(k : int) : string =
+  let b = Buffer.create (256 + (k * 96)) in
+  buf_add b "// generated: diamond_chain k=";
+  buf_add b (string_of_int k);
+  buf_add b "\n";
+  int_fn_header b "diamonds";
+  buf_add b "  int x = 0;\n";
+  for i = 0 to k - 1 do
+    buf_add b
+      (Printf.sprintf "  if (n > %d) {\n    x = %d;\n  } else {\n    x = %d;\n  }\n"
+         i i i)
+  done;
+  buf_add b "  return x;\n}\n";
+  Buffer.contents b
+
+(** An [n]-function call chain: [f0] calls [f1] calls ... calls
+    [f(n-1)].  Functions are emitted callee-first so every call sees its
+    callee's specification. *)
+let call_chain ~(n : int) : string =
+  let b = Buffer.create (256 + (n * 160)) in
+  buf_add b "// generated: call_chain n=";
+  buf_add b (string_of_int n);
+  buf_add b "\n";
+  for i = n - 1 downto 0 do
+    buf_add b "[[rc::parameters(\"n : int\")]]\n";
+    buf_add b "[[rc::args(\"n @ int<int>\")]]\n";
+    buf_add b "[[rc::returns(\"n @ int<int>\")]]\n";
+    if i = n - 1 then
+      buf_add b (Printf.sprintf "int f%d(int n) {\n  return n;\n}\n" i)
+    else
+      buf_add b
+        (Printf.sprintf "int f%d(int n) {\n  return f%d(n);\n}\n" i (i + 1))
+  done;
+  Buffer.contents b
+
+(** A [depth]-deep nest of singly-refined structs plus an accessor that
+    dereferences all the way down: [lvl0] holds the int, [lvl(i+1)]
+    holds an [lvl(i)], and [get] returns [p->inner...inner.v]. *)
+let struct_nest ~(depth : int) : string =
+  let b = Buffer.create (256 + (depth * 160)) in
+  buf_add b "// generated: struct_nest depth=";
+  buf_add b (string_of_int depth);
+  buf_add b "\n";
+  buf_add b
+    "struct [[rc::refined_by(\"a: int\")]] lvl0 {\n\
+    \  [[rc::field(\"a @ int<int>\")]] int v;\n\
+     };\n";
+  for i = 1 to depth do
+    buf_add b
+      (Printf.sprintf
+         "struct [[rc::refined_by(\"a: int\")]] lvl%d {\n\
+         \  [[rc::field(\"a @ lvl%d\")]] struct lvl%d inner;\n\
+          };\n"
+         i (i - 1) (i - 1))
+  done;
+  buf_add b "\n[[rc::parameters(\"p: loc\", \"a: int\")]]\n";
+  buf_add b (Printf.sprintf "[[rc::args(\"p @ &own<a @ lvl%d>\")]]\n" depth);
+  buf_add b "[[rc::returns(\"a @ int<int>\")]]\n";
+  buf_add b (Printf.sprintf "[[rc::ensures(\"own p : a @ lvl%d\")]]\n" depth);
+  buf_add b (Printf.sprintf "int get(struct lvl%d *p) {\n  return p" depth);
+  (* only the first hop dereferences the pointer; the rest are field
+     accesses on the embedded struct values *)
+  for i = 1 to depth do
+    buf_add b (if i = 1 then "->inner" else ".inner")
+  done;
+  buf_add b ".v;\n}\n";
+  Buffer.contents b
+
+(** [stmts] straight-line statements, each a [width]-term addition chain
+    over the accumulated locals: maximal rule pressure per statement,
+    zero branching, so dispatch cost (not search shape) dominates. *)
+let wide_exprs ~(stmts : int) ~(width : int) : string =
+  let b = Buffer.create (256 + (stmts * width * 8)) in
+  buf_add b
+    (Printf.sprintf "// generated: wide_exprs stmts=%d width=%d\n" stmts width);
+  int_fn_header b "wide";
+  buf_add b "  int x0 = n + 1;\n";
+  for i = 1 to stmts do
+    buf_add b (Printf.sprintf "  int x%d = x%d" i (i - 1));
+    for j = 1 to width do
+      buf_add b (Printf.sprintf " + x%d" ((i - 1 + j) mod i))
+    done;
+    buf_add b ";\n"
+  done;
+  buf_add b (Printf.sprintf "  return x%d;\n}\n" stmts);
+  Buffer.contents b
+
+(** [functions] renamed copies of a loop-invariant counting function —
+    the inner-loop shape of the existing studies (binary search, queue
+    drain) scaled out across a whole file, so per-function overheads and
+    pool fan-out dominate. *)
+let loop_farm ~(functions : int) : string =
+  let b = Buffer.create (256 + (functions * 320)) in
+  buf_add b "// generated: loop_farm functions=";
+  buf_add b (string_of_int functions);
+  buf_add b "\n";
+  for i = 0 to functions - 1 do
+    int_fn_header b (Printf.sprintf "count%d" i);
+    buf_add b "  int i = 0;\n";
+    buf_add b "  [[rc::exists(\"a : int\")]]\n";
+    buf_add b "  [[rc::inv_vars(\"i: a @ int<int>\")]]\n";
+    buf_add b "  [[rc::constraints(\"{0 <= a}\", \"{a <= n}\")]]\n";
+    buf_add b "  while (i < n) {\n    i = i + 1;\n  }\n";
+    buf_add b "  return i;\n}\n"
+  done;
+  Buffer.contents b
+
+(** One named stress program: [(name, c_source)]. *)
+type program = { p_name : string; p_src : string }
+
+(** The standard stress corpus at a given [scale] (1 = the CI smoke
+    size, 2 = the BENCH_pr7 size).  Sizes are chosen so the diamond
+    family's exponential blow-up stays around a second at scale 2 with
+    memoization off — large enough to measure, small enough to run four
+    configurations interleaved. *)
+let stress_corpus ~(scale : int) : program list =
+  let s = max 1 scale in
+  [
+    { p_name = "diamonds_small.c"; p_src = diamond_chain ~k:(4 * s) };
+    { p_name = "diamonds_large.c"; p_src = diamond_chain ~k:(10 + (2 * s)) };
+    { p_name = "call_chain.c"; p_src = call_chain ~n:(12 * s) };
+    { p_name = "struct_nest.c"; p_src = struct_nest ~depth:(8 * s) };
+    (* width is capped at 3: the default side-condition solver is
+       exponential in the addition-chain length, and past ~4 terms the
+       solver — not engine dispatch — dominates the measurement *)
+    { p_name = "wide_exprs.c"; p_src = wide_exprs ~stmts:(10 * s) ~width:3 };
+    { p_name = "loop_farm.c"; p_src = loop_farm ~functions:(8 * s) };
+  ]
+
+(** The diamond sizes for the speedup-curve section of the perf record:
+    memo-off cost doubles per step, so the curve makes the asymptotic
+    gap visible rather than a single point. *)
+let curve_sizes ~(scale : int) : int list =
+  if scale <= 1 then [ 4; 6; 8 ] else [ 6; 8; 10; 12 ]
+
+(** Write a corpus to [dir] (created if missing); returns the file
+    paths in corpus order. *)
+let materialize ~(dir : string) (progs : program list) : string list =
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  List.map
+    (fun p ->
+      let path = Filename.concat dir p.p_name in
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc p.p_src);
+      path)
+    progs

@@ -598,6 +598,335 @@ let json_record ~jobs ~cache_dir ~out () =
     [ seq; par; pp; cold; warm; instr ]
 
 (* ------------------------------------------------------------------ *)
+(* Stress corpus (--stress): engine-speed measurement                  *)
+(* ------------------------------------------------------------------ *)
+
+(* [--stress [--scale N] [-j N] [--json-out PATH]] generates the
+   synthetic stress corpus (bench/corpus.ml), proves verdict
+   byte-identity across the four engine configurations, then measures
+   rule-applications/second for each configuration — sequentially and
+   under the persistent pool — plus a diamond-size speedup curve, and
+   writes a refinedc-bench/4 record (default BENCH_pr7.json).
+
+   Rule-applications/second is the honest work metric here because the
+   Stats satellite guarantees [rule_apps] is identical with and without
+   memoization (hits merge the subsumed applications); the apps/sec
+   ratio therefore equals the wall-clock ratio on identical work. *)
+
+module Corpus = Rc_benchgen.Corpus
+
+type engine_cfg = { cfg_name : string; cfg_hashcons : bool; cfg_memo : bool }
+
+let engine_cfgs =
+  [
+    { cfg_name = "baseline"; cfg_hashcons = false; cfg_memo = false };
+    { cfg_name = "hashcons"; cfg_hashcons = true; cfg_memo = false };
+    { cfg_name = "memo"; cfg_hashcons = false; cfg_memo = true };
+    { cfg_name = "memo_hashcons"; cfg_hashcons = true; cfg_memo = true };
+  ]
+
+(* Fresh session per check (elaboration registers the file's named types
+   in the session's type environment). *)
+let stress_session ?pool (cfg : engine_cfg) () =
+  let s =
+    Rc_refinedc.Session.with_memo (Api.create_session ())
+      {
+        Rc_refinedc.Session.default_memo with
+        Rc_refinedc.Session.mm_enabled = cfg.cfg_memo;
+        mm_hashcons = cfg.cfg_hashcons;
+      }
+  in
+  match pool with
+  | None -> s
+  | Some _ ->
+      Rc_refinedc.Session.with_exec s
+        { Rc_refinedc.Session.default_exec with x_pool = pool }
+
+type srow = {
+  s_path : string;
+  s_wall : float;
+  s_functions : int;
+  s_stats : Stats.t;
+  s_ok : bool;
+}
+
+let stress_sweep ?pool ~jobs (cfg : engine_cfg) (paths : string list) :
+    srow list =
+  List.map
+    (fun path ->
+      let watch = Rc_util.Budget.stopwatch () in
+      match Driver.check_file ~session:(stress_session ?pool cfg ()) ~jobs path with
+      | t ->
+          {
+            s_path = path;
+            s_wall = watch ();
+            s_functions = List.length t.Driver.results;
+            s_stats = Driver.stats t;
+            s_ok = (Driver.errors t = [] && t.Driver.skipped = []);
+          }
+      | exception _ ->
+          {
+            s_path = path;
+            s_wall = watch ();
+            s_functions = 0;
+            s_stats = Stats.create ();
+            s_ok = false;
+          })
+    paths
+
+let stress_record ~scale ~jobs ~out () : bool =
+  let open Rc_util.Jsonout in
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ()) "refinedc-stress"
+  in
+  let progs = Corpus.stress_corpus ~scale in
+  let paths = Corpus.materialize ~dir progs in
+  Fmt.pr "Stress corpus: %d programs (scale %d) -> %s@." (List.length progs)
+    scale dir;
+  (* 1. verdict byte-identity across all four engine configurations,
+     recorded before any timing: the speed knobs must be unobservable in
+     the result surface (--json without timings). *)
+  let verdict cfg path =
+    match Driver.check_file ~session:(stress_session cfg ()) path with
+    | t -> Rc_util.Jsonout.to_string (Driver.to_json ~timings:false t)
+    | exception e -> "exception: " ^ Printexc.to_string e
+  in
+  let identical =
+    List.for_all
+      (fun path ->
+        match List.map (fun c -> verdict c path) engine_cfgs with
+        | [] -> true
+        | v0 :: rest ->
+            let same = List.for_all (String.equal v0) rest in
+            if not same then
+              Fmt.pr "  VERDICT MISMATCH on %s@." (Filename.basename path);
+            same)
+      paths
+  in
+  Fmt.pr "  verdicts byte-identical across %d configs: %b@."
+    (List.length engine_cfgs) identical;
+  (* 2. interleaved measurement (the BENCH_pr6 methodology): every round
+     sweeps each configuration once, each configuration keeps its
+     fastest round, and speedups are medians of within-round ratios so
+     round-level noise cancels. *)
+  let reps = 5 in
+  let measure ?pool ~jobs () =
+    let best : (string, float * srow list) Hashtbl.t = Hashtbl.create 8 in
+    let rounds = Array.make reps [] in
+    for round = 0 to reps - 1 do
+      let order = if round mod 2 = 0 then engine_cfgs else List.rev engine_cfgs in
+      rounds.(round) <-
+        List.map
+          (fun cfg ->
+            Gc.compact ();
+            let rows = stress_sweep ?pool ~jobs cfg paths in
+            let total = List.fold_left (fun a r -> a +. r.s_wall) 0. rows in
+            (match Hashtbl.find_opt best cfg.cfg_name with
+            | Some (w, _) when w <= total -> ()
+            | _ -> Hashtbl.replace best cfg.cfg_name (total, rows));
+            (cfg.cfg_name, total))
+          order
+    done;
+    (best, rounds)
+  in
+  let speedup_vs_baseline rounds key =
+    let ratios =
+      Array.to_list rounds
+      |> List.filter_map (fun round ->
+             match
+               (List.assoc_opt "baseline" round, List.assoc_opt key round)
+             with
+             | Some b, Some m when m > 0. -> Some (b /. m)
+             | _ -> None)
+      |> List.sort compare
+    in
+    match ratios with
+    | [] -> 0.
+    | rs -> List.nth rs (List.length rs / 2)
+  in
+  let sum f rows = Rc_util.Xlist.sum (List.map f rows) in
+  let run_json ~mode ~jobs name (total, rows) =
+    let apps = sum (fun r -> r.s_stats.Stats.rule_apps) rows in
+    Obj
+      [
+        ("config", Str name);
+        ("mode", Str mode);
+        ("jobs", Int jobs);
+        ("ok", Bool (List.for_all (fun r -> r.s_ok) rows));
+        ("total_wall_s", Float total);
+        ("rule_apps", Int apps);
+        ( "apps_per_sec",
+          Float (if total > 0. then float_of_int apps /. total else 0.) );
+        ("memo_hits", Int (sum (fun r -> r.s_stats.Stats.memo_hits) rows));
+        ( "memo_saved_apps",
+          Int (sum (fun r -> r.s_stats.Stats.memo_saved_apps) rows) );
+        ( "programs",
+          List
+            (List.map
+               (fun r ->
+                 Obj
+                   [
+                     ("name", Str (Filename.basename r.s_path));
+                     ("ok", Bool r.s_ok);
+                     ("wall_s", Float r.s_wall);
+                     ("functions", Int r.s_functions);
+                     ("rule_apps", Int r.s_stats.Stats.rule_apps);
+                     ("memo_hits", Int r.s_stats.Stats.memo_hits);
+                   ])
+               rows) );
+      ]
+  in
+  Fmt.pr "  measuring: %d configs x %d interleaved rounds (sequential)@."
+    (List.length engine_cfgs) reps;
+  let seq_best, seq_rounds = measure ~jobs:1 () in
+  let eff_jobs = min jobs (Supervisor.recommended_jobs ()) in
+  let pool_runs, pool_speedups =
+    if eff_jobs > 1 && Supervisor.parallelism_available then begin
+      Fmt.pr "  measuring: %d configs x %d interleaved rounds (pool, -j %d)@."
+        (List.length engine_cfgs) reps eff_jobs;
+      let pool = Supervisor.create ~jobs:eff_jobs () in
+      Fun.protect
+        ~finally:(fun () -> Supervisor.shutdown pool)
+        (fun () ->
+          let best, rounds = measure ~pool ~jobs:eff_jobs () in
+          ( List.map
+              (fun cfg ->
+                run_json ~mode:"pool" ~jobs:eff_jobs cfg.cfg_name
+                  (Hashtbl.find best cfg.cfg_name))
+              engine_cfgs,
+            List.map
+              (fun cfg ->
+                ( cfg.cfg_name ^ "_vs_baseline",
+                  Float (speedup_vs_baseline rounds cfg.cfg_name) ))
+              (List.tl engine_cfgs) ))
+    end
+    else ([], [])
+  in
+  (* 3. the diamond speedup curve: memo-off cost doubles per size step,
+     so per-size apps/sec makes the asymptotic separation visible *)
+  let curve =
+    List.map
+      (fun k ->
+        let name = Printf.sprintf "curve_diamonds_%02d.c" k in
+        let path =
+          List.hd
+            (Corpus.materialize ~dir
+               [ { Corpus.p_name = name; p_src = Corpus.diamond_chain ~k } ])
+        in
+        let time cfg =
+          let best = ref infinity and stats = ref (Stats.create ()) in
+          for _ = 1 to 3 do
+            Gc.compact ();
+            let watch = Rc_util.Budget.stopwatch () in
+            match Driver.check_file ~session:(stress_session cfg ()) path with
+            | t ->
+                let w = watch () in
+                if w < !best then begin
+                  best := w;
+                  stats := Driver.stats t
+                end
+            | exception _ -> ()
+          done;
+          (!best, !stats)
+        in
+        let off_cfg = List.nth engine_cfgs 1 (* hashcons, no memo *) in
+        let on_cfg = List.nth engine_cfgs 3 (* hashcons + memo *) in
+        let off_w, off_s = time off_cfg in
+        let on_w, on_s = time on_cfg in
+        let apps = off_s.Stats.rule_apps in
+        Fmt.pr "  curve k=%-2d: %8d apps, memo off %.4fs, on %.4fs@." k apps
+          off_w on_w;
+        Obj
+          [
+            ("k", Int k);
+            ("rule_apps", Int apps);
+            ("memo_off_wall_s", Float off_w);
+            ("memo_on_wall_s", Float on_w);
+            ( "memo_off_apps_per_sec",
+              Float
+                (if off_w > 0. then float_of_int apps /. off_w else 0.) );
+            ( "memo_on_apps_per_sec",
+              Float
+                (if on_w > 0. then
+                   float_of_int on_s.Stats.rule_apps /. on_w
+                 else 0.) );
+            ( "speedup",
+              Float (if on_w > 0. then off_w /. on_w else 0.) );
+          ])
+      (Corpus.curve_sizes ~scale)
+  in
+  let seq_runs =
+    List.map
+      (fun cfg ->
+        run_json ~mode:"sequential" ~jobs:1 cfg.cfg_name
+          (Hashtbl.find seq_best cfg.cfg_name))
+      engine_cfgs
+  in
+  let seq_speedups =
+    List.map
+      (fun cfg ->
+        ( cfg.cfg_name ^ "_vs_baseline",
+          Float (speedup_vs_baseline seq_rounds cfg.cfg_name) ))
+      (List.tl engine_cfgs)
+  in
+  let corpus_json =
+    let _, baseline_rows = Hashtbl.find seq_best "baseline" in
+    List.map
+      (fun r ->
+        Obj
+          [
+            ("name", Str (Filename.basename r.s_path));
+            ("functions", Int r.s_functions);
+            ("rule_apps", Int r.s_stats.Stats.rule_apps);
+          ])
+      baseline_rows
+  in
+  let record =
+    Obj
+      [
+        ("schema", Str "refinedc-bench/4");
+        ("ocaml", Str Sys.ocaml_version);
+        ("word_size", Int Sys.word_size);
+        ("parallelism_available", Bool Rc_util.Pool.parallelism_available);
+        ("scale", Int scale);
+        ("jobs", Int jobs);
+        ("jobs_effective", Int eff_jobs);
+        ("configs", List (List.map (fun c -> Str c.cfg_name) engine_cfgs));
+        ("verdicts_identical", Bool identical);
+        ("corpus", List corpus_json);
+        ("runs", List (seq_runs @ pool_runs));
+        ( "speedup",
+          Obj
+            ([ ("sequential", Obj seq_speedups) ]
+            @
+            match pool_speedups with
+            | [] -> []
+            | ps -> [ ("pool", Obj ps) ]) );
+        ("curve", List curve);
+      ]
+  in
+  Out_channel.with_open_bin out (fun oc ->
+      Out_channel.output_string oc (Rc_util.Jsonout.to_string record);
+      Out_channel.output_string oc "\n");
+  let get name = fst (Hashtbl.find seq_best name) in
+  Fmt.pr
+    "@.Perf record written to %s@.  sequential totals: baseline %.3fs, \
+     hashcons %.3fs, memo %.3fs, memo+hashcons %.3fs@."
+    out (get "baseline") (get "hashcons") (get "memo") (get "memo_hashcons");
+  let runs_ok =
+    List.for_all
+      (fun j ->
+        match j with
+        | Obj fields -> (
+            match List.assoc_opt "ok" fields with
+            | Some (Bool b) -> b
+            | _ -> false)
+        | _ -> false)
+      (seq_runs @ pool_runs)
+  in
+  identical && runs_ok
+
+(* ------------------------------------------------------------------ *)
 (* Entry point                                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -609,7 +938,25 @@ let opt_value args name default =
 
 let () =
   let args = Array.to_list Sys.argv in
-  if List.mem "--json" args then begin
+  if List.mem "--stress" args then begin
+    let scale =
+      match int_of_string_opt (opt_value args "--scale" "2") with
+      | Some n when n > 0 -> n
+      | _ -> 2
+    in
+    let jobs =
+      match int_of_string_opt (opt_value args "-j" "") with
+      | Some n when n > 0 -> n
+      | _ -> max 2 (Rc_util.Pool.default_jobs ())
+    in
+    let out = opt_value args "--json-out" "BENCH_pr7.json" in
+    Fmt.pr "Benchmarking the stress corpus (perf record -> %s)@." out;
+    if not (stress_record ~scale ~jobs ~out ()) then begin
+      Fmt.pr "@.STRESS BENCHMARK FAILED@.";
+      exit 1
+    end
+  end
+  else if List.mem "--json" args then begin
     let jobs =
       match int_of_string_opt (opt_value args "-j" "") with
       | Some n when n > 0 -> n

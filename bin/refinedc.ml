@@ -120,6 +120,30 @@ let check_cmd =
              them.  Ignored under $(b,--cert), which must re-check real \
              derivations.")
   in
+  let memo =
+    Arg.(
+      value & flag
+      & info [ "memo" ]
+          ~doc:
+            "Memoize repeated subgoals within each function's proof \
+             search: revisits of the same control-flow join replay the \
+             recorded sub-derivation instead of re-proving it.  Verdicts \
+             and statistics are identical to an unmemoized run.  Ignored \
+             under $(b,--cert), which must re-check real derivations.")
+  in
+  let pgo =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "pgo" ] ~docv:"DIR"
+          ~doc:
+            "Profile-guided dispatch: load accumulated rule-hit counts \
+             from the profile store in $(docv) (created if missing) to \
+             order equal-priority typing rules by measured hit rate, and \
+             merge this run's counts back in afterwards.  Semantics are \
+             unchanged; the reordered rule index is fingerprinted into \
+             the verification-cache key.")
+  in
   let default_only =
     Arg.(
       value & flag
@@ -226,9 +250,36 @@ let check_cmd =
           ~doc:"Stop injecting after $(docv) faults; negative = no cap.")
   in
   let run file deriv stats cert semtest fuel timeout max_depth fail_fast json
-      jobs cache default_only no_goal_simp trace profile no_lint lint_werror
-      deadline retries fault_seed fault_rate fault_sites fault_max =
+      jobs cache memo pgo default_only no_goal_simp trace profile no_lint
+      lint_werror deadline retries fault_seed fault_rate fault_sites fault_max
+      =
     let budget = { Rc_util.Budget.fuel; timeout; max_depth } in
+    let memo =
+      if memo && cert then begin
+        Fmt.epr
+          "warning: --memo is ignored under --cert (replayed derivations \
+           share side-condition contexts the certificate checker must not \
+           trust)@.";
+        false
+      end
+      else memo
+    in
+    let profstore =
+      match pgo with
+      | None -> None
+      | Some dir ->
+          let ps = Rc_util.Profstore.create dir in
+          if Rc_util.Profstore.disabled ps then begin
+            Fmt.epr
+              "warning: cannot open profile store %s; running unprofiled@."
+              dir;
+            None
+          end
+          else Some ps
+    in
+    let rule_profile =
+      match profstore with None -> [] | Some ps -> Rc_util.Profstore.load ps
+    in
     let obs =
       {
         Rc_util.Obs.c_trace = trace <> None;
@@ -274,7 +325,7 @@ let check_cmd =
           }
         ?fault ?deadline ~retries ?pool
         ~cancel:(fun () -> Atomic.get interrupted)
-        ()
+        ~memo ~profile:rule_profile ()
     in
     let cache =
       match cache with
@@ -430,6 +481,27 @@ let check_cmd =
         List.iter
           (fun d -> Fmt.epr "%a@." Rc_util.Diagnostic.pp d)
           t.Driver.diagnostics;
+        (* feed this run's per-rule application counts back into the
+           profile store, so the next --pgo run dispatches sharper *)
+        (match profstore with
+        | None -> ()
+        | Some ps ->
+            let counts = Hashtbl.create 64 in
+            List.iter
+              (fun (r : Driver.check_result) ->
+                match r.outcome with
+                | Ok res ->
+                    Hashtbl.iter
+                      (fun name n ->
+                        Hashtbl.replace counts name
+                          (n
+                          + Option.value ~default:0
+                              (Hashtbl.find_opt counts name)))
+                      res.Rc_refinedc.Lang.E.stats.Rc_lithium.Stats.rules_used
+                | Error _ -> ())
+              t.Driver.results;
+            Rc_util.Profstore.accumulate ps
+              (Hashtbl.fold (fun k v acc -> (k, v) :: acc) counts []));
         (* the exit-code contract: faults trump verification failures;
            cert/semtest regressions count as verification failures *)
         let code = Driver.exit_code t in
@@ -438,9 +510,10 @@ let check_cmd =
   Cmd.v (Cmd.info "check" ~doc:"Verify the specified functions of FILE.")
     Term.(
       const run $ file $ deriv $ stats $ cert $ semtest $ fuel $ timeout
-      $ max_depth $ fail_fast $ json $ jobs $ cache $ default_only
-      $ no_goal_simp $ trace $ profile $ no_lint $ lint_werror $ deadline
-      $ retries $ fault_seed $ fault_rate $ fault_sites $ fault_max)
+      $ max_depth $ fail_fast $ json $ jobs $ cache $ memo $ pgo
+      $ default_only $ no_goal_simp $ trace $ profile $ no_lint $ lint_werror
+      $ deadline $ retries $ fault_seed $ fault_rate $ fault_sites
+      $ fault_max)
 
 let lint_cmd =
   let file = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in

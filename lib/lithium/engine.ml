@@ -43,6 +43,23 @@ module type LANG = sig
   val head_of_f : f -> string
   (** judgment head, used for rule indexing, stats and certificates *)
 
+  val head_id_of_f : f -> int
+  (** the same head as a dense id into {!head_names} — one constructor
+      match instead of a string, so the hot-path dispatch is an array
+      access rather than a string-keyed hash lookup *)
+
+  val head_names : string array
+  (** id ↦ head name; [head_names.(head_id_of_f f) = head_of_f f] *)
+
+  val memo_key_of_f : (term -> term) -> f -> string option
+  (** [Some key] iff the judgment is safely memoizable within a run:
+      its search behaviour must be fully determined by [key], the
+      resolved Δ, and Γ-interactions the engine records as probes.  In
+      practice that means judgments whose continuation is implied by
+      their own data (RefinedC's ⊢GOTO) rather than captured in a
+      closure the printer cannot see.  The function argument resolves
+      instantiated evars, so the key reflects the current evar state. *)
+
   val loc_of_f : f -> Rc_util.Srcloc.t option
 
   val related : exact:bool -> atom -> atom -> bool
@@ -111,18 +128,44 @@ module Make (L : LANG) = struct
         (** head ↦ rules declaring that head plus the wildcard rules,
             in priority order — exactly the subsequence of the sorted
             rule list that can fire on this head *)
+    idx_by_id : rule list array;
+        (** the same buckets keyed by {!L.head_id_of_f} — the hot-path
+            lookup is one array access, no string hashing *)
     idx_wild : rule list;
         (** priority-sorted wildcard rules: the bucket for heads no rule
             declares explicitly *)
     idx_fingerprint : string;
         (** digest of (name, priority, heads) of every rule in order —
-            a component of the verification-cache key *)
+            a component of the verification-cache key.  Computed from
+            the *final* order, so a profile that reorders ties yields a
+            different fingerprint and never shares cache entries with an
+            unprofiled run. *)
     idx_size : int;  (** number of rules in the set *)
   }
 
-  let index_rules (rules : rule list) : index =
+  (** [index_rules ?profile rules] compiles the rule set.  [profile]
+      maps rule names to accumulated application counts ([--pgo]); rules
+      with higher counts are tried first — but only within equal-priority
+      ties, because the first-match-commits contract (§5) makes rule
+      order across priorities semantically significant.  Within a tie
+      the rule authors guarantee disjoint guards (checked by lint
+      RC-L022), so tie order is a pure performance knob. *)
+  let index_rules ?(profile : (string * int) list = []) (rules : rule list) :
+      index =
+    let hits =
+      if profile = [] then fun _ -> 0
+      else begin
+        let h = Hashtbl.create (List.length profile * 2) in
+        List.iter (fun (k, v) -> Hashtbl.replace h k v) profile;
+        fun name -> Option.value ~default:0 (Hashtbl.find_opt h name)
+      end
+    in
     let sorted =
-      List.stable_sort (fun a b -> compare a.prio b.prio) rules
+      List.stable_sort
+        (fun a b ->
+          let c = compare a.prio b.prio in
+          if c <> 0 then c else compare (hits b.rname) (hits a.rname))
+        rules
     in
     let declared =
       List.concat_map (fun r -> Option.value ~default:[] r.heads) sorted
@@ -148,9 +191,19 @@ module Make (L : LANG) = struct
                      | Some hs -> String.concat "," hs))
                  sorted)))
     in
+    let idx_wild = List.filter (fun r -> r.heads = None) sorted in
+    let idx_by_id =
+      Array.map
+        (fun h ->
+          match Hashtbl.find_opt idx_buckets h with
+          | Some bucket -> bucket
+          | None -> idx_wild)
+        L.head_names
+    in
     {
       idx_buckets;
-      idx_wild = List.filter (fun r -> r.heads = None) sorted;
+      idx_by_id;
+      idx_wild;
       idx_fingerprint;
       idx_size = List.length sorted;
     }
@@ -173,9 +226,100 @@ module Make (L : LANG) = struct
 
   let empty_ctx = { props = []; vars = []; delta = []; trail = [] }
 
+  (* ---------------------------------------------------------------- *)
+  (* Within-run subgoal memoization                                     *)
+  (* ---------------------------------------------------------------- *)
+
+  (** The same ownership obligations recur across the branches of one
+      function: every path through a CFG join re-proves the join block's
+      suffix, so [k] sequential if/else diamonds re-check the common
+      suffix 2^k times.  The memo layer caches *successful* solves of
+      memoizable judgments ({!L.memo_key_of_f}) keyed on the judgment's
+      printed identity plus the resolved Δ, and replays them on repeat
+      visits — turning the 2^k re-checks into O(k).
+
+      Γ is deliberately *not* part of the key (branch rules inject
+      branch-distinguishing facts, so exact-Γ keys would never hit at a
+      join).  Instead, every Γ interaction the subtree performed —
+      side-condition verdicts and rule-level [ri_prove] checks — is
+      recorded as a probe and re-validated against the current Γ before
+      a hit is accepted; any difference falls back to a fresh solve.
+      Each probe stores its hypotheses as a delta above the frame's base
+      Γ (contexts only grow by prepending, so the delta is the physical
+      prefix), rebased onto the Γ at hit time.
+
+      Only [Ok] results are stored, and only when the subtree
+      instantiated no pre-existing evar (tracked by an id watermark
+      against {!Evar.t.min_inst}) — an entry must describe a
+      self-contained proof whose only external reads went through the
+      key or the probes.  On a hit the replay realigns every observable
+      side effect: fresh-name and evar-id counters are skipped forward,
+      instantiation counts credited, the step budget charged, and the
+      recorded per-frame {!Stats.t} merged — so Figure-7 numbers,
+      budgets and downstream naming are identical to a memo-off run. *)
+
+  type probe =
+    | PSolve of {
+        delta : prop list;  (** hypotheses above the frame base *)
+        phi : prop;
+        verdict : Registry.verdict;
+      }
+    | PProve of { delta : prop list; phi : prop; result : bool }
+
+  type memo_entry = {
+    e_deriv : Deriv.node;
+    e_stats : Stats.t;  (** the subtree's counters, frozen at store *)
+    e_probes : probe list;  (** chronological *)
+    e_names : int;  (** fresh names the subtree drew *)
+    e_evar_ids : int;  (** evar ids the subtree allocated *)
+    e_insts : int;  (** evar instantiations it performed *)
+    e_steps : int;  (** budget steps it consumed *)
+    e_loc : Rc_util.Srcloc.t option;
+    e_loc_changed : bool;
+    e_head : string option;
+    e_head_changed : bool;
+  }
+
+  (** One open recording: pushed when a memoizable goal misses, popped
+      when its subtree completes.  Frames nest (a goto inside a goto);
+      probes are recorded into every open frame, each against its own
+      base. *)
+  type frame = {
+    fr_key : int;
+    fr_base : prop list;  (** ctx.props at open — the probe-delta base *)
+    fr_saved_stats : Stats.t;  (** the enclosing collector, swapped out *)
+    fr_names0 : int;
+    fr_evar0 : int;  (** evar-id watermark: the store gate *)
+    fr_insts0 : int;
+    fr_steps0 : int;
+    fr_min_saved : int;  (** enclosing [min_inst], restored with min *)
+    fr_loc0 : Rc_util.Srcloc.t option;
+    fr_head0 : string option;
+    mutable fr_probes : probe list;  (** reversed *)
+    mutable fr_poisoned : bool;
+        (** set when a probe cannot be expressed (base not reachable, or
+            an evar-laden [ri_prove]) — solve normally, store nothing *)
+  }
+
+  type memo = {
+    m_intern : Goal.Intern.t;  (** key strings ↦ dense table ids *)
+    m_table : (int, memo_entry) Hashtbl.t;
+    m_max : int;  (** stop storing (not hitting) beyond this size *)
+    mutable m_frames : frame list;  (** innermost first *)
+  }
+
+  (** Engine tuning knobs.  [o_memo] is the [--memo] flag; [o_hashcons]
+      switches the interned-id head dispatch and exists so the benchmark
+      harness can A/B it against the string path — it never changes
+      results, only speed. *)
+  type opts = { o_hashcons : bool; o_memo : bool; o_memo_max : int }
+
+  let default_opts = { o_hashcons = true; o_memo = false; o_memo_max = 4096 }
+
   type st = {
     evars : Evar.t;
-    stats : Stats.t;
+    mutable stats : Stats.t;
+        (** mutable because memo frames swap in a per-frame collector *)
     gen : Rc_util.Gensym.t;
     index : index;
     registry : Registry.t;  (** side-condition discharge configuration *)
@@ -186,6 +330,8 @@ module Make (L : LANG) = struct
     obs : Rc_util.Obs.t;
         (** this check's observability handle ({!Rc_util.Obs.off} when
             disabled — every guard below is then one pattern match) *)
+    hashcons : bool;  (** dispatch on {!L.head_id_of_f} ids *)
+    memo : memo option;  (** [Some] iff within-run memoization is on *)
     mutable cur_loc : Rc_util.Srcloc.t option;
     mutable cur_head : string option;  (** head of the last basic goal *)
   }
@@ -193,6 +339,47 @@ module Make (L : LANG) = struct
   let resolve st t = Evar.resolve st.evars t
   let resolve_prop st p = Evar.resolve_prop st.evars p
   let resolve_atom st a = L.resolve_atom (resolve st) a
+
+  (* [st.stats] only holds the innermost frame's counters while memo
+     frames are open; diagnostics want the run total. *)
+  let total_rule_apps st =
+    let base = st.stats.Stats.rule_apps in
+    match st.memo with
+    | None -> base
+    | Some m ->
+        List.fold_left
+          (fun acc fr -> acc + fr.fr_saved_stats.Stats.rule_apps)
+          base m.m_frames
+
+  (** [props_above props base] is the prefix of [props] above [base],
+      found by physical equality — contexts only ever grow by prepending,
+      so an open frame's base is a tail of every later context in its
+      subtree. *)
+  let props_above (props : prop list) (base : prop list) : prop list option =
+    let rec go acc l =
+      if l == base then Some (List.rev acc)
+      else match l with [] -> None | p :: rest -> go (p :: acc) rest
+    in
+    go [] props
+
+  (** Record a Γ interaction into every open memo frame.  [poison] marks
+      the interaction as unexpressible (an evar-laden [ri_prove] whose
+      result cannot be faithfully revalidated later): the open frames
+      still solve normally but will not be stored. *)
+  let record_probe st ctx ~(poison : bool) (mk : prop list -> probe) : unit =
+    match st.memo with
+    | None -> ()
+    | Some { m_frames = []; _ } -> ()
+    | Some m ->
+        List.iter
+          (fun fr ->
+            if not fr.fr_poisoned then
+              if poison then fr.fr_poisoned <- true
+              else
+                match props_above ctx.props fr.fr_base with
+                | None -> fr.fr_poisoned <- true
+                | Some delta -> fr.fr_probes <- mk delta :: fr.fr_probes)
+          m.m_frames
 
   let rule_input st ctx =
     {
@@ -206,8 +393,14 @@ module Make (L : LANG) = struct
       ri_props = ctx.props;
       ri_prove =
         (fun p ->
-          Registry.default_prove st.registry ~hyps:ctx.props
-            (resolve_prop st p));
+          let phi = resolve_prop st p in
+          let result = Registry.default_prove st.registry ~hyps:ctx.props phi in
+          (* an evar-laden check cannot be revalidated at a later hit
+             site (the frame-local evar ids differ), so it poisons the
+             open frames instead of becoming a probe *)
+          record_probe st ctx ~poison:(has_evars_prop phi) (fun delta ->
+              PProve { delta; phi; result });
+          result);
       ri_peek =
         (fun pred -> List.find_opt (fun a -> pred (resolve_atom st a)) ctx.delta);
     }
@@ -229,7 +422,7 @@ module Make (L : LANG) = struct
         ~args:
           [
             ("goal_head", Option.value ~default:"?" st.cur_head);
-            ("rule_apps", string_of_int st.stats.Stats.rule_apps);
+            ("rule_apps", string_of_int (total_rule_apps st));
           ]
         ("budget:" ^ label)
     end;
@@ -238,7 +431,7 @@ module Make (L : LANG) = struct
          {
            exh;
            goal_head = st.cur_head;
-           rule_apps = st.stats.Stats.rule_apps;
+           rule_apps = total_rule_apps st;
            elapsed = Rc_util.Budget.elapsed st.budget;
          })
 
@@ -246,6 +439,164 @@ module Make (L : LANG) = struct
     match Rc_util.Budget.step st.budget with
     | Some ex -> exhausted st ctx ex
     | None -> ()
+
+  (* ---------------------------------------------------------------- *)
+  (* Memo frames                                                       *)
+  (* ---------------------------------------------------------------- *)
+
+  (** The interned memo key for a basic goal, or [None] when the
+      judgment is not memoizable.  The key is the judgment's own printed
+      identity ({!L.memo_key_of_f}, evars resolved) plus the resolved Δ
+      in order — order matters because context lookup takes the first
+      related atom.  When the budget bounds recursion depth the current
+      depth joins the key, since the subtree's depth checks then depend
+      on where it starts. *)
+  let memo_key st (m : memo) (depth : int) ctx (f : L.f) : int option =
+    match L.memo_key_of_f (resolve st) f with
+    | None -> None
+    | Some mk ->
+        let b = Buffer.create 256 in
+        Buffer.add_string b mk;
+        List.iter
+          (fun a ->
+            Buffer.add_char b '|';
+            Buffer.add_string b (Fmt.str "%a" L.pp_atom (resolve_atom st a)))
+          ctx.delta;
+        (match Rc_util.Budget.depth_limit st.budget with
+        | Some _ -> Buffer.add_string b (Printf.sprintf "|d%d" depth)
+        | None -> ());
+        Some (Goal.Intern.id m.m_intern (Buffer.contents b))
+
+  (** Re-check every Γ interaction of a candidate entry against the
+      current Γ.  Runs without observers and records nothing: a passing
+      validation must leave no trace of its own (the entry's recorded
+      stats and probes are replayed separately), and a failing one falls
+      back to a fresh solve. *)
+  let memo_validate st ctx (e : memo_entry) : bool =
+    List.for_all
+      (fun p ->
+        match p with
+        | PSolve { delta; phi; verdict } ->
+            Registry.solve st.registry ~obs:Rc_util.Obs.off
+              ~tactics:st.tactics ~hyps:(delta @ ctx.props) phi
+            = verdict
+        | PProve { delta; phi; result } ->
+            Registry.default_prove st.registry ~hyps:(delta @ ctx.props) phi
+            = result)
+      e.e_probes
+
+  let memo_open st (m : memo) (key : int) ctx : frame =
+    let fr =
+      {
+        fr_key = key;
+        fr_base = ctx.props;
+        fr_saved_stats = st.stats;
+        fr_names0 = Rc_util.Gensym.count st.gen;
+        fr_evar0 = Evar.next_id st.evars;
+        fr_insts0 = st.evars.Evar.instantiations;
+        fr_steps0 = Rc_util.Budget.steps st.budget;
+        fr_min_saved = st.evars.Evar.min_inst;
+        fr_loc0 = st.cur_loc;
+        fr_head0 = st.cur_head;
+        fr_probes = [];
+        fr_poisoned = false;
+      }
+    in
+    st.stats <- Stats.create ();
+    st.evars.Evar.min_inst <- max_int;
+    m.m_frames <- fr :: m.m_frames;
+    fr
+
+  (* Merge the frame's counters back into the enclosing collector and
+     restore the instantiation watermark, propagating the frame-period
+     minimum so outer frames still see instantiations made inside. *)
+  let memo_pop st (m : memo) (fr : frame) : Stats.t =
+    (match m.m_frames with
+    | top :: rest when top == fr -> m.m_frames <- rest
+    | _ -> invalid_arg "Engine.memo_pop: frame stack out of order");
+    let child = st.stats in
+    st.stats <- fr.fr_saved_stats;
+    Stats.merge st.stats child;
+    st.evars.Evar.min_inst <- min fr.fr_min_saved st.evars.Evar.min_inst;
+    child
+
+  let memo_abort st (m : memo) (fr : frame) : unit =
+    ignore (memo_pop st m fr)
+
+  (** Close a successfully solved frame and store its entry — unless the
+      frame was poisoned, the subtree instantiated a pre-existing evar
+      (its proof then depends on state the key cannot see), or the table
+      is full. *)
+  let memo_close st (m : memo) (fr : frame) (d : Deriv.node) : unit =
+    let frame_min = st.evars.Evar.min_inst in
+    let child = memo_pop st m fr in
+    let storable =
+      (not fr.fr_poisoned)
+      && frame_min >= fr.fr_evar0
+      && Hashtbl.length m.m_table < m.m_max
+    in
+    if storable then begin
+      Hashtbl.replace m.m_table fr.fr_key
+        {
+          e_deriv = d;
+          e_stats = child;
+          e_probes = List.rev fr.fr_probes;
+          e_names = Rc_util.Gensym.count st.gen - fr.fr_names0;
+          e_evar_ids = Evar.next_id st.evars - fr.fr_evar0;
+          e_insts = st.evars.Evar.instantiations - fr.fr_insts0;
+          e_steps = Rc_util.Budget.steps st.budget - fr.fr_steps0;
+          e_loc = st.cur_loc;
+          e_loc_changed = st.cur_loc <> fr.fr_loc0;
+          e_head = st.cur_head;
+          e_head_changed = st.cur_head <> fr.fr_head0;
+        };
+      if Rc_util.Obs.on st.obs then Rc_util.Obs.counter st.obs "memo.store"
+    end
+
+  (** Replay a validated entry: realign every observable side effect the
+      subsumed search would have had, then return its derivation. *)
+  let memo_hit st (m : memo) ctx (e : memo_entry) : Deriv.node =
+    if Rc_util.Obs.on st.obs then Rc_util.Obs.counter st.obs "memo.hit";
+    (* rebase the entry's probes into the enclosing recordings: a frame
+       stored from here must revalidate them too, against its own base *)
+    if e.e_probes <> [] then
+      List.iter
+        (fun fr ->
+          if not fr.fr_poisoned then
+            match props_above ctx.props fr.fr_base with
+            | None -> fr.fr_poisoned <- true
+            | Some outer ->
+                List.iter
+                  (fun p ->
+                    let p' =
+                      match p with
+                      | PSolve r -> PSolve { r with delta = r.delta @ outer }
+                      | PProve r -> PProve { r with delta = r.delta @ outer }
+                    in
+                    fr.fr_probes <- p' :: fr.fr_probes)
+                  e.e_probes)
+        m.m_frames;
+    Rc_util.Gensym.skip st.gen e.e_names;
+    Evar.skip_ids st.evars e.e_evar_ids;
+    Evar.credit_instantiations st.evars e.e_insts;
+    (* the Figure-7 columns merge additively (a replay must report
+       exactly what re-solving would have), but the memo counters are
+       *live-site* diagnostics: one replay event here, subsuming the
+       entry's (fully expanded) applications.  The entry's own recorded
+       counters must not compound through nested replays — that would
+       let "saved" exceed the total and make hit counts exponential in
+       the nesting depth. *)
+    let hits0 = st.stats.Stats.memo_hits
+    and saved0 = st.stats.Stats.memo_saved_apps in
+    Stats.merge st.stats e.e_stats;
+    st.stats.Stats.memo_hits <- hits0 + 1;
+    st.stats.Stats.memo_saved_apps <- saved0 + e.e_stats.Stats.rule_apps;
+    if e.e_loc_changed then st.cur_loc <- e.e_loc;
+    if e.e_head_changed then st.cur_head <- e.e_head;
+    (match Rc_util.Budget.charge st.budget e.e_steps with
+    | Some ex -> exhausted st ctx ex
+    | None -> ());
+    e.e_deriv
 
   (* ---------------------------------------------------------------- *)
   (* Side conditions (goal case 6c + evar heuristics of §5)            *)
@@ -292,6 +643,8 @@ module Make (L : LANG) = struct
           | Registry.Unsolved ->
               fail st ctx (Report.Unsolved_side_condition phi)
           | v -> Stats.record_side st.stats v (prop_to_string phi));
+          record_probe st ctx ~poison:false (fun delta ->
+              PSolve { delta; phi; verdict });
           if Rc_util.Obs.on st.obs then
             Rc_util.Obs.counter st.obs
               (match verdict with
@@ -344,48 +697,28 @@ module Make (L : LANG) = struct
         Deriv.make ~info:(term_to_string (resolve st e)) "intro-exists" [ d ]
     (* case 5 *)
     | Goal.Basic f -> begin
-        (match L.loc_of_f f with Some l -> st.cur_loc <- Some l | None -> ());
-        let head = L.head_of_f f in
-        st.cur_head <- Some head;
-        Rc_util.Faultsim.point st.registry.Registry.fault "rule_lookup";
-        let ri = rule_input st ctx in
-        let rec try_rules = function
-          | [] ->
-              fail st ctx (Report.No_rule_applies (Fmt.str "%a" L.pp_f f))
-          | r :: rest -> (
-              match r.apply ri f with
-              | Some premise ->
-                  Stats.record_rule st.stats r.rname;
-                  let d =
-                    if Rc_util.Obs.on st.obs then begin
-                      (* span over the whole premise solve: the browsable
-                         proof-search tree.  Self-time (span minus nested
-                         rule spans) feeds the profiler; the exception
-                         handler keeps the trace balanced when a nested
-                         goal fails or exhausts its budget. *)
-                      let name = "rule:" ^ r.rname in
-                      Rc_util.Obs.counter st.obs ("rule.apps." ^ r.rname);
-                      Rc_util.Obs.enter_span st.obs ~cat:"rule"
-                        ~key:("rule.self_ns." ^ r.rname)
-                        ~args:[ ("head", head) ]
-                        name;
-                      match solve ctx premise with
-                      | d ->
-                          Rc_util.Obs.exit_span st.obs ~cat:"rule" name;
-                          d
-                      | exception e ->
-                          Rc_util.Obs.exit_span st.obs ~cat:"rule" name;
-                          raise e
-                    end
-                    else solve ctx premise
-                  in
-                  Deriv.make
-                    ~info:(Fmt.str "%a" L.pp_f f)
-                    ?loc:(L.loc_of_f f)
-                    ("rule:" ^ r.rname) [ d ]
-              | None -> try_rules rest)
-        in
-        try_rules (rules_for st.index head)
+        match st.memo with
+        | None -> solve_basic st depth ctx f
+        | Some m -> (
+            match memo_key st m depth ctx f with
+            | None -> solve_basic st depth ctx f
+            | Some key -> (
+                match Hashtbl.find_opt m.m_table key with
+                | Some e when memo_validate st ctx e -> memo_hit st m ctx e
+                | found ->
+                    (if Rc_util.Obs.on st.obs then
+                       Rc_util.Obs.counter st.obs
+                         (match found with
+                         | None -> "memo.miss"
+                         | Some _ -> "memo.invalid"));
+                    let fr = memo_open st m key ctx in
+                    (match solve_basic st depth ctx f with
+                    | d ->
+                        memo_close st m fr d;
+                        d
+                    | exception ex ->
+                        memo_abort st m fr;
+                        raise ex)))
       end
     (* case 6 *)
     | Goal.Star (h, g') -> begin
@@ -483,6 +816,58 @@ module Make (L : LANG) = struct
             let d = solve ctx (cont a) in
             Deriv.make ~info:(Fmt.str "%a" L.pp_atom a) "find" [ d ])
 
+  (* goal case 5 proper: rule lookup and first-match-commits application *)
+  and solve_basic (st : st) (depth : int) (ctx : ctx) (f : L.f) : Deriv.node =
+    (match L.loc_of_f f with Some l -> st.cur_loc <- Some l | None -> ());
+    let bucket, head =
+      if st.hashcons then begin
+        let id = L.head_id_of_f f in
+        (st.index.idx_by_id.(id), L.head_names.(id))
+      end
+      else
+        let head = L.head_of_f f in
+        (rules_for st.index head, head)
+    in
+    st.cur_head <- Some head;
+    Rc_util.Faultsim.point st.registry.Registry.fault "rule_lookup";
+    let ri = rule_input st ctx in
+    let rec try_rules = function
+      | [] -> fail st ctx (Report.No_rule_applies (Fmt.str "%a" L.pp_f f))
+      | r :: rest -> (
+          match r.apply ri f with
+          | Some premise ->
+              Stats.record_rule st.stats r.rname;
+              let d =
+                if Rc_util.Obs.on st.obs then begin
+                  (* span over the whole premise solve: the browsable
+                     proof-search tree.  Self-time (span minus nested
+                     rule spans) feeds the profiler; the exception
+                     handler keeps the trace balanced when a nested
+                     goal fails or exhausts its budget. *)
+                  let name = "rule:" ^ r.rname in
+                  Rc_util.Obs.counter st.obs ("rule.apps." ^ r.rname);
+                  Rc_util.Obs.enter_span st.obs ~cat:"rule"
+                    ~key:("rule.self_ns." ^ r.rname)
+                    ~args:[ ("head", head) ]
+                    name;
+                  match solve st (depth + 1) ctx premise with
+                  | d ->
+                      Rc_util.Obs.exit_span st.obs ~cat:"rule" name;
+                      d
+                  | exception e ->
+                      Rc_util.Obs.exit_span st.obs ~cat:"rule" name;
+                      raise e
+                end
+                else solve st (depth + 1) ctx premise
+              in
+              Deriv.make
+                ~info:(Fmt.str "%a" L.pp_f f)
+                ?loc:(L.loc_of_f f)
+                ("rule:" ^ r.rname) [ d ]
+          | None -> try_rules rest)
+    in
+    try_rules bucket
+
   (* ---------------------------------------------------------------- *)
   (* Entry point                                                       *)
   (* ---------------------------------------------------------------- *)
@@ -495,7 +880,8 @@ module Make (L : LANG) = struct
   let run_indexed (index : index) ?(registry = Registry.default)
       ?(gs = Evar.default_simp_cfg) ~(env : L.env) ~(tactics : string list)
       ?(budget = Rc_util.Budget.unlimited) ?(obs = Rc_util.Obs.off)
-      ?(ctx = empty_ctx) (g : goal) : (result, Report.t) Stdlib.result =
+      ?(opts = default_opts) ?(ctx = empty_ctx) (g : goal) :
+      (result, Report.t) Stdlib.result =
     let st =
       {
         evars = Evar.create ?fault:registry.Registry.fault ~obs ();
@@ -508,6 +894,17 @@ module Make (L : LANG) = struct
         tactics;
         budget = Rc_util.Budget.start budget;
         obs;
+        hashcons = opts.o_hashcons;
+        memo =
+          (if opts.o_memo then
+             Some
+               {
+                 m_intern = Goal.Intern.create ();
+                 m_table = Hashtbl.create 256;
+                 m_max = opts.o_memo_max;
+                 m_frames = [];
+               }
+           else None);
         cur_loc = None;
         cur_head = None;
       }

@@ -24,6 +24,10 @@ type t = {
   entries : (int, entry) Hashtbl.t;
   gen : Rc_util.Gensym.t;
   mutable instantiations : int;  (** Figure 7's ∃ column *)
+  mutable min_inst : int;
+      (** smallest evar id instantiated so far ([max_int] if none) — the
+          engine's memo layer compares it against a frame's id watermark
+          to detect instantiations of pre-existing evars *)
   fault : Rc_util.Faultsim.t option;
       (** the owning session's fault campaign, for the evar_resolve site *)
   obs : Rc_util.Obs.t;
@@ -37,9 +41,25 @@ let create ?fault ?(obs = Rc_util.Obs.off) () =
     entries = Hashtbl.create 64;
     gen = Rc_util.Gensym.create ();
     instantiations = 0;
+    min_inst = max_int;
     fault;
     obs;
   }
+
+(** [next_id st] is the id the next [fresh] will allocate — the memo
+    layer's frame watermark. *)
+let next_id (st : t) = Rc_util.Gensym.count st.gen
+
+(** [skip_ids st n] burns [n] evar ids without creating entries, so a
+    memo replay leaves the id counter exactly where the replayed search
+    would have. *)
+let skip_ids (st : t) (n : int) = Rc_util.Gensym.skip st.gen n
+
+(** [credit_instantiations st n] accounts for [n] instantiations that a
+    memo replay subsumed (Figure 7's ∃ column must not depend on
+    memoization). *)
+let credit_instantiations (st : t) (n : int) =
+  if n > 0 then st.instantiations <- st.instantiations + n
 
 let fresh ?(hint = "x") (st : t) (sort : Sort.t) : term =
   let id = Rc_util.Gensym.fresh_int st.gen in
@@ -66,6 +86,7 @@ let set (st : t) (id : int) (t : term) : unit =
   | Some e when e.inst = None ->
       e.inst <- Some t;
       st.instantiations <- st.instantiations + 1;
+      if id < st.min_inst then st.min_inst <- id;
       if Rc_util.Obs.on st.obs then begin
         Rc_util.Obs.counter st.obs "evar.insts";
         Rc_util.Obs.instant st.obs ~cat:"evar"

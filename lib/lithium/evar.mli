@@ -15,6 +15,10 @@ type t = {
   entries : (int, entry) Hashtbl.t;
   gen : Rc_util.Gensym.t;
   mutable instantiations : int;  (** Figure 7's ∃ column *)
+  mutable min_inst : int;
+      (** smallest evar id instantiated so far ([max_int] if none); the
+          engine's memo layer compares it against a frame watermark to
+          detect instantiations of pre-existing evars *)
   fault : Rc_util.Faultsim.t option;
       (** the owning session's fault campaign, for the evar_resolve site *)
   obs : Rc_util.Obs.t;
@@ -31,6 +35,18 @@ and entry = {
 
 val create : ?fault:Rc_util.Faultsim.t -> ?obs:Rc_util.Obs.t -> unit -> t
 val fresh : ?hint:string -> t -> Sort.t -> Term.term
+
+val next_id : t -> int
+(** the id the next [fresh] will allocate — the memo layer's frame
+    watermark *)
+
+val skip_ids : t -> int -> unit
+(** burn ids without creating entries, so a memo replay leaves the id
+    counter where the replayed search would have *)
+
+val credit_instantiations : t -> int -> unit
+(** account for instantiations a memo replay subsumed *)
+
 val lookup : t -> int -> Term.term option
 val resolve : t -> Term.term -> Term.term
 val resolve_prop : t -> Term.prop -> Term.prop

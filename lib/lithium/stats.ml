@@ -15,6 +15,13 @@ type t = {
   mutable side_manual : int;
   mutable manual_detail : (string * string) list;
       (** (solver-or-lemma, printed side condition) *)
+  mutable memo_hits : int;
+      (** memoized-subgoal replays; the subsumed rule applications are
+          already merged into [rule_apps]/[rules_used], so Figure-7
+          columns match a memo-off run exactly *)
+  mutable memo_saved_apps : int;
+      (** rule applications the memo hits subsumed (counted inside
+          [rule_apps] as well — this field reports the saving) *)
 }
 
 let create () =
@@ -25,6 +32,8 @@ let create () =
     side_auto = 0;
     side_manual = 0;
     manual_detail = [];
+    memo_hits = 0;
+    memo_saved_apps = 0;
   }
 
 let record_rule t name =
@@ -59,7 +68,9 @@ let merge a b =
      Keeping [b]'s (later) entries at the head makes the serialized
      order [a]'s entries then [b]'s — source order for a driver merging
      per-function stats, regardless of [-j N]. *)
-  a.manual_detail <- b.manual_detail @ a.manual_detail
+  a.manual_detail <- b.manual_detail @ a.manual_detail;
+  a.memo_hits <- a.memo_hits + b.memo_hits;
+  a.memo_saved_apps <- a.memo_saved_apps + b.memo_saved_apps
 
 (** Deterministic JSON rendering: [rules_used] is emitted in sorted
     order and [manual_detail] in chronological order, so two runs that
@@ -84,8 +95,9 @@ let to_json t : string =
   in
   Buffer.add_string b
     (Printf.sprintf
-       "{\"rule_apps\":%d,\"distinct_rules\":%d,\"evar_insts\":%d,\"side_auto\":%d,\"side_manual\":%d,\"rules_used\":{"
-       t.rule_apps (distinct_rules t) t.evar_insts t.side_auto t.side_manual);
+       "{\"rule_apps\":%d,\"distinct_rules\":%d,\"evar_insts\":%d,\"side_auto\":%d,\"side_manual\":%d,\"memo_hits\":%d,\"memo_saved_apps\":%d,\"rules_used\":{"
+       t.rule_apps (distinct_rules t) t.evar_insts t.side_auto t.side_manual
+       t.memo_hits t.memo_saved_apps);
   let rules =
     List.sort compare (Hashtbl.fold (fun k v l -> (k, v) :: l) t.rules_used [])
   in
@@ -106,4 +118,8 @@ let to_json t : string =
 
 let pp ppf t =
   Fmt.pf ppf "rules %d/%d, ∃ %d, ⌜φ⌝ %d/%d" (distinct_rules t) t.rule_apps
-    t.evar_insts t.side_auto t.side_manual
+    t.evar_insts t.side_auto t.side_manual;
+  (* only under --memo, so memo-off output is untouched *)
+  if t.memo_hits > 0 then
+    Fmt.pf ppf ", memo %d hits (%d apps replayed)" t.memo_hits
+      t.memo_saved_apps

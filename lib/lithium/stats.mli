@@ -13,6 +13,12 @@ type t = {
           (the paper's conservative "manual" counting) *)
   mutable manual_detail : (string * string) list;
       (** (solver-or-lemma, printed side condition) *)
+  mutable memo_hits : int;
+      (** memoized-subgoal replays; the subsumed applications are merged
+          into [rule_apps]/[rules_used], keeping Figure-7 columns
+          independent of memoization *)
+  mutable memo_saved_apps : int;
+      (** rule applications the memo hits subsumed (reported saving) *)
 }
 
 val create : unit -> t

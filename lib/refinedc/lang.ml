@@ -187,6 +187,58 @@ let all_heads =
     "write"; "binop"; "unop"; "cast"; "if"; "switch"; "call"; "cas";
   ]
 
+(* The interned-head vocabulary: [head_id_of_f] must stay aligned with
+   [head_names] (same order as [all_heads] and [head_of_f]). *)
+let head_names = Array.of_list all_heads
+
+let head_id_of_f = function
+  | FSubsume _ -> 0
+  | FBlock _ -> 1
+  | FGoto _ -> 2
+  | FExpr _ -> 3
+  | FReadLoc _ -> 4
+  | FReadTy _ -> 5
+  | FWriteLoc _ -> 6
+  | FWriteTy _ -> 7
+  | FBinop _ -> 8
+  | FUnop _ -> 9
+  | FCast _ -> 10
+  | FIf _ -> 11
+  | FSwitchJ _ -> 12
+  | FCall _ -> 13
+  | FCas _ -> 14
+
+(** Memoizable judgments.  ⊢GOTO is the only one: its continuation is
+    fully implied by its own data (the target block's code, looked up in
+    [sigma]), so its printed identity plus the resolved Δ determines the
+    whole subtree.  Every other judgment carries its continuation as a
+    closure the printer cannot see.  The key includes the goto-inlining
+    depth (it bounds further inlining) and the parameter/variable
+    environments, which are the only [sigma] components that vary
+    between visits to the same target within one checked function. *)
+let memo_key_of_f (resolve : term -> term) = function
+  | FGoto { sigma; target } ->
+      let b = Buffer.create 128 in
+      Buffer.add_string b target;
+      Buffer.add_char b '@';
+      Buffer.add_string b (string_of_int sigma.fc_depth);
+      List.iter
+        (fun (x, t) ->
+          Buffer.add_char b ';';
+          Buffer.add_string b x;
+          Buffer.add_char b '=';
+          Buffer.add_string b (term_to_string (resolve t)))
+        sigma.fc_penv;
+      List.iter
+        (fun (x, t) ->
+          Buffer.add_char b '!';
+          Buffer.add_string b x;
+          Buffer.add_char b '=';
+          Buffer.add_string b (term_to_string (resolve t)))
+        sigma.fc_env;
+      Some (Buffer.contents b)
+  | _ -> None
+
 let stmt_loc sigma label idx =
   List.assoc_opt (label, idx) sigma.fc_meta.fm_stmt_locs
 
@@ -252,6 +304,9 @@ module L = struct
   let pp_f = pp_f
   let pp_atom = Rtype.pp_atom
   let head_of_f = head_of_f
+  let head_id_of_f = head_id_of_f
+  let head_names = head_names
+  let memo_key_of_f = memo_key_of_f
   let loc_of_f = loc_of_f
   let related = Rtype.related
   let resolve_atom = Rtype.resolve_atom

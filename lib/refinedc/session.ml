@@ -55,6 +55,23 @@ type exec_cfg = {
 let default_exec : exec_cfg =
   { x_deadline = None; x_retries = 0; x_pool = None; x_cancel = None }
 
+(** Engine speed configuration ([--memo]): within-run subgoal
+    memoization.  Part of the session because it is part of the *proof
+    search* configuration — it never changes verdicts (the engine
+    revalidates every Γ interaction before accepting a hit), but it does
+    change derivation sharing, so the certificate path refuses it (the
+    driver disables memoization under [--cert]). *)
+type memo_cfg = {
+  mm_enabled : bool;
+  mm_max : int;  (** per-function memo-table bound *)
+  mm_hashcons : bool;
+      (** id-indexed head dispatch (on by default; the benchmark harness
+          turns it off to measure the string-keyed baseline) *)
+}
+
+let default_memo : memo_cfg =
+  { mm_enabled = false; mm_max = 4096; mm_hashcons = true }
+
 type t = {
   index : Lang.E.index;  (** compiled typing rules (head-indexed) *)
   extra_rules : Lang.E.rule list;
@@ -73,6 +90,10 @@ type t = {
           per function, so shared-session [-j N] runs stay race-free. *)
   lint : lint_cfg;  (** pre-verification static analysis configuration *)
   exec : exec_cfg;  (** execution robustness: pool, deadline, retries *)
+  memo : memo_cfg;  (** within-run subgoal memoization *)
+  profile : (string * int) list;
+      (** the rule-hit profile the index was compiled with ([--pgo]);
+          kept for reporting — the dispatch effect lives in [index] *)
 }
 
 (** Build a session.  Omitted components default to the standard
@@ -82,9 +103,10 @@ type t = {
 let create ?(rules = []) ?(registry = Rc_pure.Registry.default)
     ?(gs = Rc_lithium.Evar.default_simp_cfg) ?tenv
     ?(budget = Rc_util.Budget.unlimited) ?(obs = Rc_util.Obs.cfg_off)
-    ?(lint = default_lint) ?(exec = default_exec) () : t =
+    ?(lint = default_lint) ?(exec = default_exec) ?(memo = default_memo)
+    ?(profile = []) () : t =
   {
-    index = Rules.make ~extra:rules ();
+    index = Rules.make ~extra:rules ~profile ();
     extra_rules = rules;
     registry;
     gs;
@@ -93,6 +115,8 @@ let create ?(rules = []) ?(registry = Rc_pure.Registry.default)
     obs;
     lint;
     exec;
+    memo;
+    profile;
   }
 
 let fault (s : t) : Rc_util.Faultsim.t option = s.registry.Rc_pure.Registry.fault
@@ -114,3 +138,7 @@ let with_lint (s : t) lint : t = { s with lint }
 (** Replace the execution-robustness configuration (a CLI convenience,
     like {!with_budget}). *)
 let with_exec (s : t) exec : t = { s with exec }
+
+(** Replace the memoization configuration (a CLI convenience, like
+    {!with_budget}). *)
+let with_memo (s : t) memo : t = { s with memo }

@@ -152,9 +152,16 @@ let check_fn ?(globals = []) ?(obs = Rc_util.Obs.off) ~(session : Session.t)
                inv_branch (label, inv) ))
            ftc.invs)
   in
+  let opts =
+    {
+      E.o_memo = session.Session.memo.Session.mm_enabled;
+      o_memo_max = session.Session.memo.Session.mm_max;
+      o_hashcons = session.Session.memo.Session.mm_hashcons;
+    }
+  in
   E.run_indexed session.Session.index ~registry:session.Session.registry
     ~gs:session.Session.gs ~env:te ~tactics:spec.fs_tactics
-    ~budget:session.Session.budget ~obs goal
+    ~budget:session.Session.budget ~obs ~opts goal
 
 (* ------------------------------------------------------------------ *)
 (* Verification-cache keys                                             *)
@@ -198,10 +205,16 @@ let lint_signature (l : Session.lint_cfg) : string =
     | Some ps -> String.concat "," ps)
     l.Session.l_werror
 
+(* The version tag must be bumped whenever the Marshal'd payload layout
+   changes (it serializes [Stats.t]); "v3" added the memo counters.  The
+   memo configuration itself is deliberately *not* part of the key: a
+   hit never changes verdicts or Figure-7 counts, so memo-on and
+   memo-off runs may share entries.  A [--pgo] profile does enter the
+   key, via the reordered index's fingerprint. *)
 let toolchain_fingerprint (session : Session.t) : string =
   Rc_util.Vercache.fingerprint
     [
-      "refinedc-check-v2";
+      "refinedc-check-v3";
       Sys.ocaml_version;
       Rules.fingerprint session.Session.index;
       Registry.fingerprint session.Session.registry;

@@ -49,11 +49,15 @@ type session = Session.t
       supervised worker pool, whole-run deadline, transient-fault retry
       allowance and cooperative-cancellation poll (see README
       "Robustness & degradation").  [deadline]/[retries]/[pool]/[cancel]
-      are conveniences that build it field-wise. *)
+      are conveniences that build it field-wise;
+    - [memo]: enable within-run subgoal memoization ([--memo]) — see
+      README "Engine speed";
+    - [profile]: accumulated rule-hit counts ([--pgo]) used to order
+      equal-priority rules inside each head bucket. *)
 let create_session ?(case_studies = false) ?(rules = []) ?(solvers = [])
     ?(lemmas = []) ?hooks ?(default_only = false) ?(no_goal_simp = false)
     ?(type_defs = []) ?budget ?fault ?obs ?lint ?exec ?deadline ?retries ?pool
-    ?cancel () : session =
+    ?cancel ?memo ?profile () : session =
   let hooks =
     match hooks with
     | Some h -> h
@@ -84,7 +88,13 @@ let create_session ?(case_studies = false) ?(rules = []) ?(solvers = [])
         (match cancel with Some _ -> cancel | None -> base.Session.x_cancel);
     }
   in
-  Session.create ~rules ~registry ~gs ~tenv ?budget ?obs ?lint ~exec ()
+  let memo =
+    match memo with
+    | Some true -> Some { Session.default_memo with Session.mm_enabled = true }
+    | Some false | None -> None
+  in
+  Session.create ~rules ~registry ~gs ~tenv ?budget ?obs ?lint ~exec ?memo
+    ?profile ()
 
 (** Check every specified function of a C file under [session]. *)
 let check_file ?session ?fail_fast ?jobs ?cache (path : string) : Driver.t =

@@ -70,10 +70,27 @@ let start (limits : limits) : t =
 
 let steps t = t.steps
 let elapsed t = Int64.to_float (Int64.sub (now_ns ()) t.start_ns) /. 1e9
+let depth_limit t = t.limits.max_depth
 
 (** Account for one goal step.  [None] means the budget still has room. *)
 let step (t : t) : exhaustion option =
   t.steps <- t.steps + 1;
+  if t.no_limits then None
+  else
+    match t.limits.fuel with
+    | Some f when t.steps > f -> Some (Out_of_fuel f)
+    | _ -> (
+        match t.deadline_ns with
+        | Some d when Int64.compare (now_ns ()) d > 0 ->
+            Some (Timed_out (Option.value ~default:0. t.limits.timeout))
+        | _ -> None)
+
+(** Account for [n] goal steps at once.  The engine's memo replay charges
+    a whole subtree's fuel in one call, so a memoized run exhausts the
+    same step budget as the run it replays; the deadline is re-checked
+    once. *)
+let charge (t : t) (n : int) : exhaustion option =
+  t.steps <- t.steps + n;
   if t.no_limits then None
   else
     match t.limits.fuel with

@@ -25,6 +25,15 @@ let fresh_int t =
 
 let reset t = t.next <- 0
 
+(** [count t] is the number of names drawn so far — the counter value the
+    next [fresh] will use. *)
+let count t = t.next
+
+(** [skip t n] advances the counter by [n] without producing names.  The
+    engine's memo replay uses it to keep downstream fresh names identical
+    to the names an un-memoized run would have drawn. *)
+let skip t n = if n > 0 then t.next <- t.next + n
+
 (** [base name] strips the ["%n"] suffix added by [fresh], for display. *)
 let base name =
   match String.index_opt name '%' with

@@ -1,0 +1,99 @@
+(** The on-disk rule-profile store behind profile-guided dispatch
+    ([--pgo]).
+
+    A store is a directory (conventionally living next to the
+    verification cache) holding one small text file, [rules.prof],
+    mapping typing-rule names to accumulated application counts.  Each
+    [--pgo] run loads the counts, lets the engine order equal-priority
+    rules within a head bucket by measured hit-rate (see
+    [Engine.index_rules]'s [~profile]), and merges its own per-rule
+    counts back in afterwards — so the profile sharpens as runs
+    accumulate, exactly like the verification cache warms.
+
+    The robustness contract mirrors {!Vercache}: writes go to a temp
+    file and are [Sys.rename]d into place, a corrupt or unreadable store
+    degrades to the empty profile (static-priority dispatch), and a
+    failed write is dropped silently — the profile is a performance
+    hint, never part of a verdict.  The *effect* of a loaded profile on
+    dispatch order is still observable (the engine folds the final rule
+    order into [idx_fingerprint], which keys the verification cache), so
+    two runs with different profiles never share a cache entry by
+    accident. *)
+
+type t = {
+  dir : string;
+  mutable disabled : bool;  (** set when the directory is unusable *)
+}
+
+let file_name = "rules.prof"
+let path (t : t) = Filename.concat t.dir file_name
+
+let create (dir : string) : t =
+  match
+    if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
+    else if not (Sys.is_directory dir) then failwith "not a directory"
+  with
+  | () -> { dir; disabled = false }
+  | exception _ -> { dir; disabled = true }
+
+let disabled (t : t) = t.disabled
+
+(* One line per rule: "<count> <name>".  The name may contain any
+   character but a newline (rule names are OCaml identifiers plus
+   punctuation like "T-GOTO"), so the count comes first and the name is
+   the rest of the line. *)
+let parse_line (l : string) : (string * int) option =
+  match String.index_opt l ' ' with
+  | None -> None
+  | Some i -> (
+      match int_of_string_opt (String.sub l 0 i) with
+      | Some n when n >= 0 && i + 1 <= String.length l ->
+          let name = String.sub l (i + 1) (String.length l - i - 1) in
+          if name = "" then None else Some (name, n)
+      | _ -> None)
+
+(** Load the accumulated counts; an absent, corrupt or unreadable store
+    is the empty profile. *)
+let load (t : t) : (string * int) list =
+  if t.disabled then []
+  else
+    match In_channel.with_open_bin (path t) In_channel.input_all with
+    | contents ->
+        String.split_on_char '\n' contents |> List.filter_map parse_line
+    | exception _ -> []
+
+(** Merge [counts] into the store (adding to any existing counts) and
+    write the result atomically.  Failures disable the store for the
+    rest of the run — a profile write must never abort a verification
+    run. *)
+let accumulate (t : t) (counts : (string * int) list) : unit =
+  if (not t.disabled) && counts <> [] then begin
+    let tbl = Hashtbl.create 64 in
+    List.iter (fun (k, v) -> Hashtbl.replace tbl k v) (load t);
+    List.iter
+      (fun (k, v) ->
+        if v > 0 then
+          Hashtbl.replace tbl k
+            (v + Option.value ~default:0 (Hashtbl.find_opt tbl k)))
+      counts;
+    let lines =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+      |> List.sort compare
+      |> List.map (fun (k, v) -> Printf.sprintf "%d %s" v k)
+    in
+    let tmp = ref None in
+    match
+      let tf = Filename.temp_file ~temp_dir:t.dir "prof" ".tmp" in
+      tmp := Some tf;
+      Out_channel.with_open_bin tf (fun oc ->
+          Out_channel.output_string oc (String.concat "\n" lines);
+          Out_channel.output_string oc "\n");
+      Sys.rename tf (path t)
+    with
+    | () -> ()
+    | exception _ ->
+        (match !tmp with
+        | Some tf -> ( try Sys.remove tf with Sys_error _ -> ())
+        | None -> ());
+        t.disabled <- true
+  end

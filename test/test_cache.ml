@@ -12,14 +12,7 @@
 module Driver = Rc_frontend.Driver
 module Api = Rc_session.Refinedc_api
 
-let fresh_cache_dir =
-  let n = ref 0 in
-  fun () ->
-    incr n;
-    let base = Filename.temp_file "rc-vercache-test" "" in
-    Sys.remove base;
-    (* distinct directory per test even within one process *)
-    base ^ "-" ^ string_of_int !n
+let fresh_cache_dir () = Testutil.scratch_dir "vercache"
 
 let src =
   {|

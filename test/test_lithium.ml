@@ -25,6 +25,12 @@ module Toy = struct
     | Loop (n, _) -> Fmt.pf ppf "loop %d" n
 
   let head_of_f = function Sub _ -> "sub" | Loop _ -> "loop"
+  let head_id_of_f = function Sub _ -> 0 | Loop _ -> 1
+  let head_names = [| "sub"; "loop" |]
+
+  (* Toy judgments carry their continuation as data, so none of them are
+     memoizable; the memo layer is exercised on the real language. *)
+  let memo_key_of_f _ _ = None
   let loc_of_f _ = None
 
   let related ~exact:_ (c1, _) (c2, _) = String.equal c1 c2

@@ -315,8 +315,7 @@ let with_session_pool k =
   else k None
 
 let fresh_cache tag =
-  let dir = Fmt.str "_supcache_%s_%d" tag (Hashtbl.hash tag) in
-  Rc_util.Vercache.create dir
+  Rc_util.Vercache.create (Testutil.scratch_dir ("supcache_" ^ tag))
 
 (* (a) injected pool crashes and cache corruption never change a
    verdict: every function of the chaos run must report exactly the
