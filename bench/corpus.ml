@@ -24,11 +24,16 @@
 
 let buf_add = Buffer.add_string
 
-(** The standard scalar spec header shared by the int->int families. *)
-let int_fn_header b name =
+(** The standard scalar spec header shared by the int->int families.
+    [~taut:true] appends a tautological precondition — a spec-signature
+    edit that cannot change any verdict (the incremental fixtures use it
+    to dirty exactly one function's interface). *)
+let int_fn_header ?(taut = false) b name =
   buf_add b "[[rc::parameters(\"n : int\")]]\n";
   buf_add b "[[rc::args(\"n @ int<int>\")]]\n";
-  buf_add b "[[rc::requires(\"{0 <= n}\", \"{n <= 1000}\")]]\n";
+  if taut then
+    buf_add b "[[rc::requires(\"{0 <= n}\", \"{n <= 1000}\", \"{0 <= 0}\")]]\n"
+  else buf_add b "[[rc::requires(\"{0 <= n}\", \"{n <= 1000}\")]]\n";
   buf_add b "[[rc::exists(\"r : int\")]]\n";
   buf_add b "[[rc::returns(\"r @ int<int>\")]]\n";
   buf_add b (Printf.sprintf "int %s(int n) {\n" name)
@@ -53,23 +58,89 @@ let diamond_chain ~(k : int) : string =
   buf_add b "  return x;\n}\n";
   Buffer.contents b
 
+(** Single-function edits for the incremental-verification benchmarks
+    and tests.  Every edit keeps the program verifying — the point is to
+    move exactly one function's body digest ([`Body i]: a semantically
+    transparent rewrite), one function's spec signature ([`Spec i]: an
+    extra tautological [rc::requires]), or one loop invariant ([`Inv i])
+    — so the expected dirty cone is known by construction. *)
+type edit = [ `Body of int | `Spec of int | `Inv of int ]
+
+let spec_edited edit i =
+  match edit with Some (`Spec j) -> j = i | _ -> false
+
+let body_edited edit i =
+  match edit with Some (`Body j) -> j = i | _ -> false
+
+let inv_edited edit i =
+  match edit with Some (`Inv j) -> j = i | _ -> false
+
 (** An [n]-function call chain: [f0] calls [f1] calls ... calls
     [f(n-1)].  Functions are emitted callee-first so every call sees its
-    callee's specification. *)
-let call_chain ~(n : int) : string =
-  let b = Buffer.create (256 + (n * 160)) in
+    callee's specification.  [?edit]: [`Body i] rewrites [fi]'s body
+    without touching its spec (expected dirty cone: [fi] alone — early
+    cutoff); [`Spec i] adds a tautological precondition to [fi]
+    (expected dirty cone: [fi] and its direct caller [f(i-1)]).
+    [?weight] prepends that many if/else diamonds to every body, giving
+    each function a realistic per-function proof-search cost (the
+    incremental benchmarks use it so the frontend's whole-file parse
+    does not drown out the verification being saved); 0 keeps the
+    original pure-plumbing chain. *)
+let call_chain ?edit ?(weight = 0) ~(n : int) () : string =
+  let b = Buffer.create (256 + (n * (160 + (weight * 96)))) in
   buf_add b "// generated: call_chain n=";
   buf_add b (string_of_int n);
   buf_add b "\n";
   for i = n - 1 downto 0 do
     buf_add b "[[rc::parameters(\"n : int\")]]\n";
     buf_add b "[[rc::args(\"n @ int<int>\")]]\n";
+    if spec_edited edit i then buf_add b "[[rc::requires(\"{0 <= 0}\")]]\n";
     buf_add b "[[rc::returns(\"n @ int<int>\")]]\n";
-    if i = n - 1 then
-      buf_add b (Printf.sprintf "int f%d(int n) {\n  return n;\n}\n" i)
-    else
+    let ballast = Buffer.create (64 + (weight * 96)) in
+    if weight > 0 then begin
+      buf_add ballast "  int x = 0;\n";
+      for j = 0 to weight - 1 do
+        buf_add ballast
+          (Printf.sprintf
+             "  if (n > %d) {\n    x = %d;\n  } else {\n    x = %d;\n  }\n" j j
+             j)
+      done
+    end;
+    let body =
+      if i = n - 1 then
+        if body_edited edit i then "  int m = n;\n  return m;\n"
+        else "  return n;\n"
+      else if body_edited edit i then
+        Printf.sprintf "  int m = n;\n  return f%d(m);\n" (i + 1)
+      else Printf.sprintf "  return f%d(n);\n" (i + 1)
+    in
+    buf_add b
+      (Printf.sprintf "int f%d(int n) {\n%s%s}\n" i (Buffer.contents ballast)
+         body)
+  done;
+  Buffer.contents b
+
+(** [functions] independent copies of a [k]-diamond function (the
+    {!diamond_chain} shape scaled out across a file): an edit-one-body
+    fixture whose functions share no call edges, so any single edit's
+    dirty cone is exactly the edited function. *)
+let diamond_farm ?edit ~(functions : int) ~(k : int) () : string =
+  let b = Buffer.create (256 + (functions * (256 + (k * 96)))) in
+  buf_add b
+    (Printf.sprintf "// generated: diamond_farm functions=%d k=%d\n" functions
+       k);
+  for fi = 0 to functions - 1 do
+    int_fn_header ~taut:(spec_edited edit fi) b (Printf.sprintf "dia%d" fi);
+    buf_add b "  int x = 0;\n";
+    for i = 0 to k - 1 do
       buf_add b
-        (Printf.sprintf "int f%d(int n) {\n  return f%d(n);\n}\n" i (i + 1))
+        (Printf.sprintf
+           "  if (n > %d) {\n    x = %d;\n  } else {\n    x = %d;\n  }\n" i i
+           i)
+    done;
+    if body_edited edit fi then buf_add b "  int y = x;\n  return y;\n"
+    else buf_add b "  return x;\n";
+    buf_add b "}\n"
   done;
   Buffer.contents b
 
@@ -129,19 +200,22 @@ let wide_exprs ~(stmts : int) ~(width : int) : string =
     the inner-loop shape of the existing studies (binary search, queue
     drain) scaled out across a whole file, so per-function overheads and
     pool fan-out dominate. *)
-let loop_farm ~(functions : int) : string =
+let loop_farm ?edit ~(functions : int) () : string =
   let b = Buffer.create (256 + (functions * 320)) in
   buf_add b "// generated: loop_farm functions=";
   buf_add b (string_of_int functions);
   buf_add b "\n";
   for i = 0 to functions - 1 do
-    int_fn_header b (Printf.sprintf "count%d" i);
+    int_fn_header ~taut:(spec_edited edit i) b (Printf.sprintf "count%d" i);
     buf_add b "  int i = 0;\n";
     buf_add b "  [[rc::exists(\"a : int\")]]\n";
     buf_add b "  [[rc::inv_vars(\"i: a @ int<int>\")]]\n";
-    buf_add b "  [[rc::constraints(\"{0 <= a}\", \"{a <= n}\")]]\n";
+    if inv_edited edit i then
+      buf_add b "  [[rc::constraints(\"{0 <= a}\", \"{a <= n}\", \"{0 <= 0}\")]]\n"
+    else buf_add b "  [[rc::constraints(\"{0 <= a}\", \"{a <= n}\")]]\n";
     buf_add b "  while (i < n) {\n    i = i + 1;\n  }\n";
-    buf_add b "  return i;\n}\n"
+    if body_edited edit i then buf_add b "  int r = i;\n  return r;\n}\n"
+    else buf_add b "  return i;\n}\n"
   done;
   Buffer.contents b
 
@@ -158,13 +232,13 @@ let stress_corpus ~(scale : int) : program list =
   [
     { p_name = "diamonds_small.c"; p_src = diamond_chain ~k:(4 * s) };
     { p_name = "diamonds_large.c"; p_src = diamond_chain ~k:(10 + (2 * s)) };
-    { p_name = "call_chain.c"; p_src = call_chain ~n:(12 * s) };
+    { p_name = "call_chain.c"; p_src = call_chain ~n:(12 * s) () };
     { p_name = "struct_nest.c"; p_src = struct_nest ~depth:(8 * s) };
     (* width is capped at 3: the default side-condition solver is
        exponential in the addition-chain length, and past ~4 terms the
        solver — not engine dispatch — dominates the measurement *)
     { p_name = "wide_exprs.c"; p_src = wide_exprs ~stmts:(10 * s) ~width:3 };
-    { p_name = "loop_farm.c"; p_src = loop_farm ~functions:(8 * s) };
+    { p_name = "loop_farm.c"; p_src = loop_farm ~functions:(8 * s) () };
   ]
 
 (** The diamond sizes for the speedup-curve section of the perf record:

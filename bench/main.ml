@@ -927,6 +927,261 @@ let stress_record ~scale ~jobs ~out () : bool =
   identical && runs_ok
 
 (* ------------------------------------------------------------------ *)
+(* Incremental verification (--incr): dirty-cone measurement           *)
+(* ------------------------------------------------------------------ *)
+
+(* [--incr [--scale N] [--json-out PATH]] measures dependency-cone
+   incremental verification on the stress families that have a
+   function-level structure: cold run, fully-warm run, and two
+   single-function edits (body-only — early cutoff, expected cone 1 —
+   and spec — expected cone = the edited function plus its direct
+   callers).  Each scenario checks three invariants before any timing
+   is trusted: the re-verified set is *exactly* the expected cone, the
+   warm run re-verifies nothing, and the cached verdicts are identical
+   to a from-scratch non-incremental run.  Writes a refinedc-bench/5
+   record (default BENCH_pr8.json). *)
+
+type ifamily = {
+  i_name : string;
+  i_functions : int;
+  i_gen : ?edit:Corpus.edit -> unit -> string;
+  i_body_edit : Corpus.edit;
+  i_body_cone : int;  (** expected dirty-set size for the body edit *)
+  i_spec_edit : Corpus.edit;
+  i_spec_cone : int;  (** expected dirty-set size for the spec edit *)
+}
+
+let incr_families ~scale : ifamily list =
+  let s = max 1 scale in
+  [
+    (let n = 12 * s in
+     {
+       i_name = "call_chain";
+       i_functions = n;
+       i_gen = (fun ?edit () -> Corpus.call_chain ?edit ~weight:3 ~n ());
+       i_body_edit = `Body (n / 2);
+       i_body_cone = 1;
+       (* f(n/2)'s spec signature moved: itself + its caller f(n/2 - 1) *)
+       i_spec_edit = `Spec (n / 2);
+       i_spec_cone = 2;
+     });
+    (let f = 6 * s in
+     {
+       i_name = "diamond_chain";
+       i_functions = f;
+       i_gen = (fun ?edit () -> Corpus.diamond_farm ?edit ~functions:f ~k:4 ());
+       i_body_edit = `Body (f / 2);
+       i_body_cone = 1;
+       (* no call edges between the diamonds: a spec edit dirties only
+          its own function *)
+       i_spec_edit = `Spec (f / 2);
+       i_spec_cone = 1;
+     });
+    (let f = 8 * s in
+     {
+       i_name = "loop_farm";
+       i_functions = f;
+       i_gen = (fun ?edit () -> Corpus.loop_farm ?edit ~functions:f ());
+       i_body_edit = `Inv (f / 2);
+       (* an invariant edit is a body-digest change: cone 1 *)
+       i_body_cone = 1;
+       i_spec_edit = `Spec (f / 2);
+       i_spec_cone = 1;
+     });
+  ]
+
+(* The verdict surface that must be identical between an incremental
+   (cache-replayed) run and a from-scratch non-incremental run: status
+   and Figure-7 statistics per function, in source order, plus the exit
+   code.  (Raw JSON can't be compared byte-for-byte across *modes* —
+   the cache block itself legitimately differs.) *)
+let verdict_sig (t : Driver.t) : string =
+  String.concat "\n"
+    (string_of_int (Driver.exit_code t)
+    :: List.map
+         (fun (r : Driver.check_result) ->
+           match r.outcome with
+           | Ok res ->
+               let s = res.Rc_refinedc.Lang.E.stats in
+               Fmt.str "%s:ok:%d:%d:%d:%d" r.Driver.name s.Stats.rule_apps
+                 s.Stats.evar_insts s.Stats.side_auto s.Stats.side_manual
+           | Error e ->
+               Fmt.str "%s:err:%s" r.Driver.name
+                 (Rc_lithium.Report.to_string e))
+         t.Driver.results)
+
+let incr_scratch = ref 0
+
+let incr_record ~scale ~out () : bool =
+  let open Rc_util.Jsonout in
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "refinedc-incr" in
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  let reps = 3 in
+  let families = incr_families ~scale in
+  Fmt.pr "Incremental corpus: %d families (scale %d) -> %s@."
+    (List.length families) scale dir;
+  let ok_all = ref true in
+  let fam_json =
+    List.map
+      (fun fam ->
+        let path = Filename.concat dir (fam.i_name ^ ".c") in
+        let run src cache =
+          Out_channel.with_open_bin path (fun oc ->
+              Out_channel.output_string oc src);
+          Gc.compact ();
+          let watch = Rc_util.Budget.stopwatch () in
+          let t =
+            Driver.check_file ~session:(Api.create_session ()) ~cache path
+          in
+          (watch (), t)
+        in
+        let reverified (t : Driver.t) =
+          List.length
+            (List.filter (fun (r : Driver.check_result) -> not r.Driver.cached)
+               t.Driver.results)
+        in
+        let all_ok (t : Driver.t) =
+          Driver.errors t = [] && t.Driver.skipped = []
+        in
+        (* one interleaved round: fresh cache, cold -> warm -> body edit
+           -> rebase -> spec edit; the rebase restores every base entry
+           so the spec edit starts from the same warm state *)
+        let round () =
+          incr incr_scratch;
+          let cdir =
+            Filename.concat dir
+              (Printf.sprintf "%s-cache-%d" fam.i_name !incr_scratch)
+          in
+          (* the cold pass must be genuinely cold even when the scratch
+             directory survived a previous bench invocation *)
+          if Sys.file_exists cdir && Sys.is_directory cdir then
+            Array.iter
+              (fun f ->
+                try Sys.remove (Filename.concat cdir f) with Sys_error _ -> ())
+              (Sys.readdir cdir);
+          let cache = Rc_util.Vercache.create cdir in
+          let cold_w, cold_t = run (fam.i_gen ()) cache in
+          let warm_w, warm_t = run (fam.i_gen ()) cache in
+          let body_w, body_t = run (fam.i_gen ~edit:fam.i_body_edit ()) cache in
+          let _rebase = run (fam.i_gen ()) cache in
+          let spec_w, spec_t = run (fam.i_gen ~edit:fam.i_spec_edit ()) cache in
+          ((cold_w, cold_t), (warm_w, warm_t), (body_w, body_t),
+           (spec_w, spec_t))
+        in
+        let rounds = List.init reps (fun _ -> round ()) in
+        let (c0, cold_t0), (w0, warm_t0), (b0, body_t0), (s0, spec_t0) =
+          List.hd rounds
+        in
+        let min_of f =
+          List.fold_left (fun a r -> Float.min a (f r)) infinity rounds
+        in
+        let cold_w = min_of (fun ((w, _), _, _, _) -> w) in
+        let warm_w = min_of (fun (_, (w, _), _, _) -> w) in
+        let body_w = min_of (fun (_, _, (w, _), _) -> w) in
+        let spec_w = min_of (fun (_, _, _, (w, _)) -> w) in
+        ignore (c0, w0, b0, s0);
+        let median_ratio pick =
+          let rs =
+            List.filter_map
+              (fun ((cw, _), _, _, _ as r) ->
+                let ew = pick r in
+                if cw > 0. then Some (ew /. cw) else None)
+              rounds
+            |> List.sort compare
+          in
+          match rs with
+          | [] -> 0.
+          | _ -> List.nth rs (List.length rs / 2)
+        in
+        let body_ratio = median_ratio (fun (_, _, (w, _), _) -> w) in
+        let spec_ratio = median_ratio (fun (_, _, _, (w, _)) -> w) in
+        (* invariants: every run verifies, the warm run replays
+           everything, each edit re-verifies exactly its cone *)
+        let cone_exact =
+          List.for_all
+            (fun ((_, ct), (_, wt), (_, bt), (_, st)) ->
+              let ok =
+                all_ok ct && all_ok wt && all_ok bt && all_ok st
+                && reverified ct = fam.i_functions
+                && reverified wt = 0
+                && reverified bt = fam.i_body_cone
+                && reverified st = fam.i_spec_cone
+              in
+              if not ok then
+                Fmt.epr
+                  "  [%s] round mismatch: ok %b/%b/%b/%b, reverified \
+                   cold=%d/%d warm=%d/0 body=%d/%d spec=%d/%d@."
+                  fam.i_name (all_ok ct) (all_ok wt) (all_ok bt) (all_ok st)
+                  (reverified ct) fam.i_functions (reverified wt)
+                  (reverified bt) fam.i_body_cone (reverified st)
+                  fam.i_spec_cone;
+              ok)
+            rounds
+        in
+        (* verdict identity vs a from-scratch non-incremental run, on
+           the edited sources (the cache-replayed case) *)
+        let plain src =
+          Out_channel.with_open_bin path (fun oc ->
+              Out_channel.output_string oc src);
+          Driver.check_file
+            ~session:(Api.create_session ~incremental:false ())
+            path
+        in
+        let verdicts_identical =
+          verdict_sig body_t0 = verdict_sig (plain (fam.i_gen ~edit:fam.i_body_edit ()))
+          && verdict_sig spec_t0 = verdict_sig (plain (fam.i_gen ~edit:fam.i_spec_edit ()))
+          && verdict_sig cold_t0 = verdict_sig warm_t0
+        in
+        ignore spec_t0;
+        if not (cone_exact && verdicts_identical) then ok_all := false;
+        Fmt.pr
+          "  %-13s %2d fns: cold %.4fs, warm %.4fs, edit-body %.4fs \
+           (%.0f%% of cold, cone %d), edit-spec %.4fs (%.0f%% of cold, \
+           cone %d)%s@."
+          fam.i_name fam.i_functions cold_w warm_w body_w
+          (100. *. body_ratio) fam.i_body_cone spec_w (100. *. spec_ratio)
+          fam.i_spec_cone
+          (if cone_exact && verdicts_identical then ""
+           else "  [INVARIANT VIOLATION]");
+        Obj
+          [
+            ("name", Str fam.i_name);
+            ("functions", Int fam.i_functions);
+            ("cold_wall_s", Float cold_w);
+            ("warm_wall_s", Float warm_w);
+            ("edit_body_wall_s", Float body_w);
+            ("edit_spec_wall_s", Float spec_w);
+            ("warm_reverified", Int (reverified warm_t0));
+            ("edit_body_reverified", Int (reverified body_t0));
+            ("edit_body_cone_expected", Int fam.i_body_cone);
+            ("edit_spec_reverified", Int (reverified spec_t0));
+            ("edit_spec_cone_expected", Int fam.i_spec_cone);
+            ("edit_body_vs_cold", Float body_ratio);
+            ("edit_spec_vs_cold", Float spec_ratio);
+            ("cone_exact", Bool cone_exact);
+            ("verdicts_identical", Bool verdicts_identical);
+          ])
+      families
+  in
+  let record =
+    Obj
+      [
+        ("schema", Str "refinedc-bench/5");
+        ("ocaml", Str Sys.ocaml_version);
+        ("word_size", Int Sys.word_size);
+        ("scale", Int scale);
+        ("reps", Int reps);
+        ("families", List fam_json);
+        ("ok", Bool !ok_all);
+      ]
+  in
+  Out_channel.with_open_bin out (fun oc ->
+      Out_channel.output_string oc (Rc_util.Jsonout.to_string record);
+      Out_channel.output_string oc "\n");
+  Fmt.pr "@.Incremental perf record written to %s@." out;
+  !ok_all
+
+(* ------------------------------------------------------------------ *)
 (* Entry point                                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -938,7 +1193,20 @@ let opt_value args name default =
 
 let () =
   let args = Array.to_list Sys.argv in
-  if List.mem "--stress" args then begin
+  if List.mem "--incr" args then begin
+    let scale =
+      match int_of_string_opt (opt_value args "--scale" "2") with
+      | Some n when n > 0 -> n
+      | _ -> 2
+    in
+    let out = opt_value args "--json-out" "BENCH_pr8.json" in
+    Fmt.pr "Benchmarking incremental verification (perf record -> %s)@." out;
+    if not (incr_record ~scale ~out ()) then begin
+      Fmt.pr "@.INCREMENTAL BENCHMARK FAILED@.";
+      exit 1
+    end
+  end
+  else if List.mem "--stress" args then begin
     let scale =
       match int_of_string_opt (opt_value args "--scale" "2") with
       | Some n when n > 0 -> n

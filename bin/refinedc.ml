@@ -120,6 +120,48 @@ let check_cmd =
              them.  Ignored under $(b,--cert), which must re-check real \
              derivations.")
   in
+  let no_incremental =
+    Arg.(
+      value & flag
+      & info [ "no-incremental" ]
+          ~doc:
+            "Disable dependency-cone incremental verification: key the \
+             cache on the whole file's spec digest (any spec edit \
+             re-proves every function) and dispatch in source order \
+             instead of cost-model order.  Verdicts are identical either \
+             way.")
+  in
+  let explain_cache =
+    Arg.(
+      value & flag
+      & info [ "explain-cache" ]
+          ~doc:
+            "After checking, report why each function was re-proved or \
+             replayed (hit / new / changed:body / changed:spec / \
+             changed:callee:f / evicted / collision) and the dispatch \
+             order chosen for the dirty set.  Goes to stderr under \
+             $(b,--json).  Requires $(b,--cache).")
+  in
+  let cache_stats =
+    Arg.(
+      value & flag
+      & info [ "cache-stats" ]
+          ~doc:
+            "After checking, report the cache store's health: entry and \
+             manifest counts, total bytes, corrupt entries skipped this \
+             run, entries pruned by the size cap.  Goes to stderr under \
+             $(b,--json).  Requires $(b,--cache).")
+  in
+  let cache_max_mb =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "cache-max-mb" ] ~docv:"MB"
+          ~doc:
+            "Cap the verification cache at $(docv) megabytes: on open, \
+             oldest entries are pruned until the store fits.  Requires \
+             $(b,--cache).")
+  in
   let memo =
     Arg.(
       value & flag
@@ -250,10 +292,35 @@ let check_cmd =
           ~doc:"Stop injecting after $(docv) faults; negative = no cap.")
   in
   let run file deriv stats cert semtest fuel timeout max_depth fail_fast json
-      jobs cache memo pgo default_only no_goal_simp trace profile no_lint
-      lint_werror deadline retries fault_seed fault_rate fault_sites fault_max
-      =
+      jobs cache no_incremental explain_cache cache_stats cache_max_mb memo
+      pgo default_only no_goal_simp trace profile no_lint lint_werror deadline
+      retries fault_seed fault_rate fault_sites fault_max =
     let budget = { Rc_util.Budget.fuel; timeout; max_depth } in
+    (* the cache-family flags share --cache's fate under --cert (and are
+       inert without --cache): warn once each, with the same phrasing
+       --memo uses, so no combination is silently ignored *)
+    let cache_flag_on what on =
+      if not on then false
+      else if cert then begin
+        Fmt.epr
+          "warning: %s is ignored under --cert (certificates must be \
+           re-derived)@."
+          what;
+        false
+      end
+      else if cache = None then begin
+        Fmt.epr "warning: %s has no effect without --cache@." what;
+        false
+      end
+      else true
+    in
+    let explain_cache = cache_flag_on "--explain-cache" explain_cache in
+    let cache_stats = cache_flag_on "--cache-stats" cache_stats in
+    let cache_max_mb =
+      if cache_flag_on "--cache-max-mb" (cache_max_mb <> None) then
+        cache_max_mb
+      else None
+    in
     let memo =
       if memo && cert then begin
         Fmt.epr
@@ -325,7 +392,13 @@ let check_cmd =
           }
         ?fault ?deadline ~retries ?pool
         ~cancel:(fun () -> Atomic.get interrupted)
-        ~memo ~profile:rule_profile ()
+        ~memo ~incremental:(not no_incremental) ~profile:rule_profile ()
+    in
+    let session =
+      if explain_cache then
+        Rc_refinedc.Session.with_inc session
+          { session.Rc_refinedc.Session.inc with Rc_refinedc.Session.in_explain = true }
+      else session
     in
     let cache =
       match cache with
@@ -337,7 +410,11 @@ let check_cmd =
       | Some dir -> (
           (* an uncreatable cache directory degrades to an uncached run,
              never an abort *)
-          match Rc_util.Vercache.create dir with
+          match
+            Rc_util.Vercache.create
+              ?max_bytes:(Option.map (fun mb -> mb * 1024 * 1024) cache_max_mb)
+              dir
+          with
           | vc -> Some vc
           | exception Sys_error msg ->
               Fmt.epr
@@ -459,6 +536,32 @@ let check_cmd =
               misses
               (if misses = 1 then "" else "es")
         | None -> ());
+        (* the --explain-cache / --cache-stats reports ride on stderr
+           under --json so stdout stays machine-readable *)
+        let side fmt = if json then Fmt.epr fmt else Fmt.pr fmt in
+        if explain_cache then begin
+          (match t.Driver.schedule with
+          | [] -> side "cache plan: nothing dirty@."
+          | sched -> side "cache plan: re-proving %s@."
+                       (String.concat ", " sched));
+          List.iter
+            (fun (r : Driver.check_result) ->
+              side "  %s: %s@." r.name
+                (Option.value ~default:"no cache" r.Driver.why))
+            t.Driver.results
+        end;
+        (if cache_stats then
+           match cache with
+           | Some vc ->
+               let s = Rc_util.Vercache.stats vc in
+               side
+                 "cache store: %d entries, %d manifests, %d bytes, %d \
+                  corrupt skip%s, %d pruned@."
+                 s.Rc_util.Vercache.st_entries s.Rc_util.Vercache.st_manifests
+                 s.Rc_util.Vercache.st_bytes s.Rc_util.Vercache.st_corrupt_skips
+                 (if s.Rc_util.Vercache.st_corrupt_skips = 1 then "" else "s")
+                 s.Rc_util.Vercache.st_pruned
+           | None -> ());
         (match cache with
         | Some vc when Rc_util.Vercache.disabled vc ->
             Fmt.epr
@@ -510,7 +613,8 @@ let check_cmd =
   Cmd.v (Cmd.info "check" ~doc:"Verify the specified functions of FILE.")
     Term.(
       const run $ file $ deriv $ stats $ cert $ semtest $ fuel $ timeout
-      $ max_depth $ fail_fast $ json $ jobs $ cache $ memo $ pgo
+      $ max_depth $ fail_fast $ json $ jobs $ cache $ no_incremental
+      $ explain_cache $ cache_stats $ cache_max_mb $ memo $ pgo
       $ default_only $ no_goal_simp $ trace $ profile $ no_lint $ lint_werror
       $ deadline $ retries $ fault_seed $ fault_rate $ fault_sites
       $ fault_max)

@@ -27,15 +27,29 @@
 module Syntax = Rc_caesium.Syntax
 module Report = Rc_lithium.Report
 module Session = Rc_refinedc.Session
+module Depgraph = Rc_refinedc.Depgraph
 module Obs = Rc_util.Obs
 module Supervisor = Rc_util.Supervisor
+module Vercache = Rc_util.Vercache
 
 type check_result = {
   name : string;
   outcome : (Rc_refinedc.Lang.E.result, Report.t) result;
   time_s : float;  (** wall-clock seconds spent on this function *)
   cached : bool;  (** verdict replayed from the verification cache *)
+  why : string option;
+      (** why the cache behaved as it did for this function: ["hit"], a
+          {!Rc_util.Vercache.reason_label} miss explanation
+          (["new"], ["changed:body+callee:f"], …), or legacy-mode
+          ["miss"]/["corrupt"]; [None] without a cache *)
 }
+
+(* Where a freshly proved verdict will be stored: under the legacy
+   whole-file key, or as a cone-keyed entry with its manifest. *)
+type store_plan =
+  | No_store
+  | Legacy of string
+  | Keyed of string * (string * string) list  (* manifest id, components *)
 
 (** How the run ended: normally, stopped by the whole-run deadline, or
     stopped by cooperative cancellation (SIGINT/SIGTERM).  Either early
@@ -46,6 +60,14 @@ type stop = Completed | Deadline | Interrupted
 type t = {
   file : string;
   elaborated : Elab.elaborated;
+  graph : Rc_refinedc.Depgraph.t;
+      (** the file's function-level dependency graph (always built — it
+          is cheap, and embedders use it for impact queries) *)
+  schedule : string list;
+      (** the dirty functions in the order they were dispatched:
+          longest-measured-job first from [costs.prof], topological
+          (callees first) for unmeasured ties, source order under
+          [~fail_fast] or with incrementality off *)
   results : check_result list;
   skipped : string list;
       (** functions not attempted: under [~fail_fast], after the
@@ -220,18 +242,27 @@ let check_elaborated ?(fail_fast = false) ?(jobs = 1) ?cache ?(obs = Obs.off)
   let jobs = max 1 jobs in
   let campaign = Session.fault session in
   let exec = session.Session.exec in
+  let incr_on = session.Session.inc.Session.in_enabled in
+  (* the function-level dependency graph: direct spec-level references
+     extracted from Caesium bodies + spec/invariant types, with content
+     digests per node.  Built unconditionally — it is a cheap syntactic
+     pass, it keys the incremental cache, and it orders the cold-run
+     schedule (callees first) *)
+  let graph = Depgraph.build elaborated.to_check in
   (* absolute whole-run deadline, measured from here; the supervisor
      measures its own from dispatch, a few microseconds later *)
   let deadline_watch = Rc_util.Budget.stopwatch () in
+  (* the legacy whole-file key component, used only with incrementality
+     off: digests ALL sibling specs, so any spec edit dirties the file *)
   let specs_digest =
     match cache with
-    | None -> ""
-    | Some _ ->
-        Rc_util.Vercache.fingerprint
+    | Some _ when not incr_on ->
+        Vercache.fingerprint
           (List.sort compare
              (List.map
                 (fun (_, s) -> Rc_refinedc.Rtype.spec_signature s)
                 specs))
+    | _ -> ""
   in
   let children =
     Array.of_list
@@ -245,8 +276,141 @@ let check_elaborated ?(fail_fast = false) ?(jobs = 1) ?cache ?(obs = Obs.off)
           ("fn:" ^ fn_name f))
       elaborated.to_check
   end;
-  let check_one ((idx, f) : int * Rc_refinedc.Typecheck.fn_to_check) :
-      check_result =
+  let indexed = List.mapi (fun i f -> (i, f)) elaborated.to_check in
+  (* ---- probe the verification cache up-front (the dirty cone) ----
+     Probing is a cheap sequential pass over digests: hits replay
+     immediately, misses become the dirty set handed to the scheduler.
+     Incremental mode keys each function on its dependency cone
+     ({!Depgraph.components}) with a manifest-diff miss explanation;
+     legacy mode keeps the whole-file spec-digest key. *)
+  let probe ((idx, f) : int * Rc_refinedc.Typecheck.fn_to_check) :
+      check_result option * (string option * store_plan) =
+    let co = children.(idx) in
+    let name = fn_name f in
+    let watch = Rc_util.Budget.stopwatch () in
+    let cache_event kind =
+      if Obs.on co then begin
+        Obs.counter co ("cache." ^ kind);
+        Obs.instant co ~cat:"cache" ~args:[ ("fn", name) ] ("cache:" ^ kind)
+      end
+    in
+    let hit data why =
+      (* a readable entry whose payload this build cannot unmarshal
+         (e.g. written by a different compiler) degrades to a
+         corrupt-entry skip: re-prove and overwrite *)
+      Option.map
+        (fun outcome ->
+          cache_event "hit";
+          if Obs.on co then begin
+            Obs.span_begin co ~cat:"check" ~args:[ ("fn", name) ]
+              ("fn:" ^ name);
+            Obs.instant co ~cat:"check"
+              ~args:[ ("status", "verified") ]
+              "verdict";
+            Obs.span_end co ~cat:"check" ("fn:" ^ name);
+            Obs.observe_ns co ("fn.ns." ^ name)
+              (Int64.of_float (watch () *. 1e9))
+          end;
+          { name; outcome; time_s = watch (); cached = true; why = Some why })
+        (replay_result data)
+    in
+    match cache with
+    | None -> (None, (None, No_store))
+    | Some vc ->
+        if incr_on then begin
+          let id = Depgraph.cache_id ~file name in
+          let components = Depgraph.components ~session graph f in
+          match Vercache.find_keyed ?fault:campaign vc ~id ~components with
+          | Vercache.KHit data -> (
+              match hit data "hit" with
+              | Some r -> (Some r, (None, No_store))
+              | None ->
+                  cache_event "corrupt";
+                  (None, (Some "corrupt", Keyed (id, components))))
+          | Vercache.KMiss reason ->
+              cache_event
+                (match reason with
+                | Vercache.Collision -> "corrupt"
+                | Vercache.Fresh | Vercache.Changed _ | Vercache.Evicted ->
+                    "miss");
+              ( None,
+                ( Some (Vercache.reason_label reason),
+                  Keyed (id, components) ) )
+        end
+        else begin
+          let key = Rc_refinedc.Typecheck.cache_key ~session ~specs_digest f in
+          match Vercache.find_detailed ?fault:campaign vc ~key with
+          | Vercache.Hit data -> (
+              match hit data "hit" with
+              | Some r -> (Some r, (None, No_store))
+              | None ->
+                  cache_event "corrupt";
+                  (None, (Some "corrupt", Legacy key)))
+          | Vercache.Absent ->
+              cache_event "miss";
+              (None, (Some "miss", Legacy key))
+          | Vercache.Corrupt ->
+              cache_event "corrupt";
+              (None, (Some "corrupt", Legacy key))
+        end
+  in
+  let hits_rev, dirty_rev =
+    List.fold_left
+      (fun (hs, ds) (i, f) ->
+        match probe (i, f) with
+        | Some r, _ -> ((i, r) :: hs, ds)
+        | None, (why, plan) -> (hs, (i, f, why, plan) :: ds))
+      ([], []) indexed
+  in
+  let hits = List.rev hits_rev in
+  (* ---- schedule the dirty set ----
+     Longest measured job first (per-function wall-clock samples kept in
+     [costs.prof] next to the cache — Profstore format, last sample
+     wins), unmeasured ties in topological order (callees first, so a
+     cold run proves leaves while callers wait on workers).  [~fail_fast]
+     keeps source order: its contract is "nothing after the first
+     failure", which only means anything in a fixed order. *)
+  let costs_store =
+    match cache with
+    | Some vc when incr_on && not (Vercache.disabled vc) ->
+        Some (Rc_util.Profstore.create ~file:"costs.prof" vc.Vercache.dir)
+    | _ -> None
+  in
+  let dirty =
+    let dirty = List.rev dirty_rev in
+    if fail_fast || not incr_on then dirty
+    else begin
+      let topo_pos = Hashtbl.create 16 in
+      List.iteri
+        (fun i n -> Hashtbl.replace topo_pos n i)
+        (Depgraph.topo_order graph);
+      let cost_tbl = Hashtbl.create 16 in
+      (match costs_store with
+      | Some st ->
+          List.iter
+            (fun (k, v) -> Hashtbl.replace cost_tbl k v)
+            (Rc_util.Profstore.load st)
+      | None -> ());
+      let cost n =
+        Option.value ~default:0 (Hashtbl.find_opt cost_tbl (file ^ ":" ^ n))
+      in
+      let pos n =
+        Option.value ~default:max_int (Hashtbl.find_opt topo_pos n)
+      in
+      List.stable_sort
+        (fun (_, f1, _, _) (_, f2, _, _) ->
+          let n1 = fn_name f1 and n2 = fn_name f2 in
+          match Int.compare (cost n2) (cost n1) with
+          | 0 -> Int.compare (pos n1) (pos n2)
+          | c -> c)
+        dirty
+    end
+  in
+  let schedule = List.map (fun (_, f, _, _) -> fn_name f) dirty in
+  let check_one
+      ((idx, f, why, plan) :
+        int * Rc_refinedc.Typecheck.fn_to_check * string option * store_plan)
+      : check_result =
     let co = children.(idx) in
     let watch = Rc_util.Budget.stopwatch () in
     let name = fn_name f in
@@ -259,68 +423,35 @@ let check_elaborated ?(fail_fast = false) ?(jobs = 1) ?cache ?(obs = Obs.off)
         "task:begin";
       Obs.span_begin co ~cat:"check" ~args:[ ("fn", name) ] ("fn:" ^ name)
     end;
-    let fresh vc_key =
-      (* cap this function's budget timeout by the time left on the
-         whole-run deadline, so an in-flight check cannot overshoot the
-         run by more than the cap.  The cache key is computed from the
-         *original* session (above): only [Ok] verdicts are cached and
-         verdicts are budget-monotone, so the capped session can only
-         turn would-be verdicts into (uncached) exhaustions. *)
-      let session =
-        match exec.Session.x_deadline with
-        | None -> session
-        | Some d ->
-            let remaining = Float.max 0.01 (d -. deadline_watch ()) in
-            let b = session.Session.budget in
-            let timeout =
-              match b.Rc_util.Budget.timeout with
-              | Some t -> Some (Float.min t remaining)
-              | None -> Some remaining
-            in
-            Session.with_budget session { b with Rc_util.Budget.timeout }
-      in
-      let outcome = check_fn_isolated ~obs:co ~session ~specs f in
-      (match (vc_key, outcome) with
-      | Some (vc, key), Ok res ->
-          Rc_util.Vercache.store ?fault:campaign vc ~key
-            (cache_payload res.Rc_refinedc.Lang.E.stats)
-      | _ -> ());
-      { name; outcome; time_s = watch (); cached = false }
-    in
-    let cache_event kind =
-      if Obs.on co then begin
-        Obs.counter co ("cache." ^ kind);
-        Obs.instant co ~cat:"cache" ~args:[ ("fn", name) ] ("cache:" ^ kind)
-      end
-    in
-    let r =
-      match cache with
-      | None -> fresh None
-      | Some vc -> (
-          let key =
-            Rc_refinedc.Typecheck.cache_key ~session ~specs_digest f
+    (* cap this function's budget timeout by the time left on the
+       whole-run deadline, so an in-flight check cannot overshoot the
+       run by more than the cap.  The cache key was computed from the
+       *original* session (at probe time): only [Ok] verdicts are cached
+       and verdicts are budget-monotone, so the capped session can only
+       turn would-be verdicts into (uncached) exhaustions. *)
+    let session =
+      match exec.Session.x_deadline with
+      | None -> session
+      | Some d ->
+          let remaining = Float.max 0.01 (d -. deadline_watch ()) in
+          let b = session.Session.budget in
+          let timeout =
+            match b.Rc_util.Budget.timeout with
+            | Some t -> Some (Float.min t remaining)
+            | None -> Some remaining
           in
-          match Rc_util.Vercache.find_detailed ?fault:campaign vc ~key with
-          | Rc_util.Vercache.Absent ->
-              cache_event "miss";
-              fresh (Some (vc, key))
-          | Rc_util.Vercache.Corrupt ->
-              (* unreadable, truncated or key-mismatched entry: skip it,
-                 re-prove and overwrite *)
-              cache_event "corrupt";
-              fresh (Some (vc, key))
-          | Rc_util.Vercache.Hit data -> (
-              match replay_result data with
-              | Some outcome ->
-                  cache_event "hit";
-                  { name; outcome; time_s = watch (); cached = true }
-              | None ->
-                  (* readable entry whose payload this build cannot
-                     unmarshal (e.g. written by a different compiler):
-                     also a corrupt-entry skip *)
-                  cache_event "corrupt";
-                  fresh (Some (vc, key))))
+          Session.with_budget session { b with Rc_util.Budget.timeout }
     in
+    let outcome = check_fn_isolated ~obs:co ~session ~specs f in
+    (match (cache, plan, outcome) with
+    | Some vc, Legacy key, Ok res ->
+        Vercache.store ?fault:campaign vc ~key
+          (cache_payload res.Rc_refinedc.Lang.E.stats)
+    | Some vc, Keyed (id, components), Ok res ->
+        Vercache.store_keyed ?fault:campaign vc ~id ~components
+          (cache_payload res.Rc_refinedc.Lang.E.stats)
+    | _ -> ());
+    let r = { name; outcome; time_s = watch (); cached = false; why } in
     if Obs.on co then begin
       Obs.instant co ~cat:"check"
         ~args:
@@ -331,8 +462,7 @@ let check_elaborated ?(fail_fast = false) ?(jobs = 1) ?cache ?(obs = Obs.off)
           ]
         "verdict";
       Obs.span_end co ~cat:"check" ("fn:" ^ name);
-      Obs.observe_ns co ("fn.ns." ^ name)
-        (Int64.of_float (r.time_s *. 1e9));
+      Obs.observe_ns co ("fn.ns." ^ name) (Int64.of_float (r.time_s *. 1e9));
       Obs.instant co ~cat:"sched"
         ~args:
           [ ("fn", name);
@@ -341,7 +471,6 @@ let check_elaborated ?(fail_fast = false) ?(jobs = 1) ?cache ?(obs = Obs.off)
     end;
     r
   in
-  let indexed = List.mapi (fun i f -> (i, f)) elaborated.to_check in
   (* ---- dispatch through the supervisor ---- *)
   let cancel =
     match exec.Session.x_cancel with Some c -> c | None -> fun () -> false
@@ -378,8 +507,8 @@ let check_elaborated ?(fail_fast = false) ?(jobs = 1) ?cache ?(obs = Obs.off)
      an ordinary fail-fast skip below.  Parallel fail-fast keeps the
      historical speculative-check-then-truncate semantics. *)
   let ff_hit = ref false in
-  let check_one_seq (i, f) =
-    let r = check_one (i, f) in
+  let check_one_seq task =
+    let r = check_one task in
     if fail_fast && Result.is_error r.outcome then ff_hit := true;
     r
   in
@@ -389,7 +518,7 @@ let check_elaborated ?(fail_fast = false) ?(jobs = 1) ?cache ?(obs = Obs.off)
         let r =
           Supervisor.run p ?deadline:exec.Session.x_deadline ~cancel ~retries
             ~should_retry ~is_transient:is_transient_exn ?fault:campaign
-            check_one indexed
+            check_one dirty
         in
         if transient then Supervisor.shutdown p;
         r
@@ -397,12 +526,14 @@ let check_elaborated ?(fail_fast = false) ?(jobs = 1) ?cache ?(obs = Obs.off)
         Supervisor.run_seq ?deadline:exec.Session.x_deadline
           ~cancel:(fun () -> cancel () || !ff_hit)
           ~retries ~should_retry ~is_transient:is_transient_exn check_one_seq
-          indexed
+          dirty
   in
-  (* ---- assemble results, faults and skips in source order ---- *)
+  (* ---- assemble results, faults and skips in source order ----
+     Cache hits and dirty verdicts merge by source index: the output
+     order never depends on the dispatch schedule. *)
   let kept_rev, not_run_rev =
     List.fold_left2
-      (fun (ks, ns) (i, f) outcome ->
+      (fun (ks, ns) (i, f, why, _plan) outcome ->
         match outcome with
         | Supervisor.Done r -> ((i, r) :: ks, ns)
         | Supervisor.Fault fl ->
@@ -419,13 +550,32 @@ let check_elaborated ?(fail_fast = false) ?(jobs = 1) ?cache ?(obs = Obs.off)
                              fl.Supervisor.f_attempts fl.Supervisor.f_exn)));
                 time_s = 0.;
                 cached = false;
+                why;
               }
             in
             ((i, r) :: ks, ns)
         | Supervisor.Not_run _ -> (ks, (i, fn_name f) :: ns))
-      ([], []) indexed outcomes
+      ([], []) dirty outcomes
   in
-  let kept = List.rev kept_rev in
+  let kept =
+    List.sort
+      (fun (a, _) (b, _) -> Int.compare a b)
+      (hits @ List.rev kept_rev)
+  in
+  (* feed this run's wall-clock samples back into the cost model (the
+     *measured* checks only); a degraded store drops them silently *)
+  (match costs_store with
+  | Some st ->
+      Rc_util.Profstore.accumulate
+        ~merge:(fun _ fresh -> fresh)
+        st
+        (List.filter_map
+           (fun (_, r) ->
+             if r.cached || r.time_s <= 0. then None
+             else
+               Some (file ^ ":" ^ r.name, max 1 (int_of_float (r.time_s *. 1e6))))
+           kept)
+  | None -> ());
   let kept, cut =
     if not fail_fast then (kept, [])
     else
@@ -494,6 +644,8 @@ let check_elaborated ?(fail_fast = false) ?(jobs = 1) ?cache ?(obs = Obs.off)
   {
     file;
     elaborated;
+    graph;
+    schedule;
     results;
     skipped;
     stop;
@@ -624,6 +776,10 @@ let result_to_json ?(timings = true) (r : check_result) : Rc_util.Jsonout.t =
       ("name", Str r.name);
       ("time_s", Float (if timings then r.time_s else 0.));
       ("cached", Bool r.cached);
+      (* why the cache behaved as it did ("hit", "new", "changed:body",
+         "changed:spec+callee:f", …); deterministic given the cache
+         directory's state, so -j1/-j4 byte-identity is preserved *)
+      ("cache_why", match r.why with None -> Null | Some w -> Str w);
     ]
   in
   match r.outcome with

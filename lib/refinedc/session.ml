@@ -72,6 +72,24 @@ type memo_cfg = {
 let default_memo : memo_cfg =
   { mm_enabled = false; mm_max = 4096; mm_hashcons = true }
 
+(** Incremental-verification configuration: how the driver keys the
+    on-disk cache and schedules dirty work.  Like {!exec_cfg} this never
+    changes verdicts — cone keying decides what is *re-verified*, and
+    the early-cutoff argument (DESIGN.md §12) shows the cone covers
+    every input a check reads — but unlike [exec] the choice of key
+    *family* is visible in the cache directory, so incremental and
+    whole-file entries never alias (the keys carry distinct tags). *)
+type inc_cfg = {
+  in_enabled : bool;
+      (** cone-keyed entries + cost-ordered dirty scheduling (default);
+          off = legacy whole-file spec-digest keys in source order *)
+  in_explain : bool;
+      (** collect per-function dirty reasons even when not printed (the
+          driver always records them; this gates the CLI's report) *)
+}
+
+let default_inc : inc_cfg = { in_enabled = true; in_explain = false }
+
 type t = {
   index : Lang.E.index;  (** compiled typing rules (head-indexed) *)
   extra_rules : Lang.E.rule list;
@@ -91,6 +109,7 @@ type t = {
   lint : lint_cfg;  (** pre-verification static analysis configuration *)
   exec : exec_cfg;  (** execution robustness: pool, deadline, retries *)
   memo : memo_cfg;  (** within-run subgoal memoization *)
+  inc : inc_cfg;  (** incremental verification: cone keys + scheduling *)
   profile : (string * int) list;
       (** the rule-hit profile the index was compiled with ([--pgo]);
           kept for reporting — the dispatch effect lives in [index] *)
@@ -104,7 +123,7 @@ let create ?(rules = []) ?(registry = Rc_pure.Registry.default)
     ?(gs = Rc_lithium.Evar.default_simp_cfg) ?tenv
     ?(budget = Rc_util.Budget.unlimited) ?(obs = Rc_util.Obs.cfg_off)
     ?(lint = default_lint) ?(exec = default_exec) ?(memo = default_memo)
-    ?(profile = []) () : t =
+    ?(inc = default_inc) ?(profile = []) () : t =
   {
     index = Rules.make ~extra:rules ~profile ();
     extra_rules = rules;
@@ -116,6 +135,7 @@ let create ?(rules = []) ?(registry = Rc_pure.Registry.default)
     lint;
     exec;
     memo;
+    inc;
     profile;
   }
 
@@ -142,3 +162,7 @@ let with_exec (s : t) exec : t = { s with exec }
 (** Replace the memoization configuration (a CLI convenience, like
     {!with_budget}). *)
 let with_memo (s : t) memo : t = { s with memo }
+
+(** Replace the incremental-verification configuration (a CLI
+    convenience, like {!with_budget}). *)
+let with_inc (s : t) inc : t = { s with inc }

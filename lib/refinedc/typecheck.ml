@@ -214,7 +214,10 @@ let lint_signature (l : Session.lint_cfg) : string =
 let toolchain_fingerprint (session : Session.t) : string =
   Rc_util.Vercache.fingerprint
     [
-      "refinedc-check-v3";
+      (* v4: cone-keyed incremental entries joined the store; bumping the
+         tag orphans every v3 whole-file entry so the two key families
+         can never alias *)
+      "refinedc-check-v4";
       Sys.ocaml_version;
       Rules.fingerprint session.Session.index;
       Registry.fingerprint session.Session.registry;

@@ -52,12 +52,16 @@ type session = Session.t
       are conveniences that build it field-wise;
     - [memo]: enable within-run subgoal memoization ([--memo]) — see
       README "Engine speed";
+    - [incremental]: cone-keyed incremental caching and cost-ordered
+      dirty scheduling (on by default) — [Some false] reverts to the
+      legacy whole-file cache key and source-order dispatch (see README
+      "Incremental verification");
     - [profile]: accumulated rule-hit counts ([--pgo]) used to order
       equal-priority rules inside each head bucket. *)
 let create_session ?(case_studies = false) ?(rules = []) ?(solvers = [])
     ?(lemmas = []) ?hooks ?(default_only = false) ?(no_goal_simp = false)
     ?(type_defs = []) ?budget ?fault ?obs ?lint ?exec ?deadline ?retries ?pool
-    ?cancel ?memo ?profile () : session =
+    ?cancel ?memo ?incremental ?profile () : session =
   let hooks =
     match hooks with
     | Some h -> h
@@ -93,12 +97,28 @@ let create_session ?(case_studies = false) ?(rules = []) ?(solvers = [])
     | Some true -> Some { Session.default_memo with Session.mm_enabled = true }
     | Some false | None -> None
   in
+  let inc =
+    Option.map
+      (fun on -> { Session.default_inc with Session.in_enabled = on })
+      incremental
+  in
   Session.create ~rules ~registry ~gs ~tenv ?budget ?obs ?lint ~exec ?memo
-    ?profile ()
+    ?inc ?profile ()
 
 (** Check every specified function of a C file under [session]. *)
 let check_file ?session ?fail_fast ?jobs ?cache (path : string) : Driver.t =
   Driver.check_file ?session ?fail_fast ?jobs ?cache path
+
+(** The file's function-level dependency graph (always built; see
+    {!Rc_refinedc.Depgraph}).  Hosts use it for impact queries — e.g.
+    {!Rc_refinedc.Depgraph.cone} [g [f]] is every function a spec edit
+    of [f] can dirty. *)
+let dependency_graph (t : Driver.t) : Rc_refinedc.Depgraph.t =
+  t.Driver.graph
+
+(** The dirty functions of the last check in dispatch order (cost-model
+    descending, topological fallback); cache hits are not scheduled. *)
+let schedule (t : Driver.t) : string list = t.Driver.schedule
 
 (** Check every specified function of an in-memory C source. *)
 let check_source ?session ?fail_fast ?jobs ?cache ~file (src : string) :

@@ -22,19 +22,24 @@
 
 type t = {
   dir : string;
+  file : string;  (** store file name inside [dir] *)
   mutable disabled : bool;  (** set when the directory is unusable *)
 }
 
 let file_name = "rules.prof"
-let path (t : t) = Filename.concat t.dir file_name
+let path (t : t) = Filename.concat t.dir t.file
 
-let create (dir : string) : t =
+(** [?file] names the store inside [dir] (default ["rules.prof"]); the
+    driver's per-function cost model keeps its wall-clock samples in a
+    sibling ["costs.prof"] with the same format and degradation
+    contract. *)
+let create ?(file = file_name) (dir : string) : t =
   match
     if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
     else if not (Sys.is_directory dir) then failwith "not a directory"
   with
-  | () -> { dir; disabled = false }
-  | exception _ -> { dir; disabled = true }
+  | () -> { dir; file; disabled = false }
+  | exception _ -> { dir; file; disabled = true }
 
 let disabled (t : t) = t.disabled
 
@@ -62,11 +67,13 @@ let load (t : t) : (string * int) list =
         String.split_on_char '\n' contents |> List.filter_map parse_line
     | exception _ -> []
 
-(** Merge [counts] into the store (adding to any existing counts) and
-    write the result atomically.  Failures disable the store for the
-    rest of the run — a profile write must never abort a verification
-    run. *)
-let accumulate (t : t) (counts : (string * int) list) : unit =
+(** Merge [counts] into the store and write the result atomically.
+    [?merge old new] combines an incoming count with a stored one —
+    addition by default (rule-hit accumulation); the cost model passes
+    [fun _ fresh -> fresh] so the latest wall-clock sample wins.
+    Failures disable the store for the rest of the run — a profile
+    write must never abort a verification run. *)
+let accumulate ?(merge = ( + )) (t : t) (counts : (string * int) list) : unit =
   if (not t.disabled) && counts <> [] then begin
     let tbl = Hashtbl.create 64 in
     List.iter (fun (k, v) -> Hashtbl.replace tbl k v) (load t);
@@ -74,7 +81,9 @@ let accumulate (t : t) (counts : (string * int) list) : unit =
       (fun (k, v) ->
         if v > 0 then
           Hashtbl.replace tbl k
-            (v + Option.value ~default:0 (Hashtbl.find_opt tbl k)))
+            (match Hashtbl.find_opt tbl k with
+            | None -> v
+            | Some old -> merge old v))
       counts;
     let lines =
       Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []

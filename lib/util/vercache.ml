@@ -29,9 +29,12 @@
 
 type t = {
   dir : string;
+  max_bytes : int option;  (** size cap enforced by pruning on open *)
   mutable hits : int;
   mutable misses : int;
   mutable stores : int;
+  mutable corrupt_skips : int;  (** unreadable/mismatched entries skipped *)
+  mutable pruned : int;  (** entries evicted by the size cap this run *)
   mutable write_failures : int;  (** consecutive; reset on success *)
   mutable disabled : bool;
 }
@@ -65,20 +68,74 @@ let sweep_stale_tmp (dir : string) : unit =
         files
   | exception Sys_error _ -> ()
 
+(* Store files, oldest first by mtime (ties broken by name so the order
+   is stable): the candidates for size-capped pruning.  Both entry kinds
+   count — content-addressed [*.vc] payloads and [*.mf] manifests. *)
+let store_files (dir : string) : (string * float * int) list =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | files ->
+      Array.to_list files
+      |> List.filter_map (fun f ->
+             if Filename.check_suffix f ".vc" || Filename.check_suffix f ".mf"
+             then
+               let path = Filename.concat dir f in
+               match Unix.stat path with
+               | st -> Some (f, st.Unix.st_mtime, st.Unix.st_size)
+               | exception Unix.Unix_error _ -> None
+             else None)
+      |> List.sort (fun (fa, ta, _) (fb, tb, _) ->
+             match Float.compare ta tb with 0 -> compare fa fb | c -> c)
+
+(** Evict oldest entries until the store fits in [max_bytes]; returns
+    the number of files removed.  A removal that fails (concurrent
+    eviction, permissions) is skipped — pruning is best-effort, like
+    every other maintenance path here. *)
+let prune_to (t : t) ~(max_bytes : int) : int =
+  let files = store_files t.dir in
+  let total =
+    List.fold_left (fun acc (_, _, size) -> acc + size) 0 files
+  in
+  let removed = ref 0 in
+  let excess = ref (total - max_bytes) in
+  List.iter
+    (fun (f, _, size) ->
+      if !excess > 0 then
+        match Sys.remove (Filename.concat t.dir f) with
+        | () ->
+            excess := !excess - size;
+            incr removed
+        | exception Sys_error _ -> ())
+    files;
+  t.pruned <- t.pruned + !removed;
+  !removed
+
 (** Open (creating if needed) a cache rooted at [dir].  Raises
     [Sys_error] if the path cannot be created at all — callers that must
-    not abort (the CLI) catch this and run uncached. *)
-let create (dir : string) : t =
+    not abort (the CLI) catch this and run uncached.  [?max_bytes]
+    size-caps the store: on open, after the stale-temp sweep, the oldest
+    entries are pruned until the on-disk footprint fits (the moral
+    extension of the temp sweep — the store cleans up after itself). *)
+let create ?max_bytes (dir : string) : t =
   mkdir_p dir;
   sweep_stale_tmp dir;
-  {
-    dir;
-    hits = 0;
-    misses = 0;
-    stores = 0;
-    write_failures = 0;
-    disabled = false;
-  }
+  let t =
+    {
+      dir;
+      max_bytes;
+      hits = 0;
+      misses = 0;
+      stores = 0;
+      corrupt_skips = 0;
+      pruned = 0;
+      write_failures = 0;
+      disabled = false;
+    }
+  in
+  (match max_bytes with
+  | Some cap when cap >= 0 -> ignore (prune_to t ~max_bytes:cap)
+  | _ -> ());
+  t
 
 let disabled (t : t) = t.disabled
 
@@ -113,7 +170,10 @@ let find_detailed ?fault (t : t) ~(key : string) : lookup =
   in
   (match outcome with
   | Hit _ -> t.hits <- t.hits + 1
-  | Absent | Corrupt -> t.misses <- t.misses + 1);
+  | Absent -> t.misses <- t.misses + 1
+  | Corrupt ->
+      t.misses <- t.misses + 1;
+      t.corrupt_skips <- t.corrupt_skips + 1);
   outcome
 
 (** [find t ~key] returns the stored payload for [key], or [None].  Any
@@ -160,6 +220,155 @@ let entries (t : t) : int =
         (fun n f -> if Filename.check_suffix f ".vc" then n + 1 else n)
         0 files
   | exception Sys_error _ -> 0
+
+(* ------------------------------------------------------------------ *)
+(* Keyed (dependency-cone) entries                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* A keyed entry is still a content-addressed, write-once [*.vc] file —
+   its key is the concatenation of named component digests — but each
+   store also records a *manifest* for the entry's stable identity [id]
+   (for the driver: one id per (file, function)).  The manifest holds
+   the component list of the last successful store, so a later miss can
+   be *explained*: diffing the stored components against the incoming
+   ones names exactly which inputs moved (the function's own body, its
+   spec, one callee's spec, the session configuration, …).  Manifests
+   are advisory — losing or corrupting one never changes what hits, only
+   how a miss is reported. *)
+
+(** Why a keyed lookup missed. *)
+type reason =
+  | Fresh  (** no manifest: this identity was never verified here *)
+  | Changed of string list
+      (** names of the components that differ from the last stored
+          verify (e.g. ["body"], ["spec"; "callee:f3"]) *)
+  | Evicted
+      (** the manifest matches the incoming components exactly but the
+          payload is gone — the entry was pruned or swept *)
+  | Collision  (** a corrupt or key-mismatched entry sits at the slot *)
+
+type keyed_lookup = KHit of string | KMiss of reason
+
+let reason_label = function
+  | Fresh -> "new"
+  | Evicted -> "evicted"
+  | Collision -> "collision"
+  | Changed cs -> "changed:" ^ String.concat "+" cs
+
+(** The full content-addressed key of a component list: component names
+    are part of the digested material, so adding or removing a component
+    (a callee appearing or disappearing) changes the key even when every
+    shared component is unchanged. *)
+let keyed_key ~(id : string) (components : (string * string) list) : string =
+  String.concat "\x00"
+    (("keyed:" ^ id)
+    :: List.concat_map (fun (name, digest) -> [ name; digest ]) components)
+
+let manifest_path (t : t) (id : string) =
+  Filename.concat t.dir (Digest.to_hex (Digest.string id) ^ ".mf")
+
+let read_manifest (t : t) (id : string) : (string * string) list option =
+  let path = manifest_path t id in
+  if not (Sys.file_exists path) then None
+  else
+    match
+      In_channel.with_open_bin path (fun ic ->
+          (Marshal.from_channel ic : string * string * (string * string) list))
+    with
+    | v, i, components when v = format_version && i = id -> Some components
+    | _ | (exception _) -> None
+
+(* Manifests are overwritten on every store (they track the *latest*
+   verify), so unlike payload entries they are not write-once — but the
+   write is still temp-file + rename, so readers never see a torn one. *)
+let write_manifest (t : t) (id : string) (components : (string * string) list)
+    : unit =
+  let tmp = ref None in
+  match
+    let tf = Filename.temp_file ~temp_dir:t.dir "manifest" ".tmp" in
+    tmp := Some tf;
+    Out_channel.with_open_bin tf (fun oc ->
+        Marshal.to_channel oc (format_version, id, components) []);
+    Sys.rename tf (manifest_path t id)
+  with
+  | () -> ()
+  | exception Sys_error _ -> (
+      match !tmp with
+      | Some tf -> ( try Sys.remove tf with Sys_error _ -> ())
+      | None -> ())
+
+(** Diff two component lists; returns the names whose digests differ,
+    plus names present on only one side, in first-list order (then any
+    right-only names). *)
+let diff_components (old_cs : (string * string) list)
+    (new_cs : (string * string) list) : string list =
+  let changed =
+    List.filter_map
+      (fun (name, digest) ->
+        match List.assoc_opt name old_cs with
+        | Some d when String.equal d digest -> None
+        | Some _ | None -> Some name)
+      new_cs
+  in
+  let removed =
+    List.filter_map
+      (fun (name, _) ->
+        if List.mem_assoc name new_cs then None else Some name)
+      old_cs
+  in
+  changed @ removed
+
+(** [find_keyed t ~id ~components] looks up the entry whose key is the
+    digest of [components]; on a miss, the manifest for [id] explains
+    *why* (which components moved since the last verify stored here). *)
+let find_keyed ?fault (t : t) ~(id : string)
+    ~(components : (string * string) list) : keyed_lookup =
+  let key = keyed_key ~id components in
+  match find_detailed ?fault t ~key with
+  | Hit payload -> KHit payload
+  | Corrupt -> KMiss Collision
+  | Absent -> (
+      match read_manifest t id with
+      | None -> KMiss Fresh
+      | Some old_cs -> (
+          match diff_components old_cs components with
+          | [] -> KMiss Evicted
+          | changed -> KMiss (Changed changed)))
+
+(** Store a keyed entry and its manifest.  Storage failures degrade
+    exactly as {!store}'s do; the manifest is only written when the
+    payload store succeeded, so a manifest never describes an entry that
+    was not persisted. *)
+let store_keyed ?fault (t : t) ~(id : string)
+    ~(components : (string * string) list) (payload : string) : unit =
+  let before = t.stores in
+  store ?fault t ~key:(keyed_key ~id components) payload;
+  if t.stores > before then write_manifest t id components
+
+(* ------------------------------------------------------------------ *)
+(* Store statistics (--cache-stats)                                    *)
+(* ------------------------------------------------------------------ *)
+
+type store_stats = {
+  st_entries : int;  (** payload entries on disk *)
+  st_manifests : int;  (** manifests on disk *)
+  st_bytes : int;  (** total on-disk footprint (entries + manifests) *)
+  st_corrupt_skips : int;  (** corrupt entries skipped this run *)
+  st_pruned : int;  (** entries evicted by the size cap this run *)
+}
+
+let stats (t : t) : store_stats =
+  let files = store_files t.dir in
+  let count suffix =
+    List.length (List.filter (fun (f, _, _) -> Filename.check_suffix f suffix) files)
+  in
+  {
+    st_entries = count ".vc";
+    st_manifests = count ".mf";
+    st_bytes = List.fold_left (fun acc (_, _, s) -> acc + s) 0 files;
+    st_corrupt_skips = t.corrupt_skips;
+    st_pruned = t.pruned;
+  }
 
 let hit_rate (t : t) : float =
   let total = t.hits + t.misses in

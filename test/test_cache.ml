@@ -3,11 +3,13 @@
    Each test drives [Driver.check_source] against a fresh cache directory
    and inspects the (hits, misses) counters.
 
-   The cache key covers: the function's Caesium body, its own spec, its
-   loop invariants, the specs of every function in the file (a call's
-   premise reads the callee's spec), the rule-set fingerprint, the solver
-   and lemma registry, registered type definitions, ablation switches,
-   and the resource budget. *)
+   The cache key covers the function's dependency cone: its Caesium
+   body, its own spec, its loop invariants, the specs of its *direct*
+   callees (a call's premise reads the callee's spec; transitive callees
+   are covered inductively), the rule-set fingerprint, the solver and
+   lemma registry, registered type definitions, ablation switches, and
+   the resource budget.  With [~incremental:false] the key digests every
+   sibling spec instead (whole-file invalidation). *)
 
 module Driver = Rc_frontend.Driver
 module Api = Rc_session.Refinedc_api
@@ -94,14 +96,27 @@ let cache_tests =
            are unchanged, so the sibling still hits *)
         expect "after body edit" ~hits:1 ~misses:1
           (check ~cache src_body_edit));
-    Alcotest.test_case "spec-only edit misses everything" `Quick (fun () ->
+    Alcotest.test_case "spec-only edit dirties only its cone" `Quick (fun () ->
         Alcotest.(check bool) "fixture differs" true (src <> src_spec_edit);
         let cache = Rc_util.Vercache.create (fresh_cache_dir ()) in
         expect "cold" ~hits:0 ~misses:2 (check ~cache src);
-        (* any spec edit conservatively invalidates the whole file:
-           callers' proofs read callee specs *)
-        expect "after spec edit" ~hits:0 ~misses:2
-          (check ~cache src_spec_edit));
+        (* incr_small has no callers, so editing its spec re-proves it
+           alone — imin's cone never mentions incr_small (early cutoff
+           at spec granularity; exhaustive cone tests live in
+           test_incremental.ml) *)
+        expect "after spec edit" ~hits:1 ~misses:1
+          (check ~cache src_spec_edit);
+        (* legacy whole-file keying (--no-incremental) still
+           conservatively invalidates everything: its key digests ALL
+           sibling specs *)
+        let legacy () = Api.create_session ~incremental:false () in
+        let cache2 = Rc_util.Vercache.create (fresh_cache_dir ()) in
+        expect "legacy cold" ~hits:0 ~misses:2
+          (check ~session:(legacy ()) ~cache:cache2 src);
+        expect "legacy warm hits" ~hits:2 ~misses:0
+          (check ~session:(legacy ()) ~cache:cache2 src);
+        expect "legacy spec edit misses everything" ~hits:0 ~misses:2
+          (check ~session:(legacy ()) ~cache:cache2 src_spec_edit));
     Alcotest.test_case "rule-set change misses" `Quick (fun () ->
         let cache = Rc_util.Vercache.create (fresh_cache_dir ()) in
         expect "cold" ~hits:0 ~misses:2 (check ~cache src);

@@ -1,0 +1,574 @@
+(* Dependency-cone incremental verification (ISSUE 8).
+
+   Three layers under test:
+
+   - [Rc_refinedc.Depgraph]: the per-file call/spec dependency graph —
+     edges are exactly the direct references a check can observe, the
+     dirty cone of an interface edit is the transitive-dependent set,
+     and a function's cache-key components name exactly its own
+     body/spec plus its direct callees' interfaces;
+   - [Rc_util.Vercache]'s keyed entries: every miss is explained
+     (new / changed:<components> / evicted / collision), and the store
+     reports and size-caps itself;
+   - the driver end-to-end: a warm cache plus a single edit re-verifies
+     *exactly* the edit's cone (early cutoff for body edits), verdicts
+     are identical with incrementality on, off, replayed, and at any
+     [-j], and the [--json] output is byte-identical across [-j].
+
+   The synthetic fixtures come from [Rc_benchgen.Corpus], whose [?edit]
+   parameter moves exactly one function's body digest, spec signature,
+   or loop invariant — so every expected dirty set is known by
+   construction. *)
+
+module Driver = Rc_frontend.Driver
+module Depgraph = Rc_refinedc.Depgraph
+module Vercache = Rc_util.Vercache
+module Api = Rc_session.Refinedc_api
+module Corpus = Rc_benchgen.Corpus
+
+let fresh_cache_dir () = Testutil.scratch_dir "inccache"
+
+let elab src =
+  let session = Api.create_session () in
+  (Driver.parse_and_elab ~session ~file:"inc_test.c" src)
+    .Rc_frontend.Elab.to_check
+
+let graph_of src = Depgraph.build (elab src)
+
+let check ?session ?jobs ~cache src =
+  Driver.check_source ?session ?jobs ~cache ~file:"inc_test.c" src
+
+let counters (t : Driver.t) =
+  match t.Driver.cache_stats with
+  | Some hm -> hm
+  | None -> Alcotest.fail "expected cache statistics"
+
+let all_ok (t : Driver.t) = Driver.errors t = [] && t.Driver.skipped = []
+
+let expect name ~hits ~misses t =
+  if not (all_ok t) then Alcotest.failf "%s: verification failed" name;
+  Alcotest.(check (pair int int)) name (hits, misses) (counters t)
+
+(* the functions a run actually re-proved (not replayed), source order *)
+let reverified (t : Driver.t) =
+  List.filter_map
+    (fun (r : Driver.check_result) ->
+      if r.Driver.cached then None else Some r.Driver.name)
+    t.Driver.results
+
+let why_of (t : Driver.t) name =
+  match
+    List.find_opt (fun (r : Driver.check_result) -> r.Driver.name = name)
+      t.Driver.results
+  with
+  | Some r -> Option.value ~default:"?" r.Driver.why
+  | None -> Alcotest.failf "no result for %s" name
+
+(* The verdict surface that must never depend on caching, scheduling or
+   parallelism: per-function status + Figure-7 statistics, in source
+   order, plus the run's exit code. *)
+let verdict_sig (t : Driver.t) : string list =
+  Fmt.str "exit:%d" (Driver.exit_code t)
+  :: List.map
+       (fun (r : Driver.check_result) ->
+         match r.outcome with
+         | Ok res ->
+             let s = res.Rc_refinedc.Lang.E.stats in
+             Fmt.str "%s:ok:%d:%d:%d:%d" r.Driver.name
+               s.Rc_lithium.Stats.rule_apps s.Rc_lithium.Stats.evar_insts
+               s.Rc_lithium.Stats.side_auto s.Rc_lithium.Stats.side_manual
+         | Error e ->
+             Fmt.str "%s:err:%s" r.Driver.name (Rc_lithium.Report.to_string e))
+       t.Driver.results
+
+(* ------------------------------------------------------------------ *)
+(* Depgraph structure                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let chain n = Corpus.call_chain ~n ()
+
+let depgraph_tests =
+  [
+    Alcotest.test_case "chain edges are the direct callees" `Quick (fun () ->
+        let g = graph_of (chain 6) in
+        (* call_chain emits callee-first: f5 .. f0 in source order *)
+        Alcotest.(check (list string)) "names, source order"
+          [ "f5"; "f4"; "f3"; "f2"; "f1"; "f0" ]
+          (Depgraph.names g);
+        Alcotest.(check (list string)) "f0 deps" [ "f1" ]
+          (Depgraph.direct_deps g "f0");
+        Alcotest.(check (list string)) "leaf has no deps" []
+          (Depgraph.direct_deps g "f5");
+        Alcotest.(check (list string)) "f5's callers" [ "f4" ]
+          (Depgraph.dependents g "f5");
+        Alcotest.(check (list string)) "f0 has no callers" []
+          (Depgraph.dependents g "f0"));
+    Alcotest.test_case "topological order puts callees first" `Quick
+      (fun () ->
+        let g = graph_of (chain 6) in
+        Alcotest.(check (list string)) "topo"
+          [ "f5"; "f4"; "f3"; "f2"; "f1"; "f0" ]
+          (Depgraph.topo_order g);
+        (* an independent farm has no edges: topo = source order *)
+        let g2 = graph_of (Corpus.loop_farm ~functions:3 ()) in
+        Alcotest.(check (list string)) "edgeless topo = source order"
+          [ "count0"; "count1"; "count2" ]
+          (Depgraph.topo_order g2));
+    Alcotest.test_case "cone = transitive dependents, source order" `Quick
+      (fun () ->
+        let g = graph_of (chain 6) in
+        Alcotest.(check (list string)) "mid-chain cone"
+          [ "f3"; "f2"; "f1"; "f0" ]
+          (Depgraph.cone g [ "f3" ]);
+        Alcotest.(check (list string)) "root-only cone" [ "f0" ]
+          (Depgraph.cone g [ "f0" ]);
+        Alcotest.(check (list string)) "leaf cone is the whole chain"
+          [ "f5"; "f4"; "f3"; "f2"; "f1"; "f0" ]
+          (Depgraph.cone g [ "f5" ]);
+        let g2 = graph_of (Corpus.loop_farm ~functions:3 ()) in
+        Alcotest.(check (list string)) "no edges: cone = roots" [ "count1" ]
+          (Depgraph.cone g2 [ "count1" ]));
+    Alcotest.test_case "components name exactly the direct cone" `Quick
+      (fun () ->
+        let fns = elab (chain 4) in
+        let g = Depgraph.build fns in
+        let session = Api.create_session () in
+        let f2 =
+          List.find
+            (fun (f : Rc_refinedc.Typecheck.fn_to_check) ->
+              f.spec.Rc_refinedc.Rtype.fs_name = "f2")
+            fns
+        in
+        Alcotest.(check (list string)) "component names"
+          [ "config"; "budget"; "body"; "spec"; "callee:f3" ]
+          (List.map fst (Depgraph.components ~session g f2));
+        (* the leaf's components have no callee entries at all *)
+        let f3 =
+          List.find
+            (fun (f : Rc_refinedc.Typecheck.fn_to_check) ->
+              f.spec.Rc_refinedc.Rtype.fs_name = "f3")
+            fns
+        in
+        Alcotest.(check (list string)) "leaf component names"
+          [ "config"; "budget"; "body"; "spec" ]
+          (List.map fst (Depgraph.components ~session g f3)));
+    Alcotest.test_case "body edit moves only that body digest" `Quick
+      (fun () ->
+        let g = graph_of (chain 5) in
+        let g' = graph_of (Corpus.call_chain ~edit:(`Body 2) ~n:5 ()) in
+        List.iter
+          (fun name ->
+            let n = Option.get (Depgraph.node g name) in
+            let n' = Option.get (Depgraph.node g' name) in
+            Alcotest.(check bool)
+              (name ^ " body digest moved iff edited")
+              (name = "f2")
+              (n.Depgraph.n_body_digest <> n'.Depgraph.n_body_digest);
+            (* a body edit is invisible at the interface: early cutoff *)
+            Alcotest.(check string)
+              (name ^ " iface digest unchanged")
+              n.Depgraph.n_iface_digest n'.Depgraph.n_iface_digest)
+          (Depgraph.names g));
+    Alcotest.test_case "spec edit moves only that interface digest" `Quick
+      (fun () ->
+        let g = graph_of (chain 5) in
+        let g' = graph_of (Corpus.call_chain ~edit:(`Spec 2) ~n:5 ()) in
+        List.iter
+          (fun name ->
+            let n = Option.get (Depgraph.node g name) in
+            let n' = Option.get (Depgraph.node g' name) in
+            Alcotest.(check bool)
+              (name ^ " iface digest moved iff edited")
+              (name = "f2")
+              (n.Depgraph.n_iface_digest <> n'.Depgraph.n_iface_digest);
+            Alcotest.(check string)
+              (name ^ " body digest unchanged")
+              n.Depgraph.n_body_digest n'.Depgraph.n_body_digest)
+          (Depgraph.names g));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Keyed cache entries: explained misses, stats, size cap              *)
+(* ------------------------------------------------------------------ *)
+
+let reason = Alcotest.testable
+    (Fmt.of_to_string Vercache.reason_label)
+    (fun a b -> Vercache.reason_label a = Vercache.reason_label b)
+
+let klookup name expected actual =
+  match (expected, actual) with
+  | Vercache.KHit e, Vercache.KHit a -> Alcotest.(check string) name e a
+  | Vercache.KMiss e, Vercache.KMiss a -> Alcotest.check reason name e a
+  | Vercache.KHit _, Vercache.KMiss r ->
+      Alcotest.failf "%s: expected hit, missed (%s)" name
+        (Vercache.reason_label r)
+  | Vercache.KMiss r, Vercache.KHit _ ->
+      Alcotest.failf "%s: expected miss (%s), hit" name
+        (Vercache.reason_label r)
+
+let keyed_tests =
+  [
+    Alcotest.test_case "misses are explained" `Quick (fun () ->
+        let vc = Vercache.create (fresh_cache_dir ()) in
+        let id = "fn-identity" in
+        let cs = [ ("body", "b1"); ("spec", "s1"); ("callee:g", "g1") ] in
+        klookup "never stored: new" (Vercache.KMiss Vercache.Fresh)
+          (Vercache.find_keyed vc ~id ~components:cs);
+        Vercache.store_keyed vc ~id ~components:cs "payload";
+        klookup "stored: hit" (Vercache.KHit "payload")
+          (Vercache.find_keyed vc ~id ~components:cs);
+        klookup "one component moved"
+          (Vercache.KMiss (Vercache.Changed [ "body" ]))
+          (Vercache.find_keyed vc ~id
+             ~components:[ ("body", "b2"); ("spec", "s1"); ("callee:g", "g1") ]);
+        klookup "two components moved"
+          (Vercache.KMiss (Vercache.Changed [ "spec"; "callee:g" ]))
+          (Vercache.find_keyed vc ~id
+             ~components:[ ("body", "b1"); ("spec", "s2"); ("callee:g", "g2") ]);
+        klookup "a callee appeared"
+          (Vercache.KMiss (Vercache.Changed [ "callee:h" ]))
+          (Vercache.find_keyed vc ~id ~components:(cs @ [ ("callee:h", "h1") ]));
+        klookup "a callee disappeared"
+          (Vercache.KMiss (Vercache.Changed [ "callee:g" ]))
+          (Vercache.find_keyed vc ~id
+             ~components:[ ("body", "b1"); ("spec", "s1") ]);
+        Alcotest.(check string) "label spelling" "changed:spec+callee:g"
+          (Vercache.reason_label
+             (Vercache.Changed [ "spec"; "callee:g" ])));
+    Alcotest.test_case "evicted and collision are distinguished" `Quick
+      (fun () ->
+        let dir = fresh_cache_dir () in
+        let vc = Vercache.create dir in
+        let id = "fn-identity" in
+        let cs = [ ("body", "b1"); ("spec", "s1") ] in
+        Vercache.store_keyed vc ~id ~components:cs "payload";
+        (* remove the payload but keep the manifest: pruned/swept *)
+        Array.iter
+          (fun f ->
+            if Filename.check_suffix f ".vc" then
+              Sys.remove (Filename.concat dir f))
+          (Sys.readdir dir);
+        klookup "payload gone, inputs unchanged"
+          (Vercache.KMiss Vercache.Evicted)
+          (Vercache.find_keyed vc ~id ~components:cs);
+        (* a corrupt entry at the slot is a collision, never a verdict *)
+        Vercache.store_keyed vc ~id ~components:cs "payload";
+        Array.iter
+          (fun f ->
+            if Filename.check_suffix f ".vc" then
+              Out_channel.with_open_bin (Filename.concat dir f) (fun oc ->
+                  Out_channel.output_string oc "garbage"))
+          (Sys.readdir dir);
+        klookup "corrupt entry" (Vercache.KMiss Vercache.Collision)
+          (Vercache.find_keyed vc ~id ~components:cs));
+    Alcotest.test_case "store stats and the size cap" `Quick (fun () ->
+        let dir = fresh_cache_dir () in
+        let vc = Vercache.create dir in
+        for i = 1 to 5 do
+          Vercache.store_keyed vc
+            ~id:(Printf.sprintf "id%d" i)
+            ~components:[ ("body", string_of_int i) ]
+            (String.make 100 'x')
+        done;
+        let s = Vercache.stats vc in
+        Alcotest.(check int) "entries" 5 s.Vercache.st_entries;
+        Alcotest.(check int) "manifests" 5 s.Vercache.st_manifests;
+        Alcotest.(check bool) "bytes counted" true (s.Vercache.st_bytes > 500);
+        Alcotest.(check int) "no corruption" 0 s.Vercache.st_corrupt_skips;
+        (* reopening under a tiny cap prunes oldest-first down to size *)
+        let capped = Vercache.create ~max_bytes:0 dir in
+        let s' = Vercache.stats capped in
+        Alcotest.(check int) "cap 0 empties the store" 0
+          (s'.Vercache.st_entries + s'.Vercache.st_manifests);
+        Alcotest.(check bool) "prunes reported" true
+          (s'.Vercache.st_pruned >= 10));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end dirty cones through the driver                           *)
+(* ------------------------------------------------------------------ *)
+
+let cone_tests =
+  [
+    Alcotest.test_case "warm cache replays everything" `Quick (fun () ->
+        let cache = Vercache.create (fresh_cache_dir ()) in
+        let t = check ~cache (chain 6) in
+        expect "cold" ~hits:0 ~misses:6 t;
+        List.iter
+          (fun n -> Alcotest.(check string) (n ^ " why") "new" (why_of t n))
+          (reverified t);
+        let w = check ~cache (chain 6) in
+        expect "warm" ~hits:6 ~misses:0 w;
+        Alcotest.(check (list string)) "nothing re-verified" [] (reverified w);
+        Alcotest.(check (list string)) "nothing scheduled" []
+          w.Driver.schedule);
+    Alcotest.test_case "body edit re-verifies exactly one function" `Quick
+      (fun () ->
+        let cache = Vercache.create (fresh_cache_dir ()) in
+        expect "cold" ~hits:0 ~misses:6 (check ~cache (chain 6));
+        (* early cutoff: f3's body moved, its interface did not — its
+           caller f2's key mentions only the interface, so f2 hits *)
+        let t = check ~cache (Corpus.call_chain ~edit:(`Body 3) ~n:6 ()) in
+        expect "after body edit" ~hits:5 ~misses:1 t;
+        Alcotest.(check (list string)) "dirty set" [ "f3" ] (reverified t);
+        Alcotest.(check string) "explained" "changed:body" (why_of t "f3");
+        Alcotest.(check string) "caller replayed" "hit" (why_of t "f2"));
+    Alcotest.test_case "spec edit re-verifies its dependent cone" `Quick
+      (fun () ->
+        let cache = Vercache.create (fresh_cache_dir ()) in
+        expect "cold" ~hits:0 ~misses:6 (check ~cache (chain 6));
+        (* f3's interface moved: f3 re-proves against its new spec, and
+           its direct caller f2 re-proves against the new callee
+           interface; f1 (which only sees f2's unchanged interface)
+           still hits — the cone stops at the first unchanged interface *)
+        let t = check ~cache (Corpus.call_chain ~edit:(`Spec 3) ~n:6 ()) in
+        expect "after spec edit" ~hits:4 ~misses:2 t;
+        Alcotest.(check (list string)) "dirty set" [ "f3"; "f2" ]
+          (reverified t);
+        Alcotest.(check string) "the edited fn" "changed:spec" (why_of t "f3");
+        Alcotest.(check string) "its caller" "changed:callee:f3"
+          (why_of t "f2");
+        Alcotest.(check string) "the caller's caller" "hit" (why_of t "f1"));
+    Alcotest.test_case "invariant edit is a body-level change" `Quick
+      (fun () ->
+        let cache = Vercache.create (fresh_cache_dir ()) in
+        let farm = Corpus.loop_farm ~functions:4 () in
+        expect "cold" ~hits:0 ~misses:4 (check ~cache farm);
+        let t = check ~cache (Corpus.loop_farm ~edit:(`Inv 2) ~functions:4 ())
+        in
+        expect "after invariant edit" ~hits:3 ~misses:1 t;
+        Alcotest.(check (list string)) "dirty set" [ "count2" ] (reverified t);
+        Alcotest.(check string) "explained as body" "changed:body"
+          (why_of t "count2"));
+    Alcotest.test_case "spec edit in an edgeless farm stays local" `Quick
+      (fun () ->
+        let cache = Vercache.create (fresh_cache_dir ()) in
+        let farm ?edit () = Corpus.diamond_farm ?edit ~functions:3 ~k:2 () in
+        expect "cold" ~hits:0 ~misses:3 (check ~cache (farm ()));
+        let t = check ~cache (farm ~edit:(`Spec 1) ()) in
+        expect "after spec edit" ~hits:2 ~misses:1 t;
+        Alcotest.(check (list string)) "dirty set" [ "dia1" ] (reverified t));
+    Alcotest.test_case "the schedule lists exactly the dirty set" `Quick
+      (fun () ->
+        let cache = Vercache.create (fresh_cache_dir ()) in
+        let cold = check ~cache (chain 6) in
+        Alcotest.(check int) "cold schedules everything" 6
+          (List.length cold.Driver.schedule);
+        let t = check ~cache (Corpus.call_chain ~edit:(`Spec 3) ~n:6 ()) in
+        Alcotest.(check (list string)) "dirty schedule"
+          (List.sort compare [ "f3"; "f2" ])
+          (List.sort compare t.Driver.schedule));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Equivalence: incremental on/off, cold/warm, -j1/-j4                 *)
+(* ------------------------------------------------------------------ *)
+
+let legacy_session () = Api.create_session ~incremental:false ()
+
+(* cold+cached, warm replay, legacy whole-file keying, and uncached:
+   four runs whose verdict surfaces must be equal *)
+let assert_equivalent name src =
+  let cache = Vercache.create (fresh_cache_dir ()) in
+  let cold = check ~cache src in
+  let warm = check ~cache src in
+  let legacy =
+    check ~session:(legacy_session ())
+      ~cache:(Vercache.create (fresh_cache_dir ()))
+      src
+  in
+  let uncached =
+    Driver.check_source ~session:(Api.create_session ()) ~file:"inc_test.c"
+      src
+  in
+  let expected = verdict_sig uncached in
+  Alcotest.(check (list string)) (name ^ ": cold ≡ uncached") expected
+    (verdict_sig cold);
+  Alcotest.(check (list string)) (name ^ ": warm ≡ uncached") expected
+    (verdict_sig warm);
+  Alcotest.(check (list string)) (name ^ ": legacy ≡ uncached") expected
+    (verdict_sig legacy)
+
+let stress_equivalence_tests =
+  List.map
+    (fun (name, src) ->
+      Alcotest.test_case ("verdicts agree: " ^ name) `Quick (fun () ->
+          assert_equivalent name src))
+    [
+      ("diamond_chain", Corpus.diamond_chain ~k:4);
+      ("call_chain", Corpus.call_chain ~n:6 ());
+      ("struct_nest", Corpus.struct_nest ~depth:4);
+      ("wide_exprs", Corpus.wide_exprs ~stmts:4 ~width:3);
+      ("loop_farm", Corpus.loop_farm ~functions:3 ());
+    ]
+
+(* The 13-study corpus: incremental on (cold, then warm replay) must
+   agree with incremental off, per study. *)
+let case_dir =
+  List.find Sys.file_exists
+    [
+      "case_studies"; "../case_studies"; "../../case_studies";
+      "../../../case_studies";
+    ]
+
+let studies_equivalence_tests =
+  List.map
+    (fun file ->
+      Alcotest.test_case ("verdicts agree: " ^ file) `Quick (fun () ->
+          let path = Filename.concat case_dir file in
+          let inc () = Rc_studies.Studies.session () in
+          let legacy () =
+            Rc_refinedc.Session.with_inc
+              (Rc_studies.Studies.session ())
+              {
+                Rc_refinedc.Session.default_inc with
+                Rc_refinedc.Session.in_enabled = false;
+              }
+          in
+          let cache = Vercache.create (fresh_cache_dir ()) in
+          let cold = Driver.check_file ~session:(inc ()) ~cache path in
+          let warm = Driver.check_file ~session:(inc ()) ~cache path in
+          let off = Driver.check_file ~session:(legacy ()) path in
+          let expected = verdict_sig off in
+          Alcotest.(check (list string)) "cold ≡ off" expected
+            (verdict_sig cold);
+          Alcotest.(check (list string)) "warm ≡ off" expected
+            (verdict_sig warm)))
+    [
+      "mem_alloc.c"; "free_list.c"; "linked_list.c"; "queue.c";
+      "binary_search.c"; "talloc.c"; "page_alloc.c"; "bst_layered.c";
+      "bst_direct.c"; "hashmap.c"; "mpool.c"; "spinlock.c"; "barrier.c";
+    ]
+
+let jobs_tests =
+  [
+    Alcotest.test_case "-j1 and -j4 emit byte-identical JSON" `Quick
+      (fun () ->
+        (* two cache directories warmed identically with -j1, then the
+           same single-body-edit checked at -j1 and -j4: scheduling and
+           worker fan-out must leave no trace in the (timing-stripped)
+           machine-readable output *)
+        let src = chain 8 in
+        let edited = Corpus.call_chain ~edit:(`Body 4) ~n:8 () in
+        let dump t =
+          Rc_util.Jsonout.to_string (Driver.to_json ~timings:false t)
+        in
+        let run jobs =
+          let cache = Vercache.create (fresh_cache_dir ()) in
+          ignore (check ~jobs:1 ~cache src);
+          dump (check ~jobs ~cache edited)
+        in
+        Alcotest.(check string) "byte-identical" (run 1) (run 4));
+    Alcotest.test_case "parallel dirty dispatch preserves the cone" `Quick
+      (fun () ->
+        let cache = Vercache.create (fresh_cache_dir ()) in
+        expect "cold -j4" ~hits:0 ~misses:6 (check ~jobs:4 ~cache (chain 6));
+        let t =
+          check ~jobs:4 ~cache (Corpus.call_chain ~edit:(`Spec 3) ~n:6 ())
+        in
+        expect "spec edit -j4" ~hits:4 ~misses:2 t;
+        Alcotest.(check (list string)) "dirty set" [ "f3"; "f2" ]
+          (reverified t));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* CLI: the cache-flag family warns consistently                       *)
+(* ------------------------------------------------------------------ *)
+
+let refinedc_exe =
+  List.find_opt Sys.file_exists
+    [ "../bin/refinedc.exe"; "bin/refinedc.exe"; "../../bin/refinedc.exe" ]
+
+let run_cli args =
+  match refinedc_exe with
+  | None -> None
+  | Some exe ->
+      let err = Filename.temp_file "rc-cli-err" ".txt" in
+      let cmd =
+        Printf.sprintf "%s %s > /dev/null 2> %s" (Filename.quote exe)
+          (String.concat " " (List.map Filename.quote args))
+          (Filename.quote err)
+      in
+      let code = Sys.command cmd in
+      let stderr = In_channel.with_open_bin err In_channel.input_all in
+      (try Sys.remove err with Sys_error _ -> ());
+      Some (code, stderr)
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let cli_tests =
+  [
+    Alcotest.test_case "cache-family flags warn consistently" `Quick
+      (fun () ->
+        let c = Filename.concat (fresh_cache_dir ()) "t.c" in
+        Rc_util.Vercache.create (Filename.dirname c) |> ignore;
+        Out_channel.with_open_bin c (fun oc ->
+            Out_channel.output_string oc (chain 2));
+        let cache_dir = fresh_cache_dir () in
+        match run_cli [ "check"; "--cache"; cache_dir; "--cert"; c ] with
+        | None -> () (* exe not built in this sandbox; covered by CI *)
+        | Some (code, stderr) ->
+            Alcotest.(check int) "verifies under --cert" 0 code;
+            Alcotest.(check bool) "--cache warns under --cert" true
+              (contains stderr
+                 "--cache is ignored under --cert");
+            (* the new flags warn with the same phrasing *)
+            let check_flag flag args expected =
+              match run_cli (("check" :: args) @ [ c ]) with
+              | None -> ()
+              | Some (code, stderr) ->
+                  Alcotest.(check int) (flag ^ " still verifies") 0 code;
+                  Alcotest.(check bool) (flag ^ " warns") true
+                    (contains stderr expected)
+            in
+            check_flag "--explain-cache under --cert"
+              [ "--cache"; cache_dir; "--cert"; "--explain-cache" ]
+              "--explain-cache is ignored under --cert";
+            check_flag "--cache-stats under --cert"
+              [ "--cache"; cache_dir; "--cert"; "--cache-stats" ]
+              "--cache-stats is ignored under --cert";
+            check_flag "--explain-cache without --cache"
+              [ "--explain-cache" ]
+              "--explain-cache has no effect without --cache";
+            check_flag "--cache-stats without --cache" [ "--cache-stats" ]
+              "--cache-stats has no effect without --cache";
+            check_flag "--cache-max-mb without --cache"
+              [ "--cache-max-mb"; "1" ]
+              "--cache-max-mb has no effect without --cache");
+    Alcotest.test_case "--explain-cache reports the plan" `Quick (fun () ->
+        let dir = fresh_cache_dir () in
+        Rc_util.Vercache.create dir |> ignore;
+        let c = Filename.concat dir "t.c" in
+        Out_channel.with_open_bin c (fun oc ->
+            Out_channel.output_string oc (chain 3));
+        let cache_dir = fresh_cache_dir () in
+        let args =
+          [ "check"; "--cache"; cache_dir; "--explain-cache"; "--json"; c ]
+        in
+        match run_cli args with
+        | None -> ()
+        | Some (_, cold_err) -> (
+            Alcotest.(check bool) "cold plan re-proves" true
+              (contains cold_err "cache plan: re-proving");
+            match run_cli args with
+            | None -> ()
+            | Some (_, warm_err) ->
+                Alcotest.(check bool) "warm plan is empty" true
+                  (contains warm_err "cache plan: nothing dirty");
+                Alcotest.(check bool) "per-function hits reported" true
+                  (contains warm_err "f0: hit")));
+  ]
+
+let () =
+  Alcotest.run "incremental"
+    [
+      ("depgraph", depgraph_tests);
+      ("keyed-cache", keyed_tests);
+      ("dirty-cones", cone_tests);
+      ("equivalence", stress_equivalence_tests @ studies_equivalence_tests);
+      ("parallel", jobs_tests);
+      ("cli", cli_tests);
+    ]

@@ -115,10 +115,10 @@ let corpus_equiv_tests =
 let stress_sample =
   [
     ("diamonds.c", Corpus.diamond_chain ~k:6);
-    ("call_chain.c", Corpus.call_chain ~n:6);
+    ("call_chain.c", Corpus.call_chain ~n:6 ());
     ("struct_nest.c", Corpus.struct_nest ~depth:4);
     ("wide_exprs.c", Corpus.wide_exprs ~stmts:4 ~width:3);
-    ("loop_farm.c", Corpus.loop_farm ~functions:3);
+    ("loop_farm.c", Corpus.loop_farm ~functions:3 ());
   ]
 
 let stress_equiv_tests =
