@@ -1182,6 +1182,221 @@ let incr_record ~scale ~out () : bool =
   !ok_all
 
 (* ------------------------------------------------------------------ *)
+(* Trajectory (--trajectory): backfill the committed perf records        *)
+(* ------------------------------------------------------------------ *)
+
+(* [--trajectory [--runlog DIR]] normalizes the committed BENCH_pr*.json
+   perf records — five schema generations, refinedc-bench/1 through /5 —
+   into one apps/sec + warm-speedup trajectory, printed as a table and
+   (with --runlog) appended to the persistent run ledger as
+   kind:"backfill" records, so [refinedc stats] charts the repo's whole
+   performance history alongside fresh check runs.  Backfill records
+   never enter the stats regression gate (different workloads). *)
+
+module J = Rc_util.Jsonout
+
+(* One normalized trajectory point, extracted from a perf record. *)
+type traj_point = {
+  tp_source : string;  (** the record file, e.g. "BENCH_pr6.json" *)
+  tp_schema : string;
+  tp_wall_s : float option;  (** the sequential/cold pass wall-clock *)
+  tp_rule_apps : int option;
+  tp_apps_per_sec : float option;
+  tp_warm_speedup : float option;
+}
+
+(* refinedc-bench/1,2,3 (BENCH_pr2/4/6): corpus runs with per-study
+   rule_apps; throughput = Σ studies' rule_apps over the sequential
+   pass's wall-clock, warm speedup from the precomputed ratio. *)
+let traj_of_corpus_record ~source ~schema (v : J.t) : traj_point option =
+  let runs = Option.value ~default:[] (Option.bind (J.member "runs" v) J.to_list) in
+  let sequential =
+    List.find_opt
+      (fun r ->
+        J.member "mode" r = Some (J.Str "sequential")
+        && J.member "cache" r = Some (J.Bool false))
+      runs
+  in
+  Option.map
+    (fun run ->
+      let wall = J.number_member "total_wall_s" run in
+      let apps =
+        Option.bind (J.member "studies" run) J.to_list
+        |> Option.map
+             (List.fold_left
+                (fun acc s ->
+                  acc
+                  + (Option.value ~default:0
+                       (Option.bind (J.member "rule_apps" s) J.to_int)))
+                0)
+      in
+      {
+        tp_source = source;
+        tp_schema = schema;
+        tp_wall_s = wall;
+        tp_rule_apps = apps;
+        tp_apps_per_sec =
+          (match (apps, wall) with
+          | Some a, Some w when w > 0. -> Some (float_of_int a /. w)
+          | _ -> None);
+        tp_warm_speedup =
+          Option.bind (J.member "speedup" v)
+            (J.number_member "warm_cache_vs_sequential");
+      })
+    sequential
+
+(* refinedc-bench/4 (BENCH_pr7): the stress corpus measures apps/sec
+   directly per config; the baseline sequential run is the comparable
+   throughput point, and the memoized speedup stands in the speedup
+   column (the record has no cache pass). *)
+let traj_of_stress_record ~source ~schema (v : J.t) : traj_point option =
+  let runs = Option.value ~default:[] (Option.bind (J.member "runs" v) J.to_list) in
+  let baseline =
+    List.find_opt
+      (fun r ->
+        J.member "config" r = Some (J.Str "baseline")
+        && J.member "mode" r = Some (J.Str "sequential"))
+      runs
+  in
+  Option.map
+    (fun run ->
+      {
+        tp_source = source;
+        tp_schema = schema;
+        tp_wall_s = J.number_member "total_wall_s" run;
+        tp_rule_apps = Option.bind (J.member "rule_apps" run) J.to_int;
+        tp_apps_per_sec = J.number_member "apps_per_sec" run;
+        tp_warm_speedup =
+          Option.bind (J.member "speedup" v) (fun s ->
+              Option.bind (J.member "sequential" s)
+                (J.number_member "memo_hashcons_vs_baseline"));
+      })
+    baseline
+
+(* refinedc-bench/5 (BENCH_pr8): per-family cold/warm walls, no
+   rule-application counts — the trajectory point is the cold total and
+   the median cold/warm ratio. *)
+let traj_of_incr_record ~source ~schema (v : J.t) : traj_point option =
+  let families =
+    Option.value ~default:[] (Option.bind (J.member "families" v) J.to_list)
+  in
+  if families = [] then None
+  else begin
+    let cold_total =
+      List.fold_left
+        (fun acc f ->
+          acc +. Option.value ~default:0. (J.number_member "cold_wall_s" f))
+        0. families
+    in
+    let ratios =
+      List.filter_map
+        (fun f ->
+          match
+            (J.number_member "cold_wall_s" f, J.number_member "warm_wall_s" f)
+          with
+          | Some c, Some w when w > 0. -> Some (c /. w)
+          | _ -> None)
+        families
+    in
+    Some
+      {
+        tp_source = source;
+        tp_schema = schema;
+        tp_wall_s = Some cold_total;
+        tp_rule_apps = None;
+        tp_apps_per_sec = None;
+        tp_warm_speedup = Rc_util.Runlog.median ratios;
+      }
+  end
+
+let traj_of_file (path : string) : (traj_point, string) result =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error msg -> Error msg
+  | contents -> (
+      match J.parse contents with
+      | Error msg -> Error ("unparseable: " ^ msg)
+      | Ok v -> (
+          let source = Filename.basename path in
+          match Option.bind (J.member "schema" v) J.to_str with
+          | None -> Error "no schema field"
+          | Some schema -> (
+              let point =
+                match schema with
+                | "refinedc-bench/1" | "refinedc-bench/2" | "refinedc-bench/3"
+                  ->
+                    traj_of_corpus_record ~source ~schema v
+                | "refinedc-bench/4" -> traj_of_stress_record ~source ~schema v
+                | "refinedc-bench/5" -> traj_of_incr_record ~source ~schema v
+                | _ -> None
+              in
+              match point with
+              | Some p -> Ok p
+              | None -> Error ("unrecognized record shape for " ^ schema))))
+
+let traj_to_runlog_record (p : traj_point) : J.t =
+  let opt_f = function Some f -> J.Float f | None -> J.Null in
+  J.Obj
+    [
+      ("schema", J.Str Rc_util.Runlog.schema_version);
+      ("kind", J.Str "backfill");
+      ("file", J.Str p.tp_source);
+      ("bench_schema", J.Str p.tp_schema);
+      ("ocaml", J.Str Sys.ocaml_version);
+      ("wall_s", opt_f p.tp_wall_s);
+      ( "rule_apps",
+        match p.tp_rule_apps with Some n -> J.Int n | None -> J.Null );
+      ("apps_per_sec", opt_f p.tp_apps_per_sec);
+      ("warm_speedup", opt_f p.tp_warm_speedup);
+    ]
+
+let default_traj_sources =
+  [
+    "BENCH_pr2.json";
+    "BENCH_pr4.json";
+    "BENCH_pr6.json";
+    "BENCH_pr7.json";
+    "BENCH_pr8.json";
+  ]
+
+let trajectory ~(runlog_dir : string option) (sources : string list) : bool =
+  let points, errors =
+    List.fold_left
+      (fun (ps, es) src ->
+        if not (Sys.file_exists src) then (ps, (src, "not found") :: es)
+        else
+          match traj_of_file src with
+          | Ok p -> (p :: ps, es)
+          | Error msg -> (ps, (src, msg) :: es))
+      ([], []) sources
+  in
+  let points = List.rev points and errors = List.rev errors in
+  Fmt.pr "Performance trajectory (%d record%s):@." (List.length points)
+    (if List.length points = 1 then "" else "s");
+  Fmt.pr "  %-16s %-18s %10s %10s %10s %12s@." "record" "schema" "wall_s"
+    "rule_apps" "apps/sec" "warm speedup";
+  List.iter
+    (fun p ->
+      let f = function Some v -> Fmt.str "%.3g" v | None -> "-" in
+      Fmt.pr "  %-16s %-18s %10s %10s %10s %12s@." p.tp_source p.tp_schema
+        (f p.tp_wall_s)
+        (match p.tp_rule_apps with Some n -> string_of_int n | None -> "-")
+        (f p.tp_apps_per_sec) (f p.tp_warm_speedup))
+    points;
+  List.iter (fun (src, msg) -> Fmt.pr "  %s: skipped (%s)@." src msg) errors;
+  (match runlog_dir with
+  | None -> ()
+  | Some dir ->
+      let lg = Rc_util.Runlog.create dir in
+      List.iter (fun p -> Rc_util.Runlog.append lg (traj_to_runlog_record p)) points;
+      if Rc_util.Runlog.disabled lg then
+        Fmt.pr "warning: could not append to the run ledger in %s@." dir
+      else
+        Fmt.pr "%d backfill record%s appended to %s@." (List.length points)
+          (if List.length points = 1 then "" else "s")
+          (Rc_util.Runlog.path lg));
+  points <> []
+
+(* ------------------------------------------------------------------ *)
 (* Entry point                                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -1193,7 +1408,21 @@ let opt_value args name default =
 
 let () =
   let args = Array.to_list Sys.argv in
-  if List.mem "--incr" args then begin
+  if List.mem "--trajectory" args then begin
+    let runlog_dir =
+      match opt_value args "--runlog" "" with "" -> None | d -> Some d
+    in
+    let sources =
+      match List.filter (fun a -> Filename.check_suffix a ".json") args with
+      | [] -> default_traj_sources
+      | files -> files
+    in
+    if not (trajectory ~runlog_dir sources) then begin
+      Fmt.pr "@.NO PERF RECORDS FOUND@.";
+      exit 1
+    end
+  end
+  else if List.mem "--incr" args then begin
     let scale =
       match int_of_string_opt (opt_value args "--scale" "2") with
       | Some n when n > 0 -> n

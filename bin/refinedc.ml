@@ -291,10 +291,50 @@ let check_cmd =
       & info [ "fault-max" ] ~docv:"N"
           ~doc:"Stop injecting after $(docv) faults; negative = no cap.")
   in
+  let explain_failure =
+    Arg.(
+      value & flag
+      & info [ "explain-failure" ]
+          ~doc:
+            "Attach proof-failure forensics to every failing function: the \
+             goal stack from the function's root goal to the stuck goal, \
+             the stuck goal's candidate typing rules with per-rule \
+             rejection reasons, the existential-variable state and the \
+             trailing rule applications.  Printed after each failure in \
+             the human report; under $(b,--json) a structured \
+             $(b,forensics) block joins each failure diagnostic.  \
+             Deterministic: the forensic carries no wall-clock data and is \
+             byte-identical across $(b,-j N).")
+  in
+  let profile_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "profile-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the $(b,--profile) summary as JSON to $(docv) \
+             (per-phase timings, hottest rules, solver breakdown, hottest \
+             functions, counters).  Implies metrics collection; does not \
+             imply the human $(b,--profile) table.")
+  in
+  let runlog =
+    Arg.(
+      value
+      & opt ~vopt:(Some "") (some string) None
+      & info [ "runlog" ] ~docv:"DIR"
+          ~doc:
+            "Append one record for this run (wall-clock, rule \
+             applications, verdict counts, cache/memo/solver counters, \
+             per-function latency percentiles, toolchain fingerprint) to \
+             the persistent run ledger $(b,runs.jsonl) in $(docv).  With \
+             no $(docv), the ledger lives in the $(b,--cache) directory.  \
+             Query it with $(b,refinedc stats).")
+  in
   let run file deriv stats cert semtest fuel timeout max_depth fail_fast json
       jobs cache no_incremental explain_cache cache_stats cache_max_mb memo
       pgo default_only no_goal_simp trace profile no_lint lint_werror deadline
-      retries fault_seed fault_rate fault_sites fault_max =
+      retries fault_seed fault_rate fault_sites fault_max explain_failure
+      profile_out runlog =
     let budget = { Rc_util.Budget.fuel; timeout; max_depth } in
     (* the cache-family flags share --cache's fate under --cert (and are
        inert without --cache): warn once each, with the same phrasing
@@ -351,8 +391,9 @@ let check_cmd =
       {
         Rc_util.Obs.c_trace = trace <> None;
         (* --json reports always carry the metrics block when any
-           observability was requested; --profile needs only metrics *)
-        c_metrics = profile || trace <> None || json;
+           observability was requested; --profile/--profile-out need only
+           metrics *)
+        c_metrics = profile || profile_out <> None || trace <> None || json;
       }
     in
     let fault =
@@ -392,13 +433,29 @@ let check_cmd =
           }
         ?fault ?deadline ~retries ?pool
         ~cancel:(fun () -> Atomic.get interrupted)
-        ~memo ~incremental:(not no_incremental) ~profile:rule_profile ()
+        ~memo ~incremental:(not no_incremental) ~forensics:explain_failure
+        ~profile:rule_profile ()
     in
     let session =
       if explain_cache then
         Rc_refinedc.Session.with_inc session
           { session.Rc_refinedc.Session.inc with Rc_refinedc.Session.in_explain = true }
       else session
+    in
+    (* resolve the ledger directory before [cache] is shadowed by the
+       store handle: a bare --runlog rides in the --cache directory *)
+    let runlog_dir =
+      match runlog with
+      | None -> None
+      | Some "" -> (
+          match cache with
+          | Some dir -> Some dir
+          | None ->
+              Fmt.epr
+                "warning: --runlog without a directory requires --cache; \
+                 no ledger written@.";
+              None)
+      | Some dir -> Some dir
     in
     let cache =
       match cache with
@@ -427,6 +484,7 @@ let check_cmd =
     Fun.protect ~finally:(fun () ->
         Option.iter Rc_util.Supervisor.shutdown pool)
     @@ fun () ->
+    let run_watch = Rc_util.Budget.stopwatch () in
     match Driver.check_file ~session ~fail_fast ~jobs ?cache file with
     | exception Sys_error msg ->
         if json then
@@ -518,6 +576,11 @@ let check_cmd =
                 in
                 say "%s: %s@.%s@." r.name what
                   (Rc_lithium.Report.to_string e);
+                (if explain_failure then
+                   match e.Rc_lithium.Report.forensics with
+                   | Some fx ->
+                       say "%a@." Rc_lithium.Report.pp_forensics fx
+                   | None -> ());
                 incr failed)
           t.results;
         let skip_why =
@@ -581,6 +644,48 @@ let check_cmd =
           (if json then Fmt.epr else Fmt.pr)
             "%a" (Rc_util.Profile.pp ?top:None)
             (Rc_util.Obs.mx t.Driver.obs);
+        (match profile_out with
+        | None -> ()
+        | Some path -> (
+            let payload =
+              Rc_util.Jsonout.to_string
+                (Rc_util.Profile.to_json (Rc_util.Obs.mx t.Driver.obs))
+              ^ "\n"
+            in
+            try
+              Out_channel.with_open_bin path (fun oc ->
+                  Out_channel.output_string oc payload)
+            with Sys_error msg ->
+              Fmt.epr "warning: cannot write profile to %s (%s)@." path msg));
+        (* the run ledger is out-of-band telemetry: it carries wall-clock
+           data, so it goes to the ledger file only — never stdout *)
+        (match runlog_dir with
+        | None -> ()
+        | Some dir ->
+            let lg = Rc_util.Runlog.create dir in
+            let record =
+              Driver.runlog_record ~session ~wall_s:(run_watch ()) t
+            in
+            let record =
+              (* fold the profile into the ledger when it was collected
+                 for output anyway (--profile / --profile-out) *)
+              match record with
+              | Rc_util.Jsonout.Obj fields
+                when profile || profile_out <> None ->
+                  Rc_util.Jsonout.Obj
+                    (fields
+                    @ [
+                        ( "profile",
+                          Rc_util.Profile.to_json
+                            (Rc_util.Obs.mx t.Driver.obs) );
+                      ])
+              | r -> r
+            in
+            Rc_util.Runlog.append lg record;
+            if Rc_util.Runlog.disabled lg then
+              Fmt.epr
+                "warning: cannot append to run ledger in %s; record dropped@."
+                dir);
         List.iter
           (fun d -> Fmt.epr "%a@." Rc_util.Diagnostic.pp d)
           t.Driver.diagnostics;
@@ -617,7 +722,7 @@ let check_cmd =
       $ explain_cache $ cache_stats $ cache_max_mb $ memo $ pgo
       $ default_only $ no_goal_simp $ trace $ profile $ no_lint $ lint_werror
       $ deadline $ retries $ fault_seed $ fault_rate $ fault_sites
-      $ fault_max)
+      $ fault_max $ explain_failure $ profile_out $ runlog)
 
 let lint_cmd =
   let file = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
@@ -816,9 +921,194 @@ let cfg_cmd =
   Cmd.v (Cmd.info "cfg" ~doc:"Dump the elaborated Caesium CFGs.")
     Term.(const run $ file)
 
+(* -------------------------------------------------------------------- *)
+(* refinedc stats: trends and regression checks over the run ledger      *)
+(* -------------------------------------------------------------------- *)
+
+let stats_cmd =
+  let module J = Rc_util.Jsonout in
+  let dir =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"DIR"
+          ~doc:"Directory holding the run ledger ($(b,runs.jsonl)).")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit the trend table and regression verdict as JSON on \
+             stdout (schema $(b,refinedc-stats/1)) — the form CI gates \
+             on.")
+  in
+  let last =
+    Arg.(
+      value & opt int 10
+      & info [ "last" ] ~docv:"N"
+          ~doc:"Show the last $(docv) ledger records (default 10).")
+  in
+  let window =
+    Arg.(
+      value & opt int 4
+      & info [ "window" ] ~docv:"N"
+          ~doc:
+            "Regression baseline: the $(docv) check runs before the \
+             latest (default 4).")
+  in
+  let threshold =
+    Arg.(
+      value & opt float 0.75
+      & info [ "threshold" ] ~docv:"R"
+          ~doc:
+            "Flag a regression when the latest run's apps/sec falls below \
+             $(docv) × the trailing-window median (default 0.75).")
+  in
+  let gate =
+    Arg.(
+      value & flag
+      & info [ "gate" ]
+          ~doc:
+            "Exit 1 when the regression check flags the latest run \
+             (normally reporting never fails the command).")
+  in
+  (* one flattened row per ledger record, reading only fields the
+     record's schema version is known to carry (absent fields → Null) *)
+  let row (r : J.t) : (string * J.t) list =
+    let str k = match J.member k r with Some (J.Str s) -> J.Str s | _ -> J.Null in
+    let num k = match J.number_member k r with Some f -> J.Float f | None -> J.Null in
+    let nested k1 k2 =
+      match J.member k1 r with
+      | Some o -> (
+          match J.number_member k2 o with Some f -> J.Float f | None -> J.Null)
+      | None -> J.Null
+    in
+    [
+      ("kind", str "kind");
+      ("file", str "file");
+      ("wall_s", num "wall_s");
+      ("rule_apps", num "rule_apps");
+      ("apps_per_sec", num "apps_per_sec");
+      ("cache_hit_rate", nested "cache" "hit_rate");
+      ("fn_p50_s", nested "fn_wall" "p50_s");
+      ("fn_p95_s", nested "fn_wall" "p95_s");
+      ("warm_speedup", num "warm_speedup");
+    ]
+  in
+  let run dir json last window threshold gate =
+    let lg = Rc_util.Runlog.create dir in
+    let records = Rc_util.Runlog.load lg in
+    let corrupt = Rc_util.Runlog.corrupt_lines lg in
+    (* the regression series: apps/sec of "check" runs, chronological —
+       bench backfill records chart the trajectory but use different
+       workloads, so they never enter the gate *)
+    let apps_series =
+      List.filter_map
+        (fun r ->
+          match J.member "kind" r with
+          | Some (J.Str "check") -> J.number_member "apps_per_sec" r
+          | _ -> None)
+        records
+    in
+    let reg = Rc_util.Runlog.regression ~window ~threshold apps_series in
+    let regressed =
+      match reg with Some g -> g.Rc_util.Runlog.r_regressed | None -> false
+    in
+    if json then begin
+      let reg_json =
+        match reg with
+        | None -> J.Null
+        | Some g ->
+            J.Obj
+              [
+                ("metric", J.Str "apps_per_sec");
+                ("latest", J.Float g.Rc_util.Runlog.r_latest);
+                ( "baseline",
+                  J.List
+                    (List.map (fun f -> J.Float f) g.Rc_util.Runlog.r_baseline)
+                );
+                ("median_ratio", J.Float g.Rc_util.Runlog.r_median_ratio);
+                ("window", J.Int g.Rc_util.Runlog.r_window);
+                ("threshold", J.Float g.Rc_util.Runlog.r_threshold);
+                ("regressed", J.Bool g.Rc_util.Runlog.r_regressed);
+              ]
+      in
+      Fmt.pr "%s@."
+        (J.to_string
+           (J.Obj
+              [
+                ("schema", J.Str "refinedc-stats/1");
+                ("ledger", J.Str (Rc_util.Runlog.path lg));
+                ("records", J.Int (List.length records));
+                ("corrupt_lines", J.Int corrupt);
+                ( "trend",
+                  J.List (List.map (fun r -> J.Obj (row r)) records) );
+                ("regression", reg_json);
+              ]))
+    end
+    else begin
+      Fmt.pr "run ledger: %s — %d record%s%s@."
+        (Rc_util.Runlog.path lg)
+        (List.length records)
+        (if List.length records = 1 then "" else "s")
+        (if corrupt > 0 then
+           Fmt.str " (%d corrupt line%s skipped)" corrupt
+             (if corrupt = 1 then "" else "s")
+         else "");
+      if records <> [] then begin
+        let n = List.length records in
+        let shown = List.filteri (fun i _ -> i >= n - last) records in
+        Fmt.pr "  %-9s %-24s %9s %10s %10s %6s %8s %8s@." "kind" "file"
+          "wall_s" "rule_apps" "apps/sec" "cache" "p50_s" "p95_s";
+        List.iter
+          (fun r ->
+            let s k =
+              match J.member k r with Some (J.Str s) -> s | _ -> "-"
+            in
+            let f fields =
+              match fields with
+              | J.Null -> "-"
+              | J.Float v -> Fmt.str "%.3g" v
+              | J.Int v -> string_of_int v
+              | _ -> "-"
+            in
+            let cells = row r in
+            let cell k = f (List.assoc k cells) in
+            Fmt.pr "  %-9s %-24s %9s %10s %10s %6s %8s %8s@." (s "kind")
+              (Filename.basename (match J.member "file" r with
+                                  | Some (J.Str x) -> x
+                                  | _ -> "-"))
+              (cell "wall_s") (cell "rule_apps") (cell "apps_per_sec")
+              (cell "cache_hit_rate") (cell "fn_p50_s") (cell "fn_p95_s"))
+          shown;
+        match reg with
+        | None ->
+            Fmt.pr
+              "trend: fewer than two check runs with throughput data — no \
+               regression check@."
+        | Some g ->
+            Fmt.pr
+              "trend (apps/sec, check runs): latest %.3g vs %d-run \
+               baseline, median ratio %.2f (threshold %.2f) → %s@."
+              g.Rc_util.Runlog.r_latest g.Rc_util.Runlog.r_window
+              g.Rc_util.Runlog.r_median_ratio g.Rc_util.Runlog.r_threshold
+              (if g.Rc_util.Runlog.r_regressed then "REGRESSED" else "ok")
+      end
+    end;
+    if gate && regressed then 1 else 0
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Report throughput trends and flag regressions from the \
+          persistent run ledger written by $(b,refinedc check --runlog) \
+          and $(b,bench --trajectory).")
+    Term.(const run $ dir $ json $ last $ window $ threshold $ gate)
+
 let () =
   let doc = "RefinedC: automated, certificate-producing verification of C" in
   exit
     (Cmd.eval'
        (Cmd.group (Cmd.info "refinedc" ~version:"1.0" ~doc)
-          [ check_cmd; lint_cmd; run_cmd; cfg_cmd ]))
+          [ check_cmd; lint_cmd; run_cmd; cfg_cmd; stats_cmd ]))

@@ -868,6 +868,148 @@ let to_json ?(timings = true) (t : t) : Rc_util.Jsonout.t =
       ("metrics", Rc_util.Metrics.to_json ~timings (Obs.mx t.obs));
     ]
 
+(* ------------------------------------------------------------------ *)
+(* Run-ledger records (--runlog)                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** One {!Rc_util.Runlog} record for this check run.  Unlike
+    {!to_json}, ledger records carry wall-clock data by design — they
+    exist to track throughput across runs — but they are out-of-band:
+    written to the ledger file beside the cache, never to stdout, so the
+    [-j 1] ≡ [-j 4] byte-identity of the [--json] report is untouched.
+    Per-function percentiles are precomputed at write time so
+    [refinedc stats] never needs the raw function list. *)
+let runlog_record ~(session : Session.t) ~(wall_s : float) (t : t) :
+    Rc_util.Jsonout.t =
+  let open Rc_util.Jsonout in
+  let s = stats t in
+  let rule_apps = s.Rc_lithium.Stats.rule_apps in
+  let verified, failed, faults_n =
+    List.fold_left
+      (fun (v, f, x) r ->
+        match r.outcome with
+        | Ok _ -> (v + 1, f, x)
+        | Error e -> if Report.is_fault e then (v, f, x + 1) else (v, f + 1, x))
+      (0, 0, 0) t.results
+  in
+  let fn_walls =
+    List.filter_map
+      (fun r -> if r.cached then None else Some r.time_s)
+      t.results
+  in
+  let pct p =
+    match Rc_util.Runlog.percentile p fn_walls with
+    | Some v -> Float v
+    | None -> Null
+  in
+  let why_histogram =
+    (* "changed:body+callee:f" buckets by its head ("changed:body") so
+       the histogram stays low-cardinality across runs *)
+    let tbl = Hashtbl.create 8 in
+    List.iter
+      (fun r ->
+        match r.why with
+        | None -> ()
+        | Some w ->
+            let key =
+              match String.index_opt w '+' with
+              | Some i -> String.sub w 0 i
+              | None -> w
+            in
+            Hashtbl.replace tbl key
+              (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key)))
+      t.results;
+    Hashtbl.fold (fun k v acc -> (k, Int v) :: acc) tbl []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  let m = Obs.mx t.obs in
+  let metrics_fields =
+    if not (Rc_util.Metrics.on m) then []
+    else
+      [
+        ( "memo",
+          Obj
+            [
+              ("hits", Int (Rc_util.Metrics.counter m "memo.hit"));
+              ("misses", Int (Rc_util.Metrics.counter m "memo.miss"));
+              ("stores", Int (Rc_util.Metrics.counter m "memo.store"));
+            ] );
+        ( "solvers",
+          List
+            (Rc_util.Metrics.timers_with_prefix m ~prefix:"solver.ns."
+            |> List.map (fun (name, count, total_ns) ->
+                   Obj
+                     [
+                       ("name", Str name);
+                       ("calls", Int count);
+                       ("total_ns", Float (Int64.to_float total_ns));
+                     ])) );
+      ]
+  in
+  let e = t.exec_stats in
+  Obj
+    ([
+       ("schema", Str Rc_util.Runlog.schema_version);
+       ("kind", Str "check");
+       ("file", Str t.file);
+       ( "fingerprint",
+         Str (Rc_refinedc.Typecheck.toolchain_fingerprint session) );
+       ("ocaml", Str Sys.ocaml_version);
+       ("jobs", Int t.jobs);
+       ("wall_s", Float wall_s);
+       ("rule_apps", Int rule_apps);
+       ( "apps_per_sec",
+         if wall_s > 0. then Float (float_of_int rule_apps /. wall_s)
+         else Null );
+       ( "verdicts",
+         Obj
+           [
+             ("verified", Int verified);
+             ("failed", Int failed);
+             ("faults", Int faults_n);
+             ("skipped", Int (List.length t.skipped));
+           ] );
+       ( "cache",
+         match t.cache_stats with
+         | None -> Null
+         | Some (hits, misses) ->
+             Obj
+               [
+                 ("hits", Int hits);
+                 ("misses", Int misses);
+                 ( "hit_rate",
+                   Float
+                     (if hits + misses = 0 then 0.
+                      else float_of_int hits /. float_of_int (hits + misses))
+                 );
+               ] );
+       ("cache_why", Obj why_histogram);
+       ( "fn_wall",
+         Obj
+           [
+             ("checked", Int (List.length fn_walls));
+             ("p50_s", pct 0.5);
+             ("p95_s", pct 0.95);
+           ] );
+       ( "exec",
+         Obj
+           [
+             ("retries", Int e.Supervisor.rs_retries);
+             ("task_faults", Int e.Supervisor.rs_task_faults);
+             ("worker_crashes", Int e.Supervisor.rs_crashes);
+             ("respawns", Int e.Supervisor.rs_respawns);
+             ("not_run", Int e.Supervisor.rs_not_run);
+             ("degraded", Bool e.Supervisor.rs_degraded);
+           ] );
+       ( "stop",
+         Str
+           (match t.stop with
+           | Completed -> "completed"
+           | Deadline -> "deadline"
+           | Interrupted -> "interrupted") );
+     ]
+    @ metrics_fields)
+
 (** Run a function of the elaborated program in the Caesium interpreter
     (used by examples and the semantic-soundness harness). *)
 let run (t : t) (fname : string) (args : Rc_caesium.Value.t list) =

@@ -308,13 +308,48 @@ module Make (L : LANG) = struct
     mutable m_frames : frame list;  (** innermost first *)
   }
 
+  (* ---------------------------------------------------------------- *)
+  (* Proof-failure forensics                                            *)
+  (* ---------------------------------------------------------------- *)
+
+  (** One open basic-goal frame of the forensic goal stack: the goal
+      being solved, the bucket rules rejected so far (guards returned
+      [None]) and the rule that committed, if any.  Frames exist only
+      when forensics are enabled — the disabled path allocates nothing
+      per basic goal, mirroring the Obs discipline. *)
+  type fx_frame = {
+    fxf_goal : L.f;
+    mutable fxf_rejected : string list;  (** reversed trial order *)
+    mutable fxf_matched : string option;
+  }
+
+  (** Per-run forensic recorder: the live basic-goal stack (innermost
+      first) and a bounded ring of recent rule applications.  The
+      snapshot is taken inside {!fail}, before unwinding pops the
+      frames. *)
+  type fx_state = {
+    fx_lim : Report.fx_limits;
+    mutable fx_stack : fx_frame list;
+    fx_ring : string array;
+    mutable fx_ring_n : int;  (** total pushes; head = n mod size *)
+  }
+
   (** Engine tuning knobs.  [o_memo] is the [--memo] flag; [o_hashcons]
       switches the interned-id head dispatch and exists so the benchmark
       harness can A/B it against the string path — it never changes
-      results, only speed. *)
-  type opts = { o_hashcons : bool; o_memo : bool; o_memo_max : int }
+      results, only speed.  [o_fx] enables proof-failure forensics
+      ([--explain-failure]): a bounded derivation snapshot attached to
+      the failure report.  Like the speed knobs it never changes
+      verdicts — it only enriches failure diagnostics. *)
+  type opts = {
+    o_hashcons : bool;
+    o_memo : bool;
+    o_memo_max : int;
+    o_fx : Report.fx_limits option;
+  }
 
-  let default_opts = { o_hashcons = true; o_memo = false; o_memo_max = 4096 }
+  let default_opts =
+    { o_hashcons = true; o_memo = false; o_memo_max = 4096; o_fx = None }
 
   type st = {
     evars : Evar.t;
@@ -332,6 +367,7 @@ module Make (L : LANG) = struct
             disabled — every guard below is then one pattern match) *)
     hashcons : bool;  (** dispatch on {!L.head_id_of_f} ids *)
     memo : memo option;  (** [Some] iff within-run memoization is on *)
+    fx : fx_state option;  (** [Some] iff forensics capture is on *)
     mutable cur_loc : Rc_util.Srcloc.t option;
     mutable cur_head : string option;  (** head of the last basic goal *)
   }
@@ -409,8 +445,165 @@ module Make (L : LANG) = struct
     List.map (fun a -> Fmt.str "%a" L.pp_atom a) ctx.delta
     @ List.map (fun p -> Fmt.str "⌜%a⌝" Term.pp_prop p) ctx.props
 
+  (* ---------------------------------------------------------------- *)
+  (* Forensic capture                                                   *)
+  (* ---------------------------------------------------------------- *)
+
+  (* [fx_push]/[fx_pop] bracket each basic-goal solve; the caller pops
+     on both the success and the exception path — the snapshot is taken
+     inside {!fail} *before* unwinding, so the stack is intact there. *)
+  let fx_push st (f : L.f) : fx_frame option =
+    match st.fx with
+    | None -> None
+    | Some fx ->
+        let fr = { fxf_goal = f; fxf_rejected = []; fxf_matched = None } in
+        fx.fx_stack <- fr :: fx.fx_stack;
+        Some fr
+
+  let fx_pop st =
+    match st.fx with
+    | None -> ()
+    | Some fx -> (
+        match fx.fx_stack with
+        | _ :: rest -> fx.fx_stack <- rest
+        | [] -> ())
+
+  let fx_record_rejected (fr : fx_frame option) rname =
+    match fr with
+    | None -> ()
+    | Some fr -> fr.fxf_rejected <- rname :: fr.fxf_rejected
+
+  let fx_record_matched st (fr : fx_frame option) rname =
+    match (st.fx, fr) with
+    | Some fx, Some fr ->
+        fr.fxf_matched <- Some rname;
+        let size = Array.length fx.fx_ring in
+        if size > 0 then begin
+          fx.fx_ring.(fx.fx_ring_n mod size) <- rname;
+          fx.fx_ring_n <- fx.fx_ring_n + 1
+        end
+    | _ -> ()
+
+  (** Keep the first [keep - keep/2] and last [keep/2] of [l], with the
+      elided middle count — both the root and the failure frontier stay
+      visible however deep the stack was. *)
+  let bound_middle keep (l : 'a list) : 'a list * int =
+    let n = List.length l in
+    if n <= keep then (l, 0)
+    else begin
+      let head_keep = keep - (keep / 2) in
+      let tail_keep = keep - head_keep in
+      let kept =
+        List.filteri (fun i _ -> i < head_keep || i >= n - tail_keep) l
+      in
+      (kept, n - keep)
+    end
+
+  (** The committed rule's rejection reason: first-match-commits means
+      the failure happened *inside* its premise, and the failure kind
+      says how. *)
+  let fx_reason_of_kind (kind : Report.kind) : string =
+    match kind with
+    | Report.Unsolved_side_condition p ->
+        Fmt.str "side condition unsolved: %s (solver verdict: unsolved)"
+          (prop_to_string p)
+    | Report.Evar_stuck p ->
+        Fmt.str "side condition stuck on uninstantiated evars: %s"
+          (prop_to_string p)
+    | Report.No_rule_applies _ -> "no rule in the subgoal's bucket applied"
+    | Report.No_ownership a -> "subgoal failed: no ownership for " ^ a
+    | Report.Resource_exhausted { exh; _ } ->
+        "subgoal exhausted the budget: "
+        ^ Rc_util.Budget.exhaustion_label exh
+    | Report.Frontend _ | Report.Checker_fault _ | Report.Transient_fault _
+      ->
+        "subgoal failed"
+
+  (** One printed line per evar entry: hint, id, sort and the resolved
+      instantiation (or its sealed/uninstantiated status). *)
+  let fx_evar_lines st lim : string list * int =
+    let entries =
+      Hashtbl.fold (fun id e acc -> (id, e) :: acc) st.evars.Evar.entries []
+      |> List.sort (fun (a, _) (b, _) -> compare a b)
+    in
+    let n = List.length entries in
+    let keep = lim.Report.fxl_evars in
+    let elided = if n > keep then n - keep else 0 in
+    let kept = List.filteri (fun i _ -> i >= elided) entries in
+    let line (id, (e : Evar.entry)) =
+      let status =
+        match e.Evar.inst with
+        | Some t ->
+            " := " ^ term_to_string (Evar.resolve st.evars t)
+        | None ->
+            if e.Evar.sealed then " (sealed, uninstantiated)"
+            else " (uninstantiated)"
+      in
+      Fmt.str "?%s#%d : %s%s" e.Evar.e_hint id
+        (Sort.to_string e.Evar.e_sort)
+        status
+    in
+    (List.map line kept, elided)
+
+  (** Assemble the bounded derivation snapshot at the point of failure
+      (the frames are still on the stack; unwinding pops them after). *)
+  let fx_snapshot st (fx : fx_state) (kind : Report.kind) : Report.forensics
+      =
+    let lim = fx.fx_lim in
+    let frames = List.rev fx.fx_stack in
+    let goal_stack, stack_elided =
+      bound_middle lim.Report.fxl_depth
+        (List.map (fun fr -> Fmt.str "%a" L.pp_f fr.fxf_goal) frames)
+    in
+    let candidates, cand_elided =
+      match fx.fx_stack with
+      | [] -> ([], 0)
+      | innermost :: _ ->
+          let rejected =
+            List.rev_map (fun r -> (r, "guard failed")) innermost.fxf_rejected
+          in
+          let n = List.length rejected in
+          let keep = lim.Report.fxl_width in
+          let rejected, elided =
+            if n <= keep then (rejected, 0)
+            else (List.filteri (fun i _ -> i < keep) rejected, n - keep)
+          in
+          let matched =
+            match innermost.fxf_matched with
+            | Some r -> [ (r, fx_reason_of_kind kind) ]
+            | None -> []
+          in
+          (rejected @ matched, elided)
+    in
+    let evars, evars_elided = fx_evar_lines st lim in
+    let ring_size = Array.length fx.fx_ring in
+    let recent =
+      if ring_size = 0 || fx.fx_ring_n = 0 then []
+      else begin
+        let count = min fx.fx_ring_n ring_size in
+        List.init count (fun i ->
+            fx.fx_ring.((fx.fx_ring_n - count + i) mod ring_size))
+      end
+    in
+    {
+      Report.fx_goal_stack = goal_stack;
+      fx_goal_stack_elided = stack_elided;
+      fx_stuck_head = st.cur_head;
+      fx_candidates = candidates;
+      fx_candidates_elided = cand_elided;
+      fx_evars = evars;
+      fx_evars_elided = evars_elided;
+      fx_recent_rules = recent;
+    }
+
   let fail st ctx kind =
-    Report.fail ?loc:st.cur_loc ~trail:ctx.trail ~context:(pp_delta ctx) kind
+    let forensics =
+      match st.fx with
+      | None -> None
+      | Some fx -> Some (fx_snapshot st fx kind)
+    in
+    Report.fail ?loc:st.cur_loc ~trail:ctx.trail ~context:(pp_delta ctx)
+      ?forensics kind
 
   (* budget exhaustion: abort the search with a structured diagnostic
      recording where it stood (§5's predictability, made enforceable) *)
@@ -831,12 +1024,14 @@ module Make (L : LANG) = struct
     st.cur_head <- Some head;
     Rc_util.Faultsim.point st.registry.Registry.fault "rule_lookup";
     let ri = rule_input st ctx in
+    let fr = fx_push st f in
     let rec try_rules = function
       | [] -> fail st ctx (Report.No_rule_applies (Fmt.str "%a" L.pp_f f))
       | r :: rest -> (
           match r.apply ri f with
           | Some premise ->
               Stats.record_rule st.stats r.rname;
+              fx_record_matched st fr r.rname;
               let d =
                 if Rc_util.Obs.on st.obs then begin
                   (* span over the whole premise solve: the browsable
@@ -864,9 +1059,20 @@ module Make (L : LANG) = struct
                 ~info:(Fmt.str "%a" L.pp_f f)
                 ?loc:(L.loc_of_f f)
                 ("rule:" ^ r.rname) [ d ]
-          | None -> try_rules rest)
+          | None ->
+              fx_record_rejected fr r.rname;
+              try_rules rest)
     in
-    try_rules bucket
+    match try_rules bucket with
+    | d ->
+        fx_pop st;
+        d
+    | exception e ->
+        (* the snapshot (if any) was taken inside [fail] with the stack
+           intact; unwinding just keeps the stack consistent for any
+           enclosing handler *)
+        fx_pop st;
+        raise e
 
   (* ---------------------------------------------------------------- *)
   (* Entry point                                                       *)
@@ -905,6 +1111,18 @@ module Make (L : LANG) = struct
                  m_frames = [];
                }
            else None);
+        fx =
+          (match opts.o_fx with
+          | None -> None
+          | Some lim ->
+              Some
+                {
+                  fx_lim = lim;
+                  fx_stack = [];
+                  fx_ring =
+                    Array.make (max 0 lim.Report.fxl_recent) "";
+                  fx_ring_n = 0;
+                });
         cur_loc = None;
         cur_head = None;
       }

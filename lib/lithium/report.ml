@@ -26,11 +26,56 @@ type kind =
           flaky external resource) that may well succeed if re-run; the
           supervisor's retry policy re-attempts exactly these *)
 
+(** {2 Proof-failure forensics}
+
+    A bounded snapshot of the derivation at the moment of failure,
+    captured by the engine when forensics are enabled
+    ([--explain-failure]).  Everything here is printed, count-bounded
+    and free of wall-clock data, so a forensic is deterministic and
+    byte-identical across [-j N] (per-function capture, merged in source
+    order, like every other diagnostic). *)
+
+(** Depth/width caps on the capture (DESIGN.md §13): the forensic must
+    stay small even when the stuck goal sits under a thousand-frame
+    search on the diamond corpus.  Elision counts record what was
+    dropped, so a bounded forensic is never mistaken for a complete
+    one. *)
+type fx_limits = {
+  fxl_depth : int;  (** goal-stack entries kept (head + tail of the path) *)
+  fxl_width : int;  (** candidate rules listed for the stuck goal *)
+  fxl_recent : int;  (** trailing rule applications kept *)
+  fxl_evars : int;  (** evar entries printed (most recent kept) *)
+}
+
+let default_fx_limits =
+  { fxl_depth = 24; fxl_width = 16; fxl_recent = 16; fxl_evars = 24 }
+
+type forensics = {
+  fx_goal_stack : string list;
+      (** printed basic goals, root first, stuck goal last; middle
+          entries elided beyond [fxl_depth] *)
+  fx_goal_stack_elided : int;
+  fx_stuck_head : string option;  (** judgment head of the stuck goal *)
+  fx_candidates : (string * string) list;
+      (** the stuck goal's head-bucket candidates in trial order, each
+          with its rejection reason ("guard failed", "side condition
+          unsolved: …", …); rules after the committed one are absent —
+          first-match-commits never tried them *)
+  fx_candidates_elided : int;
+  fx_evars : string list;  (** printed evar entries, most recent last *)
+  fx_evars_elided : int;
+  fx_recent_rules : string list;
+      (** the last N rule applications before the failure, oldest
+          first *)
+}
+
 type t = {
   loc : Rc_util.Srcloc.t option;
   trail : string list;  (** innermost branch label last *)
   kind : kind;
   context : string list;  (** printed Δ atoms at the failure point *)
+  forensics : forensics option;
+      (** present only when the engine ran with forensics enabled *)
 }
 
 exception Error of t
@@ -51,11 +96,11 @@ let is_fault (e : t) = is_fault_kind e.kind
 let is_transient_kind = function Transient_fault _ -> true | _ -> false
 let is_transient (e : t) = is_transient_kind e.kind
 
-let make ?loc ?(trail = []) ?(context = []) kind : t =
-  { loc; trail; kind; context }
+let make ?loc ?(trail = []) ?(context = []) ?forensics kind : t =
+  { loc; trail; kind; context; forensics }
 
-let fail ?loc ?(trail = []) ?(context = []) kind =
-  raise (Error (make ?loc ~trail ~context kind))
+let fail ?loc ?(trail = []) ?(context = []) ?forensics kind =
+  raise (Error (make ?loc ~trail ~context ?forensics kind))
 
 let pp_kind ppf = function
   | Unsolved_side_condition p ->
@@ -110,7 +155,73 @@ let kind_label = function
   | Checker_fault _ -> "checker_fault"
   | Transient_fault _ -> "transient_fault"
 
-(** Machine-readable form for the CLI's [--json] mode. *)
+(** The human-readable forensic block ([--explain-failure]): the goal
+    stack root→stuck, the stuck goal's candidate rules with rejection
+    reasons, the evar state and the trailing rule applications. *)
+let pp_forensics ppf (fx : forensics) =
+  Fmt.pf ppf "@[<v>Failure forensics:";
+  (match fx.fx_goal_stack with
+  | [] -> ()
+  | stack ->
+      Fmt.pf ppf "@,  goal stack (root first%s):"
+        (if fx.fx_goal_stack_elided > 0 then
+           Fmt.str ", %d middle entries elided" fx.fx_goal_stack_elided
+         else "");
+      List.iter (fun g -> Fmt.pf ppf "@,    %s" g) stack);
+  (match fx.fx_stuck_head with
+  | Some h -> Fmt.pf ppf "@,  stuck judgment head: %s" h
+  | None -> ());
+  (match fx.fx_candidates with
+  | [] -> ()
+  | cands ->
+      Fmt.pf ppf "@,  candidate rules for the stuck goal%s:"
+        (if fx.fx_candidates_elided > 0 then
+           Fmt.str " (%d more elided)" fx.fx_candidates_elided
+         else "");
+      List.iter
+        (fun (rule, reason) -> Fmt.pf ppf "@,    %s: %s" rule reason)
+        cands);
+  (match fx.fx_evars with
+  | [] -> ()
+  | evars ->
+      Fmt.pf ppf "@,  evars at failure%s:"
+        (if fx.fx_evars_elided > 0 then
+           Fmt.str " (%d older elided)" fx.fx_evars_elided
+         else "");
+      List.iter (fun e -> Fmt.pf ppf "@,    %s" e) evars);
+  (match fx.fx_recent_rules with
+  | [] -> ()
+  | rules ->
+      Fmt.pf ppf "@,  last %d rule applications (oldest first):"
+        (List.length rules);
+      List.iter (fun r -> Fmt.pf ppf "@,    %s" r) rules);
+  Fmt.pf ppf "@]"
+
+let forensics_to_json (fx : forensics) : Rc_util.Jsonout.t =
+  let open Rc_util.Jsonout in
+  Obj
+    [
+      ("goal_stack", List (List.map (fun s -> Str s) fx.fx_goal_stack));
+      ("goal_stack_elided", Int fx.fx_goal_stack_elided);
+      ( "stuck_head",
+        match fx.fx_stuck_head with Some h -> Str h | None -> Null );
+      ( "candidates",
+        List
+          (List.map
+             (fun (rule, reason) ->
+               Obj [ ("rule", Str rule); ("reason", Str reason) ])
+             fx.fx_candidates) );
+      ("candidates_elided", Int fx.fx_candidates_elided);
+      ("evars", List (List.map (fun s -> Str s) fx.fx_evars));
+      ("evars_elided", Int fx.fx_evars_elided);
+      ( "recent_rules",
+        List (List.map (fun s -> Str s) fx.fx_recent_rules) );
+    ]
+
+(** Machine-readable form for the CLI's [--json] mode.  The [forensics]
+    field appears only when the engine captured one — with forensics
+    disabled (the default) the object is byte-identical to a
+    forensics-free build. *)
 let to_json (e : t) : Rc_util.Jsonout.t =
   let open Rc_util.Jsonout in
   let loc =
@@ -129,6 +240,11 @@ let to_json (e : t) : Rc_util.Jsonout.t =
         ]
     | _ -> []
   in
+  let forensics =
+    match e.forensics with
+    | None -> []
+    | Some fx -> [ ("forensics", forensics_to_json fx) ]
+  in
   Obj
     ([
        ("kind", Str (kind_label e.kind));
@@ -138,4 +254,4 @@ let to_json (e : t) : Rc_util.Jsonout.t =
        ("trail", List (List.map (fun s -> Str s) (List.rev e.trail)));
        ("context", List (List.map (fun s -> Str s) e.context));
      ]
-    @ extra)
+    @ extra @ forensics)

@@ -90,6 +90,22 @@ type inc_cfg = {
 
 let default_inc : inc_cfg = { in_enabled = true; in_explain = false }
 
+(** Proof-failure forensics configuration ([--explain-failure]): when
+    enabled, the engine attaches a bounded derivation snapshot — goal
+    stack, candidate rules with rejection reasons, evar state, recent
+    rule applications — to every failure report.  Like {!exec_cfg} it is
+    not fingerprinted into the verification-cache key: only [Ok]
+    verdicts are cached, failures (the only reports that carry
+    forensics) never are, so two runs differing only in [fx] can share
+    entries. *)
+type fx_cfg = {
+  f_enabled : bool;
+  f_limits : Rc_lithium.Report.fx_limits;  (** capture depth/width caps *)
+}
+
+let default_fx : fx_cfg =
+  { f_enabled = false; f_limits = Rc_lithium.Report.default_fx_limits }
+
 type t = {
   index : Lang.E.index;  (** compiled typing rules (head-indexed) *)
   extra_rules : Lang.E.rule list;
@@ -110,6 +126,7 @@ type t = {
   exec : exec_cfg;  (** execution robustness: pool, deadline, retries *)
   memo : memo_cfg;  (** within-run subgoal memoization *)
   inc : inc_cfg;  (** incremental verification: cone keys + scheduling *)
+  fx : fx_cfg;  (** proof-failure forensics capture *)
   profile : (string * int) list;
       (** the rule-hit profile the index was compiled with ([--pgo]);
           kept for reporting — the dispatch effect lives in [index] *)
@@ -123,7 +140,7 @@ let create ?(rules = []) ?(registry = Rc_pure.Registry.default)
     ?(gs = Rc_lithium.Evar.default_simp_cfg) ?tenv
     ?(budget = Rc_util.Budget.unlimited) ?(obs = Rc_util.Obs.cfg_off)
     ?(lint = default_lint) ?(exec = default_exec) ?(memo = default_memo)
-    ?(inc = default_inc) ?(profile = []) () : t =
+    ?(inc = default_inc) ?(fx = default_fx) ?(profile = []) () : t =
   {
     index = Rules.make ~extra:rules ~profile ();
     extra_rules = rules;
@@ -136,6 +153,7 @@ let create ?(rules = []) ?(registry = Rc_pure.Registry.default)
     exec;
     memo;
     inc;
+    fx;
     profile;
   }
 
@@ -166,3 +184,7 @@ let with_memo (s : t) memo : t = { s with memo }
 (** Replace the incremental-verification configuration (a CLI
     convenience, like {!with_budget}). *)
 let with_inc (s : t) inc : t = { s with inc }
+
+(** Replace the forensics configuration (a CLI convenience, like
+    {!with_budget}). *)
+let with_fx (s : t) fx : t = { s with fx }

@@ -56,12 +56,16 @@ type session = Session.t
       dirty scheduling (on by default) — [Some false] reverts to the
       legacy whole-file cache key and source-order dispatch (see README
       "Incremental verification");
+    - [forensics]: attach a bounded derivation snapshot (goal stack,
+      candidate rules with rejection reasons, evar state, recent rule
+      applications) to every failure report ([--explain-failure]) — see
+      README "Observability";
     - [profile]: accumulated rule-hit counts ([--pgo]) used to order
       equal-priority rules inside each head bucket. *)
 let create_session ?(case_studies = false) ?(rules = []) ?(solvers = [])
     ?(lemmas = []) ?hooks ?(default_only = false) ?(no_goal_simp = false)
     ?(type_defs = []) ?budget ?fault ?obs ?lint ?exec ?deadline ?retries ?pool
-    ?cancel ?memo ?incremental ?profile () : session =
+    ?cancel ?memo ?incremental ?forensics ?profile () : session =
   let hooks =
     match hooks with
     | Some h -> h
@@ -102,8 +106,13 @@ let create_session ?(case_studies = false) ?(rules = []) ?(solvers = [])
       (fun on -> { Session.default_inc with Session.in_enabled = on })
       incremental
   in
+  let fx =
+    Option.map
+      (fun on -> { Session.default_fx with Session.f_enabled = on })
+      forensics
+  in
   Session.create ~rules ~registry ~gs ~tenv ?budget ?obs ?lint ~exec ?memo
-    ?inc ?profile ()
+    ?inc ?fx ?profile ()
 
 (** Check every specified function of a C file under [session]. *)
 let check_file ?session ?fail_fast ?jobs ?cache (path : string) : Driver.t =

@@ -88,3 +88,49 @@ let pp ?(top = 10) ppf (m : Metrics.t) =
         Fmt.pf ppf "budget exhaustion: %s × %d@." label n)
       exhausted
   end
+
+(** The same data as {!pp}, as JSON — the [--profile-out FILE] payload,
+    also folded into the run-ledger record.  Sections are sorted by time
+    descending (ties by name via the stable sort over the name-sorted
+    input), mirroring the text table. *)
+let to_json (m : Metrics.t) : Jsonout.t =
+  let open Jsonout in
+  if not (Metrics.on m) then Null
+  else begin
+    let timer_section prefix extra =
+      Metrics.timers_with_prefix m ~prefix
+      |> List.stable_sort (fun (_, _, a) (_, _, b) -> Int64.compare b a)
+      |> List.map (fun (name, count, total_ns) ->
+             Obj
+               ([
+                  ("name", Str name);
+                  ("count", Int count);
+                  ("total_ns", Float (Int64.to_float total_ns));
+                ]
+               @ extra name))
+    in
+    let counters =
+      [ "side.auto"; "side.manual"; "evar.insts"; "cache.hit"; "cache.miss";
+        "cache.corrupt"; "memo.hit"; "memo.miss"; "memo.store";
+        "memo.invalid" ]
+      |> List.filter_map (fun name ->
+             let n = Metrics.counter m name in
+             if n = 0 then None else Some (name, Int n))
+    in
+    let budget = Metrics.counters_with_prefix m ~prefix:"budget." in
+    Obj
+      [
+        ("schema", Str "refinedc-profile/1");
+        ("phases", List (timer_section "phase." (fun _ -> [])));
+        ( "rules",
+          List
+            (timer_section "rule.self_ns." (fun name ->
+                 [ ("apps", Int (Metrics.counter m ("rule.apps." ^ name))) ]))
+        );
+        ("solvers", List (timer_section "solver.ns." (fun _ -> [])));
+        ("functions", List (timer_section "fn.ns." (fun _ -> [])));
+        ("counters", Obj counters);
+        ( "budget_exhaustions",
+          Obj (List.map (fun (label, n) -> (label, Int n)) budget) );
+      ]
+  end
