@@ -219,6 +219,77 @@ let loop_farm ?edit ~(functions : int) () : string =
   done;
   Buffer.contents b
 
+(** The concurrency family: a [spinlock.c]-style lock pair plus
+    [functions] specified critical sections ([crit<i>]: lock, write the
+    protected counter, unlock) — all of which verify and lint race-clean
+    under the lockset analysis.  [?racy] appends that many unspecified
+    functions that write the shared counter with {e no} lock held, and
+    [?hoisted] that many where the write is moved {e before} the
+    acquire: both shapes are the seeded-race mutants the differential
+    harness checks, and each must draw an RC-L030 from the [race] pass
+    (they carry no spec, so [check] skips them and verdicts are
+    unchanged). *)
+let lock_farm ?(racy = 0) ?(hoisted = 0) ~(functions : int) () : string =
+  let b = Buffer.create (1024 + ((functions + racy + hoisted) * 256)) in
+  buf_add b
+    (Printf.sprintf "// generated: lock_farm functions=%d racy=%d hoisted=%d\n"
+       functions racy hoisted);
+  buf_add b "struct lock { int locked; };\n\n";
+  buf_add b
+    "[[rc::parameters(\"k: loc\", \"c: loc\")]]\n\
+     [[rc::args(\"k @ &own<c @ lock_t>\")]]\n\
+     [[rc::ensures(\"own k : c @ lock_t\", \"own c : int<int>\")]]\n\
+     void spin_lock(struct lock* l) {\n\
+    \  int expected = 0;\n\
+    \  [[rc::inv_vars(\"l: k @ &own<c @ lock_t>\")]]\n\
+    \  while (1) {\n\
+    \    expected = 0;\n\
+    \    int ok = atomic_compare_exchange_strong(&l->locked, &expected, 1);\n\
+    \    if (ok)\n\
+    \      return;\n\
+    \  }\n\
+     }\n\n";
+  buf_add b
+    "[[rc::parameters(\"k: loc\", \"c: loc\")]]\n\
+     [[rc::args(\"k @ &own<c @ lock_t>\")]]\n\
+     [[rc::requires(\"own c : int<int>\")]]\n\
+     [[rc::ensures(\"own k : c @ lock_t\")]]\n\
+     void spin_unlock(struct lock* l) {\n\
+    \  atomic_store(&l->locked, 0);\n\
+     }\n\n";
+  for i = 0 to functions - 1 do
+    buf_add b
+      (Printf.sprintf
+         "[[rc::parameters(\"k: loc\", \"c: loc\")]]\n\
+          [[rc::args(\"k @ &own<c @ lock_t>\", \"c @ &own<int<int>>\")]]\n\
+          [[rc::ensures(\"own k : c @ lock_t\")]]\n\
+          void crit%d(struct lock* l, int* counter) {\n\
+         \  spin_lock(l);\n\
+         \  *counter = %d;\n\
+         \  spin_unlock(l);\n\
+          }\n\n"
+         i i)
+  done;
+  for i = 0 to racy - 1 do
+    buf_add b
+      (Printf.sprintf
+         "void racy%d(struct lock* l, int* counter) {\n\
+         \  *counter = %d;\n\
+          }\n\n"
+         i i)
+  done;
+  for i = 0 to hoisted - 1 do
+    buf_add b
+      (Printf.sprintf
+         "void hoist%d(struct lock* l, int* counter) {\n\
+         \  *counter = %d;\n\
+         \  spin_lock(l);\n\
+         \  spin_unlock(l);\n\
+          }\n\n"
+         i i)
+  done;
+  Buffer.contents b
+
 (** One named stress program: [(name, c_source)]. *)
 type program = { p_name : string; p_src : string }
 

@@ -725,7 +725,15 @@ let check_cmd =
       $ fault_max $ explain_failure $ profile_out $ runlog)
 
 let lint_cmd =
-  let file = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
+  let file = Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE") in
+  let list_passes =
+    Arg.(
+      value & flag
+      & info [ "list-passes" ]
+          ~doc:
+            "Print the registered lint passes (name, diagnostic codes, \
+             description) and exit; FILE is not required.")
+  in
   let json =
     Arg.(
       value & flag
@@ -745,10 +753,42 @@ let lint_cmd =
       value & opt_all string []
       & info [ "pass" ] ~docv:"NAME"
           ~doc:
-            "Run only the named pass (repeatable).  Available: init, \
-             deref, reach, spec, rules.  Default: all.")
+            "Run only the named pass (repeatable).  See $(b,--list-passes) \
+             for the registry.  Default: all.")
   in
-  let run file json werror pass =
+  let list_passes_report json =
+    if json then
+      Fmt.pr "%s@."
+        (Rc_util.Jsonout.to_string
+           (Rc_util.Jsonout.List
+              (List.map
+                 (fun (p : Rc_analysis.Lint.pass) ->
+                   Rc_util.Jsonout.Obj
+                     [
+                       ("name", Rc_util.Jsonout.Str p.Rc_analysis.Lint.p_name);
+                       ( "codes",
+                         Rc_util.Jsonout.List
+                           (List.map
+                              (fun c -> Rc_util.Jsonout.Str c)
+                              p.Rc_analysis.Lint.p_codes) );
+                       ( "sound",
+                         Rc_util.Jsonout.Bool p.Rc_analysis.Lint.p_sound );
+                       ( "descr",
+                         Rc_util.Jsonout.Str p.Rc_analysis.Lint.p_descr );
+                     ])
+                 Rc_analysis.Lint.passes)))
+    else
+      List.iter
+        (fun (p : Rc_analysis.Lint.pass) ->
+          Fmt.pr "%-8s %-24s %s%s@." p.Rc_analysis.Lint.p_name
+            (String.concat "," p.Rc_analysis.Lint.p_codes)
+            p.Rc_analysis.Lint.p_descr
+            (if p.Rc_analysis.Lint.p_sound then ""
+             else "  (heuristic: may report false positives)"))
+        Rc_analysis.Lint.passes;
+    0
+  in
+  let lint_file file json werror pass =
     (* lint has no per-function dispatch loop to poll a flag from, so an
        interrupt raises [Sys.Break] and is caught below — still a valid
        (empty) JSON report and exit 130, never a half-written line *)
@@ -859,13 +899,22 @@ let lint_cmd =
             end;
             if ok then 0 else 1)
   in
+  let run file json werror pass list_passes =
+    if list_passes then list_passes_report json
+    else
+      match file with
+      | None ->
+          Fmt.epr "refinedc lint: FILE required (or use --list-passes)@.";
+          2
+      | Some file -> lint_file file json werror pass
+  in
   Cmd.v
     (Cmd.info "lint"
        ~doc:
          "Run the static-analysis passes on FILE without verifying it: \
-          Caesium dataflow lints, specification lints and rule-set sanity \
-          checks.")
-    Term.(const run $ file $ json $ werror $ pass)
+          Caesium dataflow lints, concurrency lockset analysis, \
+          specification lints and rule-set sanity checks.")
+    Term.(const run $ file $ json $ werror $ pass $ list_passes)
 
 let run_cmd =
   let file = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in

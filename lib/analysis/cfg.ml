@@ -10,26 +10,39 @@
     only the taken edge, and a [Switch] on a literal only the matching
     case.  Without this, every [while (1) { … return …; }] body would
     make its (never-entered) exit block look reachable and trip the
-    missing-return lint on half the Figure-7 corpus. *)
+    missing-return lint on half the Figure-7 corpus.
+
+    All per-label lookups ([succs_of], [preds_of], [block],
+    [is_reachable]) are hash-table backed, and construction is linear in
+    the number of edges — lint now runs over stress-corpus functions
+    with hundreds of blocks, where the former per-block
+    scan-all-successor-lists predecessor build was quadratic. *)
 
 module Syntax = Rc_caesium.Syntax
 
 type t = {
   func : Syntax.func;
-  succs : (string * string list) list;  (** per block, in block order *)
-  preds : (string * string list) list;
+  succs : (string, string list) Hashtbl.t;
+  preds : (string, string list) Hashtbl.t;  (** in block order *)
+  blocks : (string, Syntax.block) Hashtbl.t;
+  reach : (string, unit) Hashtbl.t;
   reachable : string list;
       (** blocks reachable from the entry, in reverse postorder — the
           canonical iteration order for forward dataflow *)
 }
 
+(** Order-preserving dedup, linear via a seen-table (successor lists are
+    tiny, but [Switch] fan-out on generated code is not). *)
 let dedup (xs : string list) : string list =
-  let rec go seen = function
-    | [] -> []
-    | x :: rest ->
-        if List.mem x seen then go seen rest else x :: go (x :: seen) rest
-  in
-  go [] xs
+  let seen = Hashtbl.create (List.length xs) in
+  List.filter
+    (fun x ->
+      if Hashtbl.mem seen x then false
+      else begin
+        Hashtbl.add seen x ();
+        true
+      end)
+    xs
 
 (** Successor labels of a terminator, constant edges folded. *)
 let term_succs (term : Syntax.terminator) : string list =
@@ -45,44 +58,59 @@ let term_succs (term : Syntax.terminator) : string list =
   | Syntax.Return _ | Syntax.Unreachable -> []
 
 let build (func : Syntax.func) : t =
-  let succs =
-    List.map (fun (l, b) -> (l, term_succs b.Syntax.term)) func.Syntax.blocks
-  in
-  let preds =
-    List.map
-      (fun (l, _) ->
-        ( l,
-          List.filter_map
-            (fun (l', ss) -> if List.mem l ss then Some l' else None)
-            succs ))
-      func.Syntax.blocks
-  in
+  let n = List.length func.Syntax.blocks in
+  let succs = Hashtbl.create n in
+  let preds = Hashtbl.create n in
+  let blocks = Hashtbl.create n in
+  (* seed every block with an empty predecessor list so lookup order
+     cannot observe construction order *)
+  List.iter
+    (fun (l, b) ->
+      Hashtbl.replace blocks l b;
+      Hashtbl.replace preds l [])
+    func.Syntax.blocks;
+  (* one pass over the edges; predecessor lists are accumulated reversed
+     and flipped below, giving the same block-order lists as the old
+     all-pairs scan *)
+  List.iter
+    (fun (l, b) ->
+      let ss = term_succs b.Syntax.term in
+      Hashtbl.replace succs l ss;
+      List.iter
+        (fun s ->
+          match Hashtbl.find_opt preds s with
+          | Some ps -> Hashtbl.replace preds s (l :: ps)
+          | None -> ())
+        ss)
+    func.Syntax.blocks;
+  Hashtbl.iter
+    (fun l ps -> Hashtbl.replace preds l (List.rev ps))
+    (Hashtbl.copy preds);
   (* depth-first walk from the entry; postorder reversed gives RPO *)
-  let visited = Hashtbl.create 16 in
+  let reach = Hashtbl.create n in
   let order = ref [] in
   let rec dfs l =
-    if not (Hashtbl.mem visited l) then begin
-      Hashtbl.add visited l ();
-      (match List.assoc_opt l succs with
+    if not (Hashtbl.mem reach l) then begin
+      Hashtbl.add reach l ();
+      (match Hashtbl.find_opt succs l with
       | Some ss -> List.iter dfs ss
       | None -> ());
       order := l :: !order
     end
   in
   dfs func.Syntax.entry;
-  { func; succs; preds; reachable = !order }
+  { func; succs; preds; blocks; reach; reachable = !order }
 
 let succs_of (t : t) (label : string) : string list =
-  Option.value ~default:[] (List.assoc_opt label t.succs)
+  Option.value ~default:[] (Hashtbl.find_opt t.succs label)
 
 let preds_of (t : t) (label : string) : string list =
-  Option.value ~default:[] (List.assoc_opt label t.preds)
+  Option.value ~default:[] (Hashtbl.find_opt t.preds label)
 
 let block (t : t) (label : string) : Syntax.block option =
-  List.assoc_opt label t.func.Syntax.blocks
+  Hashtbl.find_opt t.blocks label
 
-let is_reachable (t : t) (label : string) : bool =
-  List.mem label t.reachable
+let is_reachable (t : t) (label : string) : bool = Hashtbl.mem t.reach label
 
 (** Blocks never reached from the entry, in declaration order. *)
 let unreachable_blocks (t : t) : (string * Syntax.block) list =

@@ -21,12 +21,15 @@ module type DOMAIN = sig
 end
 
 module Forward (D : DOMAIN) = struct
-  (** [run cfg ~entry ~transfer] returns the fixpoint input state of
-      every reachable block.  [transfer label block st] is the state at
-      the end of [block] given state [st] at its start; it is re-run as
-      inputs shrink, so it must be a pure function of its arguments. *)
-  let run (cfg : Cfg.t) ~(entry : D.state)
-      ~(transfer : string -> Syntax.block -> D.state -> D.state) :
+  (** [run_edges cfg ~entry ~transfer] is the general engine:
+      [transfer label block st] returns a {e per-successor-edge}
+      out-state function, so a block whose terminator branches on a fact
+      established inside the block (the CAS-acquire idiom: out-state
+      holds the lock only on the success edge) can propagate different
+      states along its two edges.  Returns the fixpoint input state of
+      every reachable block. *)
+  let run_edges (cfg : Cfg.t) ~(entry : D.state)
+      ~(transfer : string -> Syntax.block -> D.state -> string -> D.state) :
       (string * D.state) list =
     let inputs : (string, D.state) Hashtbl.t = Hashtbl.create 16 in
     Hashtbl.replace inputs cfg.Cfg.func.Syntax.entry entry;
@@ -44,9 +47,10 @@ module Forward (D : DOMAIN) = struct
       Hashtbl.remove queued l;
       match (Cfg.block cfg l, Hashtbl.find_opt inputs l) with
       | Some b, Some input ->
-          let out = transfer l b input in
+          let out_on = transfer l b input in
           List.iter
             (fun s ->
+              let out = out_on s in
               let changed =
                 match Hashtbl.find_opt inputs s with
                 | None ->
@@ -71,6 +75,17 @@ module Forward (D : DOMAIN) = struct
         | Some st -> Some (l, st)
         | None -> None)
       cfg.Cfg.reachable
+
+  (** [run cfg ~entry ~transfer] returns the fixpoint input state of
+      every reachable block.  [transfer label block st] is the state at
+      the end of [block] given state [st] at its start; it is re-run as
+      inputs shrink, so it must be a pure function of its arguments. *)
+  let run (cfg : Cfg.t) ~(entry : D.state)
+      ~(transfer : string -> Syntax.block -> D.state -> D.state) :
+      (string * D.state) list =
+    run_edges cfg ~entry ~transfer:(fun label block st ->
+        let out = transfer label block st in
+        fun _succ -> out)
 end
 
 (** The workhorse instance: sets of variable names under intersection —

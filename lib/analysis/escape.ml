@@ -1,0 +1,155 @@
+(** Shared-memory escape analysis: which locations a function touches
+    that another thread could also reach.
+
+    Caesium has no address arithmetic surprises — every location a body
+    names is built from a root slot ([VarLoc]) by loads ([Use]), field
+    offsets ([FieldOfs]) and pointer arithmetic — so locations are
+    abstracted as {e symbolic access paths}: a root plus a list of
+    steps.  [spin_lock]'s [&l->locked] is the path
+    [arg l · Deref · Field "locked"]: load the pointer stored in slot
+    [l], land on the struct it points to, offset to [locked].
+
+    A path is {e shared} when some other thread could plausibly hold a
+    pointer to the same location:
+
+    - rooted at a global (the slot itself is reachable by name);
+    - rooted at an argument slot and dereferencing it — the caller
+      passed the pointer in, and nothing says the caller kept it
+      private (this is the over-approximation: RefinedC's ownership
+      types could prove otherwise, but the lint layer deliberately
+      does not consult the proof);
+    - rooted at a local that was {e tainted} — assigned a pointer that
+      itself came out of shared memory ([e = pool->entries]) or out of
+      a callee ([p = mpool_alloc(pool)]).
+
+    Everything else — plain locals, address-taken locals that never
+    leave the frame — is thread-private and can never race. *)
+
+module Syntax = Rc_caesium.Syntax
+module SSet = Dataflow.StringSet
+
+type step = Deref | Field of string | Index
+type root = Rglobal of string | Rarg of string | Rlocal of string
+type path = { root : root; steps : step list }
+
+let root_name = function Rglobal x | Rarg x | Rlocal x -> x
+
+(** Stable, human-readable rendering; used both as the set/map key in
+    the lockset domain and in diagnostics ("lock 'l->locked'"). *)
+let to_string (p : path) : string =
+  let b = Buffer.create 16 in
+  Buffer.add_string b (root_name p.root);
+  let rec go = function
+    | [] -> ()
+    | Deref :: Field f :: rest ->
+        Buffer.add_string b "->";
+        Buffer.add_string b f;
+        go rest
+    | Deref :: rest ->
+        Buffer.add_string b "[*]";
+        go rest
+    | Field f :: rest ->
+        Buffer.add_char b '.';
+        Buffer.add_string b f;
+        go rest
+    | Index :: rest ->
+        Buffer.add_string b "[i]";
+        go rest
+  in
+  go p.steps;
+  Buffer.contents b
+
+let equal (a : path) (b : path) : bool = a.root = b.root && a.steps = b.steps
+
+(** The frame of one function: how [VarLoc] roots classify. *)
+type frame = { fr_args : SSet.t; fr_locals : SSet.t }
+
+let frame_of (f : Syntax.func) : frame =
+  {
+    fr_args = SSet.of_list (List.map fst f.Syntax.args);
+    fr_locals = SSet.of_list (List.map fst f.Syntax.locals);
+  }
+
+let root_of (fr : frame) (x : string) : root =
+  if SSet.mem x fr.fr_args then Rarg x
+  else if SSet.mem x fr.fr_locals then Rlocal x
+  else Rglobal x
+
+(** The symbolic path of the location an expression denotes when used
+    as an address — [None] when the expression is not address-shaped
+    (an integer, a function address, arithmetic).  [lpath (VarLoc x)]
+    is slot [x] itself; [lpath (Use a)] is one [Deref] past [lpath a]:
+    the cell the pointer stored there points to. *)
+let rec lpath (fr : frame) (e : Syntax.expr) : path option =
+  match e with
+  | Syntax.VarLoc x -> Some { root = root_of fr x; steps = [] }
+  | Syntax.Use { arg; _ } ->
+      Option.map (fun p -> { p with steps = p.steps @ [ Deref ] })
+        (lpath fr arg)
+  | Syntax.FieldOfs { arg; field; _ } ->
+      Option.map (fun p -> { p with steps = p.steps @ [ Field field ] })
+        (lpath fr arg)
+  | Syntax.CastPtrPtr arg -> lpath fr arg
+  | Syntax.BinOp { op = Syntax.PtrPlusOp _; e1; _ } ->
+      Option.map (fun p -> { p with steps = p.steps @ [ Index ] })
+        (lpath fr e1)
+  | Syntax.IntConst _ | Syntax.NullConst | Syntax.FnAddr _ | Syntax.BinOp _
+  | Syntax.UnOp _ | Syntax.CastIntInt _ ->
+      None
+
+(** Escape information for one function. *)
+type t = { fr : frame; tainted : SSet.t }
+
+(** Is this path reachable from another thread?  [Index] and [Field]
+    steps stay inside the allocation they started in, so only the root
+    classification and the presence of a [Deref] matter. *)
+let shared_path (t : t) (p : path) : bool =
+  match p.root with
+  | Rglobal _ -> true
+  | Rarg _ -> List.mem Deref p.steps
+  | Rlocal x -> SSet.mem x t.tainted && List.mem Deref p.steps
+
+(** Compute the escape view of one function: classify the roots and run
+    the taint to fixpoint.  A local is tainted when it is assigned a
+    pointer whose pointee is shared ([e = pool->entries],
+    [e = block]) or when it receives a callee's result — callees are
+    free to hand out pointers into shared state ([mpool_alloc]), so
+    call destinations are tainted wholesale.  [FnAddr]-captured state:
+    a function whose address is taken can run on any thread, which is
+    handled at the summary layer by analyzing every function, not just
+    the ones a [main] reaches. *)
+let compute (f : Syntax.func) : t =
+  let fr = frame_of f in
+  let assigns =
+    List.concat_map
+      (fun (_, (b : Syntax.block)) ->
+        List.filter_map
+          (function
+            | Syntax.Assign { lhs = Syntax.VarLoc x; rhs; _ } -> Some (x, rhs)
+            | _ -> None)
+          b.Syntax.stmts)
+      f.Syntax.blocks
+  in
+  let call_dests =
+    List.concat_map
+      (fun (_, (b : Syntax.block)) ->
+        List.filter_map
+          (function
+            | Syntax.Call { dest = Some (_, Syntax.VarLoc x); _ } -> Some x
+            | _ -> None)
+          b.Syntax.stmts)
+      f.Syntax.blocks
+  in
+  let rec fix tainted =
+    let t = { fr; tainted } in
+    let tainted' =
+      List.fold_left
+        (fun acc (x, rhs) ->
+          match lpath fr rhs with
+          | Some p when shared_path t p -> SSet.add x acc
+          | _ -> acc)
+        tainted assigns
+    in
+    if SSet.equal tainted' tainted then tainted else fix tainted'
+  in
+  { fr; tainted = fix (SSet.of_list call_dests) }

@@ -20,11 +20,14 @@ type ctx = {
   cx_funcs : (string * Syntax.func) list;  (** every function with a body *)
   cx_to_check : Rc_refinedc.Typecheck.fn_to_check list;
       (** the specified subset, with metadata *)
+  cx_metas : (string * Rc_refinedc.Lang.fn_meta) list;
+      (** source metadata for every body, specified or not *)
 }
 
 type pass = {
   p_name : string;  (** the [--pass] / [lint_cfg.l_passes] handle *)
   p_descr : string;
+  p_codes : string list;  (** the diagnostic codes this pass can emit *)
   p_sound : bool;
       (** true: every report is a real property of the artifact (maybe
           modulo CFG over-approximation); false: heuristic, may have
@@ -40,19 +43,22 @@ let passes : pass list =
   [
     {
       p_name = "init";
-      p_descr = "definite initialization of locals (RC-L001)";
+      p_descr = "definite initialization of locals";
+      p_codes = [ "RC-L001" ];
       p_sound = true;
       p_run = (fun cx -> Pass_init.run cx.cx_to_check);
     };
     {
       p_name = "deref";
-      p_descr = "NULL and ownership-less dereferences (RC-L002)";
+      p_descr = "NULL and ownership-less dereferences";
+      p_codes = [ "RC-L002" ];
       p_sound = false;
       p_run = (fun cx -> Pass_deref.run cx.cx_to_check);
     };
     {
       p_name = "reach";
-      p_descr = "unreachable code and missing returns (RC-L003, RC-L004)";
+      p_descr = "unreachable code and missing returns";
+      p_codes = [ "RC-L003"; "RC-L004" ];
       p_sound = true;
       p_run = (fun cx -> Pass_reach.run cx.cx_to_check);
     };
@@ -60,7 +66,8 @@ let passes : pass list =
       p_name = "spec";
       p_descr =
         "spec hygiene: unused parameters, duplicates, unsatisfiable \
-         preconditions, arity (RC-L010..RC-L013)";
+         preconditions, arity";
+      p_codes = [ "RC-L010"; "RC-L011"; "RC-L012"; "RC-L013" ];
       p_sound = true;
       p_run = (fun cx -> Pass_spec.run cx.cx_session cx.cx_to_check);
     };
@@ -68,9 +75,44 @@ let passes : pass list =
       p_name = "rules";
       p_descr =
         "rule-set sanity: duplicate names, dead rules, ambiguous \
-         priorities (RC-L020..RC-L022)";
+         priorities";
+      p_codes = [ "RC-L020"; "RC-L021"; "RC-L022" ];
       p_sound = true;
       p_run = (fun cx -> Pass_rules.run cx.cx_session);
+    };
+    {
+      p_name = "race";
+      p_descr =
+        "Eraser-style lockset analysis: shared non-atomic access with an \
+         empty must-lockset (may-race)";
+      p_codes = [ "RC-L030" ];
+      p_sound = false;
+      p_run =
+        (fun cx ->
+          Pass_race.run_race ~metas:cx.cx_metas ~funcs:cx.cx_funcs
+            ~to_check:cx.cx_to_check);
+    };
+    {
+      p_name = "lockrel";
+      p_descr = "lock acquired but not released on some path to return";
+      p_codes = [ "RC-L031" ];
+      p_sound = false;
+      p_run =
+        (fun cx ->
+          Pass_race.run_release ~metas:cx.cx_metas ~funcs:cx.cx_funcs
+            ~to_check:cx.cx_to_check);
+    };
+    {
+      p_name = "lockord";
+      p_descr =
+        "inconsistent lock-acquisition order across the unit (potential \
+         deadlock)";
+      p_codes = [ "RC-L032" ];
+      p_sound = false;
+      p_run =
+        (fun cx ->
+          Pass_race.run_order ~metas:cx.cx_metas ~funcs:cx.cx_funcs
+            ~to_check:cx.cx_to_check);
     };
   ]
 
@@ -102,13 +144,13 @@ let coverage ~(funcs : (string * Syntax.func) list)
     "lint", metrics [lint.<pass>] / [lint.diags.<pass>]); the result is
     sorted with {!Rc_util.Diagnostic.sort}, so it is deterministic and
     deduplicated regardless of pass order or parallelism. *)
-let run ?(obs = Obs.off) ~(session : Rc_refinedc.Session.t) ~(file : string)
-    ~(funcs : (string * Syntax.func) list)
+let run ?(obs = Obs.off) ?(metas = []) ~(session : Rc_refinedc.Session.t)
+    ~(file : string) ~(funcs : (string * Syntax.func) list)
     ~(to_check : Rc_refinedc.Typecheck.fn_to_check list) () :
     Diagnostic.t list =
   let cx =
     { cx_file = file; cx_session = session; cx_funcs = funcs;
-      cx_to_check = to_check }
+      cx_to_check = to_check; cx_metas = metas }
   in
   let selected = select session.Rc_refinedc.Session.lint.l_passes in
   let all =

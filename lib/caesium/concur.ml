@@ -1,0 +1,97 @@
+(** Syntactic classification of Caesium's concurrency idioms.
+
+    The dynamic side of the story lives in {!Eval}: every [atomic]
+    access goes through the acquire/release [sync_table] of the
+    vector-clock monitor, so atomics never race and instead order the
+    plain accesses around them.  This module is the static mirror — it
+    names the same idioms at the syntax level so analyses (the lockset
+    passes in [lib/analysis]) and the evaluator agree on what counts as
+    an acquisition, a release, and a plain access:
+
+    - {b acquire}: a [Cas] whose desired value is a nonzero constant —
+      the elaboration of the [atomic_compare_exchange_strong(&l, &e, 1)]
+      spin-loop.  The lock is held only on the success branch, which the
+      surrounding code observes through the CAS's boolean destination.
+    - {b release}: an atomic store of constant [0] — the elaboration of
+      [atomic_store(&l, 0)].
+    - {b atomic signal}: any other atomic store (e.g. the barrier's
+      [atomic_store(&b->released, 1)]) — a synchronization edge, but not
+      a lock operation.
+    - {b atomic load}: [Use { atomic = true; _ }] — reading a flag
+      (barrier wait); synchronizes, never races, holds nothing. *)
+
+(** What a statement does to the lock discipline.  The carried
+    expression is always ℓ_atom — the expression whose value is the
+    address of the atomic cell. *)
+type lock_op =
+  | Acquire of { lock : Syntax.expr; dest : string option }
+      (** CAS with nonzero desired constant; [dest] is the local
+          receiving the success boolean, when it is a plain slot *)
+  | Release of Syntax.expr  (** atomic store of constant 0 *)
+  | Atomic_signal of Syntax.expr  (** any other atomic store *)
+
+(** Classify one statement as a lock operation, if it is one.  A [Cas]
+    whose desired value is not a nonzero constant (a swap, a counter
+    CAS) is deliberately {e not} an acquire: treating it as one would
+    let an unrelated CAS manufacture lock ownership. *)
+let classify_stmt (s : Syntax.stmt) : lock_op option =
+  match s with
+  | Syntax.Cas { obj; desired = Syntax.IntConst (n, _); dest; _ } when n <> 0
+    ->
+      let dest =
+        match dest with
+        | Some (_, Syntax.VarLoc x) -> Some x
+        | Some _ | None -> None
+      in
+      Some (Acquire { lock = obj; dest })
+  | Syntax.Assign { atomic = true; lhs; rhs = Syntax.IntConst (0, _); _ } ->
+      Some (Release lhs)
+  | Syntax.Assign { atomic = true; lhs; _ } -> Some (Atomic_signal lhs)
+  | Syntax.Assign _ | Syntax.Call _ | Syntax.Cas _ | Syntax.Skip
+  | Syntax.ExprStmt _ | Syntax.Free _ ->
+      None
+
+(** Does the expression perform an atomic load anywhere inside? *)
+let rec has_atomic_load (e : Syntax.expr) : bool =
+  match e with
+  | Syntax.Use { atomic = true; _ } -> true
+  | Syntax.Use { arg; _ }
+  | Syntax.FieldOfs { arg; _ }
+  | Syntax.UnOp { arg; _ }
+  | Syntax.CastIntInt { arg; _ } ->
+      has_atomic_load arg
+  | Syntax.CastPtrPtr arg -> has_atomic_load arg
+  | Syntax.BinOp { e1; e2; _ } -> has_atomic_load e1 || has_atomic_load e2
+  | Syntax.IntConst _ | Syntax.NullConst | Syntax.FnAddr _ | Syntax.VarLoc _
+    ->
+      false
+
+(** Does the statement touch an atomic cell at all (CAS, atomic store,
+    or an atomic load in any operand)?  A translation unit with no such
+    statement has no synchronization idioms to analyze — the lockset
+    passes use this to stay silent on purely sequential code. *)
+let is_sync_stmt (s : Syntax.stmt) : bool =
+  match s with
+  | Syntax.Cas _ -> true
+  | Syntax.Assign { atomic = true; _ } -> true
+  | Syntax.Assign { lhs; rhs; _ } ->
+      has_atomic_load lhs || has_atomic_load rhs
+  | Syntax.Call { dest; fn; args } ->
+      has_atomic_load fn
+      || List.exists (fun (_, a) -> has_atomic_load a) args
+      || (match dest with Some (_, d) -> has_atomic_load d | None -> false)
+  | Syntax.ExprStmt e | Syntax.Free e -> has_atomic_load e
+  | Syntax.Skip -> false
+
+(** Does the function body contain any synchronization idiom? *)
+let uses_sync (f : Syntax.func) : bool =
+  List.exists
+    (fun (_, (b : Syntax.block)) ->
+      List.exists is_sync_stmt b.Syntax.stmts
+      ||
+      match b.Syntax.term with
+      | Syntax.CondGoto { cond; _ } -> has_atomic_load cond
+      | Syntax.Switch { scrut; _ } -> has_atomic_load scrut
+      | Syntax.Return (Some e) -> has_atomic_load e
+      | Syntax.Goto _ | Syntax.Return None | Syntax.Unreachable -> false)
+    f.Syntax.blocks

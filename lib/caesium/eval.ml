@@ -530,12 +530,15 @@ type threads_outcome =
 
 (** Run several functions concurrently under a seeded random scheduler;
     every interleaving decision comes from [seed], so failures replay.
-    [init], when given, runs to completion on a distinguished "spawner"
-    thread first; its effects happen-before every worker (the usual
+    The vector-clock race monitor is on by default ([detect_races]);
+    turning it off runs the same schedule without the happens-before
+    bookkeeping.  [init], when given, runs to completion on a
+    distinguished "spawner" thread first; its effects happen-before every worker (the usual
     thread-spawn edge), so initialization does not race with workers. *)
-let run_threads ?(fuel = 1_000_000) ?(seed = 42) ?init (prog : program)
-    (entries : (string * Value.t list) list) : threads_outcome =
-  let m = create ~detect_races:true prog in
+let run_threads ?(fuel = 1_000_000) ?(seed = 42) ?(detect_races = true) ?init
+    (prog : program) (entries : (string * Value.t list) list) :
+    threads_outcome =
+  let m = create ~detect_races prog in
   let rng = Random.State.make [| seed |] in
   let nworkers = List.length entries in
   let spawner_tid = nworkers in

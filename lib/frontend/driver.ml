@@ -222,8 +222,8 @@ let check_elaborated ?(fail_fast = false) ?(jobs = 1) ?cache ?(obs = Obs.off)
     if session.Session.lint.Session.l_enabled then
       Obs.timed obs ~cat:"phase" ~key:"phase.lint" ~args:[ ("file", file) ]
         "phase:lint" (fun () ->
-          Rc_analysis.Lint.run ~obs ~session ~file
-            ~funcs:elaborated.Elab.program.Syntax.funcs
+          Rc_analysis.Lint.run ~obs ~metas:elaborated.Elab.metas ~session
+            ~file ~funcs:elaborated.Elab.program.Syntax.funcs
             ~to_check:elaborated.Elab.to_check ())
     else []
   in
@@ -671,8 +671,8 @@ let lint_elaborated ?(obs = Obs.off) ?passes ~(session : Session.t) ~file
   let lint_diags =
     Obs.timed obs ~cat:"phase" ~key:"phase.lint" ~args:[ ("file", file) ]
       "phase:lint" (fun () ->
-        Rc_analysis.Lint.run ~obs ~session ~file
-          ~funcs:elaborated.Elab.program.Syntax.funcs
+        Rc_analysis.Lint.run ~obs ~metas:elaborated.Elab.metas ~session
+          ~file ~funcs:elaborated.Elab.program.Syntax.funcs
           ~to_check:elaborated.Elab.to_check ())
   in
   Rc_util.Diagnostic.sort (elaborated.Elab.warnings @ lint_diags)
@@ -942,6 +942,22 @@ let runlog_record ~(session : Session.t) ~(wall_s : float) (t : t) :
                      [
                        ("name", Str name);
                        ("calls", Int count);
+                       ("total_ns", Float (Int64.to_float total_ns));
+                     ])) );
+        (* per-pass lint wall-clock (the [lint.<pass>] spans) — lets
+           [refinedc stats] trend analysis cost alongside proof cost *)
+        ( "lint",
+          List
+            (Rc_util.Metrics.timers_with_prefix m ~prefix:"lint."
+            |> List.filter (fun (name, _, _) ->
+                   not
+                     (String.length name >= 6
+                     && String.sub name 0 6 = "diags."))
+            |> List.map (fun (name, count, total_ns) ->
+                   Obj
+                     [
+                       ("pass", Str name);
+                       ("runs", Int count);
                        ("total_ns", Float (Int64.to_float total_ns));
                      ])) );
       ]

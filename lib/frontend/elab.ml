@@ -1024,6 +1024,11 @@ let elab_fun (g : genv) (fd : fun_decl) (body : Cabs.stmt list) :
 type elaborated = {
   program : Syntax.program;
   to_check : Rc_refinedc.Typecheck.fn_to_check list;
+  metas : (string * Rc_refinedc.Lang.fn_meta) list;
+      (** source metadata for {e every} function with a body, specified
+          or not — lint passes that analyze the whole unit (the
+          concurrency passes) use this to attach real locations to
+          diagnostics in unspecified functions *)
   genv : genv;
   warnings : Rc_util.Diagnostic.t list;
 }
@@ -1072,12 +1077,14 @@ let elab_file ~(tenv : Rc_refinedc.Rtype.tenv) (file : Cabs.file) :
   (* pass 2: bodies *)
   let funcs = ref [] in
   let to_check = ref [] in
+  let metas = ref [] in
   List.iter
     (fun d ->
       match d with
       | DFun ({ fn_body = Some body; _ } as fd) -> (
           let func, meta, invs = elab_fun g fd body in
           funcs := (fd.fn_name, func) :: !funcs;
+          metas := (fd.fn_name, meta) :: !metas;
           match List.assoc_opt fd.fn_name g.fn_specs with
           | Some spec ->
               to_check :=
@@ -1093,6 +1100,7 @@ let elab_file ~(tenv : Rc_refinedc.Rtype.tenv) (file : Cabs.file) :
         structs = g.structs;
       };
     to_check = List.rev !to_check;
+    metas = List.rev !metas;
     genv = g;
     warnings = !warnings;
   }

@@ -220,8 +220,10 @@ let toolchain_fingerprint (session : Session.t) : string =
     [
       (* v4: cone-keyed incremental entries joined the store; bumping the
          tag orphans every v3 whole-file entry so the two key families
-         can never alias *)
-      "refinedc-check-v4";
+         can never alias.  v5: the lint registry gained the concurrency
+         passes (race/lockrel/lockord) — cached diagnostics from the
+         five-pass registry would silently miss RC-L03x reports *)
+      "refinedc-check-v5";
       Sys.ocaml_version;
       Rules.fingerprint session.Session.index;
       Registry.fingerprint session.Session.registry;

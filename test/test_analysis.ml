@@ -521,6 +521,54 @@ let corpus_tests =
                ds)))
     corpus
 
+(* the stress-corpus generators: every family must survive the full
+   lint registry (all passes, including the concurrency ones) without
+   reporting a problem — the generated programs verify, so any problem
+   diagnostic would be a false positive at generator scale *)
+let stress_corpus_tests =
+  [
+    Alcotest.test_case "stress corpus lints clean under all passes" `Slow
+      (fun () ->
+        List.iter
+          (fun (p : Rc_benchgen.Corpus.program) ->
+            let session = session () in
+            let elaborated =
+              Driver.parse_and_elab ~session ~file:p.p_name p.p_src
+            in
+            let ds =
+              Driver.lint_elaborated ~session ~file:p.p_name elaborated
+            in
+            Alcotest.(check (list string))
+              (p.p_name ^ " no problems")
+              []
+              (List.filter_map
+                 (fun (d : Diagnostic.t) ->
+                   if Diagnostic.is_problem d then
+                     Some (Diagnostic.to_string d)
+                   else None)
+                 ds))
+          (Rc_benchgen.Corpus.stress_corpus ~scale:1));
+    Alcotest.test_case "race diagnostics identical under -j 1 and -j 4"
+      `Slow (fun () ->
+        let src =
+          Rc_benchgen.Corpus.lock_farm ~functions:3 ~racy:2 ~hoisted:1 ()
+        in
+        let diags jobs =
+          let t =
+            Driver.check_source ~session:(session ()) ~jobs
+              ~file:"lock_farm_jobs.c" src
+          in
+          List.map Diagnostic.to_string t.Driver.diagnostics
+        in
+        let d1 = diags 1 in
+        Alcotest.(check bool) "RC-L030 present" true
+          (List.exists
+             (fun s ->
+               Str.string_match (Str.regexp ".*RC-L030.*") s 0)
+             d1);
+        Alcotest.(check (list string)) "byte-identical" d1 (diags 4));
+  ]
+
 let verdict_tests =
   [
     Alcotest.test_case "verdicts unchanged by linting" `Quick (fun () ->
@@ -603,5 +651,6 @@ let () =
       ("rules", rules_tests);
       ("diagnostic", diagnostic_tests);
       ("corpus", corpus_tests);
+      ("stress_corpus", stress_corpus_tests);
       ("verdicts", verdict_tests);
     ]
